@@ -1,0 +1,12 @@
+"""Benchmark harness regenerating every table and figure of the paper's evaluation.
+
+Each module reproduces one experiment (Table 1, Table 2, Figure 7, Figure 9,
+the Section 4.1.1 latency numbers, the Equation 2 recursion analysis, the
+Section 5 Shor-128 wall-clock chain and the EPR-scheduler study) and asserts
+the *shape* of the paper's result -- who wins, by roughly what factor, where
+the crossovers fall -- while timing the reproduction with pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""

@@ -1,0 +1,119 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+Three of the QLA's central design decisions are exercised by removing them:
+
+1. **Teleportation interconnect vs. ballistic movement** (paper contribution 2
+   and Section 4.2): direct shuttling across the chip exceeds the error budget
+   after a few thousand cells, and repeatedly error-correcting along the way
+   makes the latency grow linearly with distance, while the repeater-based
+   teleportation interconnect keeps both roughly flat.
+2. **Verified vs. unverified ancilla preparation** (Section 4.1 / Figure 6):
+   dropping the verification block lowers the level-1 pseudothreshold, i.e.
+   makes recursion start paying off only at better physical error rates.
+3. **Level-2 vs. level-1 recursion for Shor-1024** (Section 4.1.2): level 1
+   cannot reach the required computation size at the expected parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arq.experiments import run_threshold_sweep
+from repro.core.report import format_table
+from repro.qecc.concatenation import ConcatenationModel
+from repro.teleport.ballistic_baseline import BallisticBaselineModel
+from repro.teleport.repeater import ConnectionTimeModel
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_teleportation_vs_ballistic(benchmark):
+    def compare():
+        from repro.teleport.channel_design import optimal_island_separation
+
+        baseline = BallisticBaselineModel()
+        teleport = ConnectionTimeModel()
+        rows = []
+        for distance in (1000, 6000, 30000):
+            direct = baseline.direct_transport(distance)
+            corrected = baseline.corrected_transport(distance)
+            separation = optimal_island_separation(distance, model=teleport)
+            rows.append(
+                {
+                    "distance_cells": distance,
+                    "direct_error": direct.error_probability,
+                    "direct_over_budget": direct.exceeds_error_budget,
+                    "corrected_latency_s": corrected.latency_seconds,
+                    "teleport_latency_s": teleport.connection_time(distance, separation),
+                }
+            )
+        return rows
+
+    rows = benchmark(compare)
+    by_distance = {row["distance_cells"]: row for row in rows}
+    # Direct shuttling is fine for short hops but blows the error budget at
+    # chip scale.
+    assert not by_distance[1000]["direct_over_budget"]
+    assert by_distance[30000]["direct_over_budget"]
+    # The error-corrected channel's latency grows linearly with distance (5x
+    # from 6,000 to 30,000 cells) while the teleportation interconnect grows
+    # sub-linearly and is faster at full-chip distances.
+    assert by_distance[30000]["corrected_latency_s"] > 3 * by_distance[6000]["corrected_latency_s"]
+    corrected_growth = (
+        by_distance[30000]["corrected_latency_s"] / by_distance[6000]["corrected_latency_s"]
+    )
+    teleport_growth = (
+        by_distance[30000]["teleport_latency_s"] / by_distance[6000]["teleport_latency_s"]
+    )
+    assert teleport_growth < corrected_growth
+    assert by_distance[30000]["teleport_latency_s"] < by_distance[30000]["corrected_latency_s"]
+    print()
+    print(format_table(rows))
+
+
+@pytest.mark.benchmark(group="ablations", min_rounds=1, max_time=0.0, warmup=False)
+def test_ablation_unverified_ancilla_preparation(benchmark):
+    def compare():
+        rates = [1.5e-3, 2.5e-3]
+        verified = run_threshold_sweep(
+            rates, trials=500, rng=np.random.default_rng(11)
+        )
+        from repro.arq.experiments import Level1EccExperiment, _noise_for_rate
+        from repro.iontrap.parameters import EXPECTED_PARAMETERS
+        from repro.stabilizer import estimate_failure_rate
+
+        unverified_rates = []
+        rng = np.random.default_rng(11)
+        for rate in rates:
+            experiment = Level1EccExperiment(
+                noise=_noise_for_rate(rate, EXPECTED_PARAMETERS), verified_ancilla=False
+            )
+            unverified_rates.append(
+                estimate_failure_rate(experiment.run_trial, 500, rng).failure_rate
+            )
+        return verified, unverified_rates
+
+    verified, unverified_rates = benchmark.pedantic(compare, rounds=1, iterations=1)
+    # Removing verification never helps, and in aggregate it hurts: the summed
+    # logical failure rate over the sweep grows.
+    assert sum(unverified_rates) >= sum(verified.level1_rates)
+    print()
+    print(f"verified level-1 failure rates:   {[f'{r:.3e}' for r in verified.level1_rates]}")
+    print(f"unverified level-1 failure rates: {[f'{r:.3e}' for r in unverified_rates]}")
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_recursion_level_for_shor(benchmark):
+    def compare():
+        model = ConcatenationModel()
+        return {
+            "level1_size": model.achievable_size(1),
+            "level2_size": model.achievable_size(2),
+            "shor1024_size": 4.4e12,
+        }
+
+    sizes = benchmark(compare)
+    # Level 1 falls short of Shor-1024 by orders of magnitude; level 2 clears
+    # it comfortably -- the Section 4.1.2 argument for two levels of recursion.
+    assert sizes["level1_size"] < sizes["shor1024_size"]
+    assert sizes["level2_size"] > 100 * sizes["shor1024_size"]

@@ -1,0 +1,77 @@
+"""Section 4.1.1: error-correction latency at recursion levels 1 and 2.
+
+The paper quotes roughly 0.003 s per level-1 step, 0.043 s per level-2 step
+and 0.008 s of level-2 ancilla preparation.  The benchmark regenerates those
+numbers from the Equation 1 latency model driven by the Table 1 technology
+parameters and checks the shape: level 2 costs an order of magnitude more than
+level 1, with ancilla preparation a sizeable minority of the level-2 cycle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qecc.latency import (
+    EccLatencyModel,
+    PAPER_ANCILLA_PREP_TIME_LEVEL2,
+    PAPER_ECC_TIME_LEVEL1,
+    PAPER_ECC_TIME_LEVEL2,
+)
+
+
+def _latency_summary() -> dict[str, float]:
+    model = EccLatencyModel()
+    return {
+        "level1_ecc_seconds": model.ecc_time(1),
+        "level2_ecc_seconds": model.ecc_time(2),
+        "level2_ancilla_prep_seconds": model.ancilla_preparation_time(2),
+        "level1_syndrome_seconds": model.syndrome_extraction_time(1),
+        "level2_syndrome_seconds": model.syndrome_extraction_time(2),
+    }
+
+
+@pytest.mark.benchmark(group="ecc-latency")
+def test_section_4_1_1_error_correction_latency(benchmark):
+    summary = benchmark(_latency_summary)
+
+    level1 = summary["level1_ecc_seconds"]
+    level2 = summary["level2_ecc_seconds"]
+    prep2 = summary["level2_ancilla_prep_seconds"]
+
+    # Within 50% of the paper's absolute values...
+    assert level1 == pytest.approx(PAPER_ECC_TIME_LEVEL1, rel=0.5)
+    assert level2 == pytest.approx(PAPER_ECC_TIME_LEVEL2, rel=0.5)
+    assert prep2 == pytest.approx(PAPER_ANCILLA_PREP_TIME_LEVEL2, rel=0.5)
+    # ...and with the right shape: level 2 costs 10-25x level 1, preparation is
+    # a minority but non-negligible share of the level-2 cycle.
+    assert 8.0 < level2 / level1 < 25.0
+    assert 0.05 < prep2 / level2 < 0.5
+
+    print()
+    print(f"level-1 ECC step: {level1 * 1e3:.2f} ms (paper {PAPER_ECC_TIME_LEVEL1 * 1e3:.0f} ms)")
+    print(f"level-2 ECC step: {level2 * 1e3:.2f} ms (paper {PAPER_ECC_TIME_LEVEL2 * 1e3:.0f} ms)")
+    print(
+        f"level-2 ancilla preparation: {prep2 * 1e3:.2f} ms "
+        f"(paper {PAPER_ANCILLA_PREP_TIME_LEVEL2 * 1e3:.0f} ms)"
+    )
+
+
+@pytest.mark.benchmark(group="ecc-latency")
+def test_physical_schedule_cross_check(benchmark):
+    """The physical pulse schedule of one level-1 ECC circuit should land in the
+    same millisecond regime as the analytic Equation 1 estimate."""
+    from repro.arq.mapper import LayoutMapper
+    from repro.arq.pulse import build_pulse_schedule
+    from repro.qecc.syndrome import full_error_correction_circuit
+
+    def makespan() -> float:
+        circuit, _, _ = full_error_correction_circuit()
+        schedule = build_pulse_schedule(LayoutMapper().map_circuit(circuit))
+        return schedule.makespan_seconds
+
+    span = benchmark(makespan)
+    analytic = EccLatencyModel().ecc_time(1)
+    # The scheduled makespan is an optimistic (fully parallel) bound on the
+    # analytic cycle time; both must sit within one order of magnitude.
+    assert span < analytic
+    assert analytic / span < 10.0

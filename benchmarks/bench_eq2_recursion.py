@@ -1,0 +1,74 @@
+"""Section 4.1.2 / Equation 2: recursion-level sufficiency analysis.
+
+The paper's numbers: with the expected component failure rates (average
+p0 ~ 2.8e-7), r = 12 and the theoretical threshold 7.5e-5, the level-2 logical
+failure rate is about 1.0e-16, supporting computations of S ~ 9.9e15 steps;
+with the empirically measured threshold (2.1e-3) the reliability approaches
+1e-21.  Shor-1024 needs only S ~ 4.4e12, so level-2 recursion suffices.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import ShorResourceModel
+from repro.qecc.concatenation import (
+    ConcatenationModel,
+    EMPIRICAL_THRESHOLD,
+    achievable_system_size,
+    failure_rate_at_level,
+    required_recursion_level,
+)
+
+
+def _recursion_analysis() -> dict[str, float]:
+    model = ConcatenationModel()
+    shor_1024 = ShorResourceModel().estimate(1024)
+    return {
+        "level1_failure": model.failure_rate(1),
+        "level2_failure": model.failure_rate(2),
+        "level2_failure_empirical": failure_rate_at_level(
+            model.physical_failure_rate, 2, threshold=EMPIRICAL_THRESHOLD
+        ),
+        "level2_supported_size": model.achievable_size(2),
+        "shor1024_required_size": shor_1024.computation_size,
+        "required_level_shor1024": required_recursion_level(
+            model.physical_failure_rate, shor_1024.computation_size
+        ),
+    }
+
+
+@pytest.mark.benchmark(group="equation2")
+def test_equation2_recursion_sufficiency(benchmark):
+    analysis = benchmark(_recursion_analysis)
+
+    # Headline values of Section 4.1.2.
+    assert analysis["level2_failure"] == pytest.approx(1.0e-16, rel=0.15)
+    assert analysis["level2_supported_size"] == pytest.approx(9.9e15, rel=0.15)
+    assert 1e-22 < analysis["level2_failure_empirical"] < 1e-20
+    # Level 2 is orders of magnitude better than level 1 below threshold.
+    assert analysis["level2_failure"] < analysis["level1_failure"] ** 1.5
+    # Shor-1024 fits comfortably inside the level-2 budget; level 2 is the
+    # required level (level 1 is insufficient).
+    assert analysis["shor1024_required_size"] < analysis["level2_supported_size"]
+    assert analysis["required_level_shor1024"] == 2
+
+    print()
+    print(f"level-2 failure rate (theoretical pth): {analysis['level2_failure']:.2e}")
+    print(f"level-2 failure rate (empirical pth):   {analysis['level2_failure_empirical']:.2e}")
+    print(f"supported computation size:             {analysis['level2_supported_size']:.2e}")
+    print(f"Shor-1024 required size:                {analysis['shor1024_required_size']:.2e}")
+
+
+@pytest.mark.benchmark(group="equation2")
+def test_equation2_level_sweep(benchmark):
+    """Failure rate as a function of recursion level, below and above threshold."""
+
+    def sweep():
+        below = [failure_rate_at_level(2.8e-7, level) for level in range(4)]
+        above = [failure_rate_at_level(5e-3, level) for level in range(4)]
+        return below, above
+
+    below, above = benchmark(sweep)
+    assert all(b2 < b1 for b1, b2 in zip(below, below[1:]))
+    assert all(a2 > a1 for a1, a2 in zip(above[1:], above[2:]))

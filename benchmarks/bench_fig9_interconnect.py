@@ -1,0 +1,84 @@
+"""Figure 9: connection time vs distance for different island separations.
+
+The paper's conclusions: connection times of roughly 0.06-0.16 s over
+distances of 5,000-30,000 cells; an island separation of 100 cells is the most
+efficient below about 6,000 cells (~140 logical qubits in the x direction) and
+350 cells is preferable beyond that, which is why the QLA places islands every
+third logical qubit in x and every qubit in y.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.report import format_table
+from repro.teleport.channel_design import (
+    IslandSeparationStudy,
+    PAPER_CROSSOVER_CELLS,
+    PAPER_SEPARATIONS_CELLS,
+    optimal_island_separation,
+)
+
+
+def _figure9_curves():
+    study = IslandSeparationStudy(distances_cells=tuple(range(1000, 30001, 1000)))
+    return study, study.run()
+
+
+@pytest.mark.benchmark(group="figure9")
+def test_figure9_connection_time_curves(benchmark):
+    study, curves = benchmark(_figure9_curves)
+
+    # All seven separations of the paper are evaluated and feasible.
+    assert set(curves.keys()) == set(PAPER_SEPARATIONS_CELLS)
+    for estimates in curves.values():
+        assert all(e.feasible for e in estimates)
+
+    # Connection times are monotone in distance and sit in the paper's range
+    # (a few tens of ms to ~0.2 s) for the relevant separations.
+    for separation in (100, 350):
+        times = [e.connection_time_seconds for e in curves[separation]]
+        assert all(t2 >= t1 for t1, t2 in zip(times, times[1:]))
+        assert all(0.02 < t < 0.35 for t in times)
+
+    # The crossover: 100 cells wins at short range, 350 cells at long range,
+    # with the switch in the few-thousand-cell region (paper: ~6000 cells).
+    assert optimal_island_separation(1500, model=study.model) == 100
+    assert optimal_island_separation(30000, model=study.model) >= 350
+    crossover = study.crossover_distance(100, 350)
+    assert crossover is not None
+    assert 0.4 * PAPER_CROSSOVER_CELLS <= crossover <= 1.6 * PAPER_CROSSOVER_CELLS
+
+    rows = []
+    for distance in (2000, 6000, 10000, 20000, 30000):
+        rows.append(
+            {
+                "distance_cells": distance,
+                "t(d=100) ms": study.model.connection_time(distance, 100) * 1e3,
+                "t(d=350) ms": study.model.connection_time(distance, 350) * 1e3,
+                "best separation": optimal_island_separation(distance, model=study.model),
+            }
+        )
+    print()
+    print(format_table(rows))
+    print(f"measured 100->350 crossover: {crossover} cells (paper ~{PAPER_CROSSOVER_CELLS})")
+
+
+@pytest.mark.benchmark(group="figure9")
+def test_figure9_purification_round_scaling(benchmark):
+    """Supporting shape check: longer chains need more purification rounds and
+    more swap levels, and the final fidelity always meets the error budget."""
+    from repro.teleport.repeater import ConnectionTimeModel
+
+    model = ConnectionTimeModel()
+
+    def sweep():
+        return [model.estimate(distance, 100) for distance in (1000, 4000, 16000, 30000)]
+
+    estimates = benchmark(sweep)
+    rounds = [e.purification_rounds for e in estimates]
+    swaps = [e.swap_levels for e in estimates]
+    assert all(r2 >= r1 for r1, r2 in zip(rounds, rounds[1:]))
+    assert all(s2 >= s1 for s1, s2 in zip(swaps, swaps[1:]))
+    for estimate in estimates:
+        assert estimate.final_fidelity >= 1 - model.end_to_end_error_budget * 1.5

@@ -1,0 +1,76 @@
+"""Section 5: the Shor-128 wall-clock chain.
+
+"For a 128 bit number, modular exponentiation requires 63730 Toffoli gates
+with 21 error correction steps per Toffoli.  The error correction steps of the
+entire algorithm amount to (21 x 63730 + QFT = 1.34e6).  Since 0.043 seconds
+are required to perform one error correction at level 2 recursion, it will
+take approximately 16 hours ... the circuit is repeated on average 1.3 times,
+so the total time to factor a 128 bit number would be around 21 hours."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import ShorResourceModel, quantum_speedup_factor
+from repro.qecc.latency import EccLatencyModel
+
+
+def _shor128_chain():
+    paper_step = ShorResourceModel(ecc_time_override_seconds=0.043).estimate(128)
+    model_step = ShorResourceModel().estimate(128)
+    return {"paper_step": paper_step, "model_step": model_step}
+
+
+@pytest.mark.benchmark(group="shor-128")
+def test_shor_128_wall_clock_chain(benchmark):
+    chain = benchmark(_shor128_chain)
+    paper_step = chain["paper_step"]
+    model_step = chain["model_step"]
+
+    # The paper's chain, using its 0.043 s ECC step.
+    assert paper_step.toffoli_gates == pytest.approx(63_730, rel=0.02)
+    assert paper_step.ecc_steps == pytest.approx(1.34e6, rel=0.02)
+    assert paper_step.execution_time_hours == pytest.approx(16.0, rel=0.05)
+    assert paper_step.expected_time_seconds / 3600.0 == pytest.approx(21.0, rel=0.05)
+    assert paper_step.expected_time_days == pytest.approx(0.9, rel=0.05)
+
+    # With the reproduction's own latency model the answer stays in the
+    # "tens of hours" regime (the paper's qualitative headline).
+    assert 10.0 < model_step.execution_time_hours < 40.0
+
+    # The quantum advantage over the classical NFS appears at cryptographic
+    # sizes: at 128 bits classical factoring is still easy, but by 1024 bits
+    # the QLA wins by many orders of magnitude.
+    shor_1024 = ShorResourceModel(ecc_time_override_seconds=0.043).estimate(1024)
+    assert quantum_speedup_factor(1024, shor_1024.expected_time_seconds, mips=1e6) > 1e3
+
+    print()
+    print(f"Toffoli gates:        {paper_step.toffoli_gates:,}")
+    print(f"ECC steps:            {paper_step.ecc_steps:,}")
+    print(f"single run:           {paper_step.execution_time_hours:.1f} h (paper ~16 h)")
+    print(f"with 1.3 repetitions: {paper_step.expected_time_seconds / 3600:.1f} h (paper ~21 h)")
+    print(
+        f"model-derived ECC step {EccLatencyModel().ecc_time(2) * 1e3:.1f} ms -> "
+        f"{model_step.execution_time_hours:.1f} h"
+    )
+
+
+@pytest.mark.benchmark(group="shor-128")
+def test_shor_128_adder_ablation(benchmark):
+    """Ablation: replacing the carry-lookahead adder with a ripple-carry adder
+    (the paper's motivation for choosing the QCLA) slows Shor-128 down by well
+    over an order of magnitude."""
+    from repro.apps.modexp import ModularExponentiationModel
+    from repro.circuits.arithmetic import ripple_carry_adder_cost
+
+    def ablation():
+        qcla = ShorResourceModel(ecc_time_override_seconds=0.043).estimate(128)
+        ripple = ShorResourceModel(
+            modexp=ModularExponentiationModel(adder=ripple_carry_adder_cost),
+            ecc_time_override_seconds=0.043,
+        ).estimate(128)
+        return qcla, ripple
+
+    qcla, ripple = benchmark(ablation)
+    assert ripple.expected_time_seconds / qcla.expected_time_seconds > 5.0

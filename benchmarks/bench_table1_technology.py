@@ -1,0 +1,64 @@
+"""Table 1: technology parameters and the derived ballistic-channel figures.
+
+Regenerates the operation-time / failure-rate table and the Section 2.1
+channel numbers (0.01 us per-cell transit -> ~100 Mqbps pipelined bandwidth).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import MICROSECOND
+from repro.core.report import format_technology_table
+from repro.iontrap import BallisticChannel, CURRENT_PARAMETERS, EXPECTED_PARAMETERS, technology_table
+
+
+def _build_table1() -> list[dict[str, object]]:
+    rows = technology_table()
+    channel = BallisticChannel(length_cells=1000)
+    rows.append(
+        {
+            "operation": "Channel bandwidth (qbps)",
+            "time_seconds": None,
+            "p_current": None,
+            "p_expected": channel.bandwidth_qubits_per_second(),
+        }
+    )
+    return rows
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_technology_parameters(benchmark):
+    rows = benchmark(_build_table1)
+
+    by_name = {row["operation"]: row for row in rows}
+    # Operation times (Table 1, column 1).
+    assert by_name["Single Gate"]["time_seconds"] == pytest.approx(1 * MICROSECOND)
+    assert by_name["Double Gate"]["time_seconds"] == pytest.approx(10 * MICROSECOND)
+    assert by_name["Measure"]["time_seconds"] == pytest.approx(100 * MICROSECOND)
+    assert by_name["Split"]["time_seconds"] == pytest.approx(10 * MICROSECOND)
+    # Failure rates: current (column 2) and expected (column 3).
+    assert by_name["Double Gate"]["p_current"] == pytest.approx(0.03)
+    assert by_name["Measure"]["p_current"] == pytest.approx(0.01)
+    assert by_name["Double Gate"]["p_expected"] == pytest.approx(1e-7)
+    assert by_name["Movement (per cell)"]["p_expected"] == pytest.approx(1e-6)
+    # Derived channel bandwidth of about 100 Mqbps.
+    assert by_name["Channel bandwidth (qbps)"]["p_expected"] == pytest.approx(1e8, rel=0.01)
+    # The expected column must be uniformly better than the current column.
+    assert EXPECTED_PARAMETERS.double_gate_failure < CURRENT_PARAMETERS.double_gate_failure
+    assert EXPECTED_PARAMETERS.measure_failure < CURRENT_PARAMETERS.measure_failure
+
+    print()
+    print(format_technology_table())
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_channel_latency_model(benchmark):
+    """The tau + T*D ballistic latency model of Section 2.1."""
+
+    def channel_latency():
+        return BallisticChannel(length_cells=2000).latency()
+
+    latency = benchmark(channel_latency)
+    # 10 us split + 2000 cells x 0.01 us.
+    assert latency == pytest.approx(10e-6 + 2000 * 0.01e-6)

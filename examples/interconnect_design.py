@@ -1,0 +1,61 @@
+"""Figure 9 study: choosing the teleportation-island separation.
+
+Sweeps the repeater connection-time model over source-destination distance and
+island separation, prints the curve family, locates the 100-cell / 350-cell
+crossover and reports the resulting island-placement rule for a QLA array.
+
+Run with::
+
+    python examples/interconnect_design.py
+"""
+
+from __future__ import annotations
+
+from repro.core.report import format_table
+from repro.layout.qla_array import build_qla_array
+from repro.teleport.channel_design import (
+    IslandSeparationStudy,
+    PAPER_SEPARATIONS_CELLS,
+    optimal_island_separation,
+)
+
+
+def main() -> None:
+    study = IslandSeparationStudy(distances_cells=tuple(range(2000, 30001, 4000)))
+    curves = study.run()
+
+    rows = []
+    for index, distance in enumerate(study.distances_cells):
+        row: dict[str, object] = {"distance (cells)": distance}
+        for separation in PAPER_SEPARATIONS_CELLS:
+            estimate = curves[separation][index]
+            row[f"d={separation}"] = f"{estimate.connection_time_seconds * 1e3:.0f} ms"
+        row["best"] = optimal_island_separation(distance, model=study.model)
+        rows.append(row)
+    print("=== Connection time vs distance (Figure 9) ===")
+    print(format_table(rows))
+
+    crossover = study.crossover_distance(100, 350)
+    print()
+    print(f"100-cell islands win below ~{crossover} cells; 350-cell islands win beyond.")
+    print("(The paper reports the crossover near 6000 cells, i.e. ~140 logical qubits.)")
+
+    print()
+    print("=== Resulting island placement for a 1024-qubit QLA array ===")
+    array = build_qla_array(1024, island_spacing_cells=100)
+    x_tiles, y_tiles = array.island_spacing_tiles()
+    islands = array.islands()
+    print(f"array: {array.array_rows} x {array.array_columns} tiles "
+          f"({array.height_cells} x {array.width_cells} cells)")
+    print(f"island every {x_tiles} tile(s) along x and every {y_tiles} tile(s) along y "
+          f"-> {islands.count} islands")
+
+    sample = study.model.estimate(array.width_cells + array.height_cells, 100)
+    print(
+        f"corner-to-corner connection: {sample.connection_time_seconds * 1e3:.0f} ms over "
+        f"{sample.num_segments} segments, final pair fidelity {sample.final_fidelity:.6f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

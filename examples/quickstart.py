@@ -1,0 +1,56 @@
+"""Quickstart: size a QLA machine and ask it the paper's headline questions.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import MachineConfiguration, QLAMachine
+from repro.core.report import format_technology_table
+
+
+def main() -> None:
+    # A machine with 1024 level-2 logical qubits and bandwidth-2 channels.
+    machine = QLAMachine(
+        MachineConfiguration(num_logical_qubits=1024, recursion_level=2, channel_bandwidth=2)
+    )
+
+    print("=== QLA machine summary ===")
+    print(f"logical qubits:            {machine.num_logical_qubits:,}")
+    print(f"physical ions:             {machine.total_physical_ions():,}")
+    print(f"chip area:                 {machine.chip_area_square_metres() * 1e4:.1f} cm^2")
+    print(f"level-2 ECC step:          {machine.ecc_step_time() * 1e3:.1f} ms")
+    print(f"logical failure per step:  {machine.logical_failure_rate():.2e}")
+    print(f"supported computation S:   {machine.supported_computation_size():.2e}")
+
+    print()
+    print("=== Communication ===")
+    far_pair = (0, machine.num_logical_qubits - 1)
+    connection = machine.interconnect.connection(*far_pair)
+    print(
+        f"corner-to-corner connection: {connection.connection_time_seconds * 1e3:.1f} ms "
+        f"over {connection.num_segments} repeater segments "
+        f"({connection.purification_rounds} purification rounds per segment)"
+    )
+    print(f"overlaps with error correction: {machine.communication_overlaps(*far_pair)}")
+
+    print()
+    print("=== Shor's algorithm on this machine ===")
+    for bits in (128, 512, 1024):
+        estimate = machine.estimate_shor(bits)
+        print(
+            f"  N = {bits:5d}: {estimate.logical_qubits:>8,} logical qubits, "
+            f"{estimate.toffoli_gates:>10,} Toffolis, "
+            f"{estimate.area_square_metres:5.2f} m^2, "
+            f"{estimate.expected_time_days:6.1f} days"
+        )
+
+    print()
+    print("=== Technology assumptions (Table 1) ===")
+    print(format_technology_table())
+
+
+if __name__ == "__main__":
+    main()

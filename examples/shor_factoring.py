@@ -1,0 +1,73 @@
+"""Regenerate Table 2: Shor's algorithm resource and time estimates on the QLA.
+
+For each modulus width the script prints the reproduction's logical-qubit
+count, Toffoli count, total gate count, chip area and expected factoring time
+next to the paper's published numbers, and closes with the classical
+number-field-sieve comparison that motivates the exercise.
+
+Run with::
+
+    python examples/shor_factoring.py [bits ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.apps import (
+    PAPER_TABLE2,
+    ShorResourceModel,
+    classical_factoring_time_years,
+    quantum_speedup_factor,
+)
+from repro.core.report import format_table
+
+
+def main(bit_sizes: tuple[int, ...]) -> None:
+    model = ShorResourceModel(ecc_time_override_seconds=0.043)
+    own_latency = ShorResourceModel()  # uses the latency model's own ECC step
+
+    rows = []
+    for bits in bit_sizes:
+        estimate = model.estimate(bits)
+        paper = PAPER_TABLE2.get(bits, {})
+        rows.append(
+            {
+                "N (bits)": bits,
+                "logical qubits": estimate.logical_qubits,
+                "paper qubits": paper.get("logical_qubits"),
+                "Toffoli gates": estimate.toffoli_gates,
+                "paper Toffolis": paper.get("toffoli_gates"),
+                "area (m^2)": estimate.area_square_metres,
+                "paper area": paper.get("area_m2"),
+                "time (days)": estimate.expected_time_days,
+                "paper days": paper.get("time_days"),
+            }
+        )
+    print("=== Table 2: Shor's algorithm on the QLA (paper ECC step of 43 ms) ===")
+    print(format_table(rows))
+
+    print()
+    print("=== Using the reproduction's own latency model ===")
+    for bits in bit_sizes:
+        estimate = own_latency.estimate(bits)
+        print(
+            f"  N = {bits:5d}: ECC step {own_latency.ecc_step_time() * 1e3:.1f} ms -> "
+            f"{estimate.expected_time_days:6.1f} days"
+        )
+
+    print()
+    print("=== Classical comparison (number field sieve) ===")
+    for bits in bit_sizes:
+        quantum = model.estimate(bits)
+        classical_years = classical_factoring_time_years(bits, mips=1e6)
+        speedup = quantum_speedup_factor(bits, quantum.expected_time_seconds, mips=1e6)
+        print(
+            f"  N = {bits:5d}: classical ~ {classical_years:10.3g} years on a 1e6-MIPS machine, "
+            f"quantum {quantum.expected_time_days:8.1f} days  (speedup ~ {speedup:,.0f}x)"
+        )
+
+
+if __name__ == "__main__":
+    requested = tuple(int(arg) for arg in sys.argv[1:]) or (128, 512, 1024, 2048)
+    main(requested)

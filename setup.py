@@ -1,0 +1,11 @@
+"""Legacy setup entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+environments without the ``wheel`` package (pip then falls back to the
+``setup.py develop`` editable-install path).  All metadata lives in
+``pyproject.toml``; this file only triggers setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""Reproduction of the Quantum Logic Array (QLA) microarchitecture.
+
+This library re-implements the system described in
+
+    T. S. Metodi, D. D. Thaker, A. W. Cross, F. T. Chong and I. L. Chuang,
+    "A Quantum Logic Array Microarchitecture: Scalable Quantum Data Movement
+    and Computation", MICRO-38, 2005 (arXiv:quant-ph/0509051)
+
+as a set of composable Python packages: the trapped-ion QCCD substrate model,
+a CHP stabilizer simulator (the core of the paper's ARQ tool), the Steane
+[[7,1,3]] fault-tolerance machinery with recursion, the tile/array layout, the
+teleportation + purification + repeater interconnect, the greedy EPR
+scheduler, and the Shor's-algorithm resource model.  The top-level
+:class:`~repro.core.machine.QLAMachine` ties everything together.
+
+Quick start::
+
+    from repro import QLAMachine, MachineConfiguration
+
+    machine = QLAMachine(MachineConfiguration(num_logical_qubits=1024))
+    print(machine.ecc_step_time())            # one level-2 ECC step, seconds
+    print(machine.estimate_shor(128).expected_time_days)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.core import (
+    ApplicationPerformance,
+    ApplicationProfile,
+    MachineConfiguration,
+    QLAMachine,
+    estimate_application,
+)
+from repro.apps import ShorResourceEstimate, ShorResourceModel, table2_rows
+from repro.iontrap import CURRENT_PARAMETERS, EXPECTED_PARAMETERS, IonTrapParameters
+from repro.qecc import ConcatenationModel, EccLatencyModel, SteaneCode, steane_code
+from repro.stabilizer import StabilizerTableau
+from repro.circuits import Circuit, Gate
+from repro.teleport import ConnectionTimeModel
+from repro.layout import LogicalQubitTile, level2_tile_geometry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QLAMachine",
+    "MachineConfiguration",
+    "ApplicationProfile",
+    "ApplicationPerformance",
+    "estimate_application",
+    "ShorResourceModel",
+    "ShorResourceEstimate",
+    "table2_rows",
+    "IonTrapParameters",
+    "CURRENT_PARAMETERS",
+    "EXPECTED_PARAMETERS",
+    "SteaneCode",
+    "steane_code",
+    "ConcatenationModel",
+    "EccLatencyModel",
+    "StabilizerTableau",
+    "Circuit",
+    "Gate",
+    "ConnectionTimeModel",
+    "LogicalQubitTile",
+    "level2_tile_geometry",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Application-level resource models: Shor's algorithm on the QLA.
+
+Section 5 of the paper evaluates the QLA on Shor's factoring algorithm.  The
+packages here reproduce that evaluation chain:
+
+* :mod:`repro.apps.modexp` -- the quantum modular-exponentiation latency model
+  (carry-lookahead adders, indirection, fault-tolerant Toffoli accounting),
+* :mod:`repro.apps.shor` -- the full Shor resource model: logical qubits,
+  Toffoli count, total gates, chip area and wall-clock time (Table 2),
+* :mod:`repro.apps.factoring_estimates` -- the classical number-field-sieve
+  comparison used to argue the quantum machine's advantage.
+"""
+
+from repro.apps.modexp import ModularExponentiationModel, ModExpCost
+from repro.apps.shor import ShorResourceModel, ShorResourceEstimate, PAPER_TABLE2, table2_rows
+from repro.apps.grover import GroverResourceModel
+from repro.apps.factoring_estimates import (
+    classical_nfs_operations,
+    classical_factoring_time_years,
+    quantum_speedup_factor,
+)
+
+__all__ = [
+    "ModularExponentiationModel",
+    "ModExpCost",
+    "ShorResourceModel",
+    "ShorResourceEstimate",
+    "GroverResourceModel",
+    "PAPER_TABLE2",
+    "table2_rows",
+    "classical_nfs_operations",
+    "classical_factoring_time_years",
+    "quantum_speedup_factor",
+]

@@ -1,0 +1,70 @@
+"""Classical factoring cost estimates (the number-field-sieve comparison).
+
+Section 5 motivates Shor's algorithm with the cost of the best known classical
+algorithm, the general number field sieve, whose heuristic complexity is
+
+    exp((1.923 + o(1)) * (ln N)^(1/3) * (ln ln N)^(2/3))
+
+and with the concrete data point that factoring a 512-bit RSA modulus took
+about 8400 MIPS-years of classical computation in 2000.  These estimates are
+used by the examples and benchmarks to quantify the quantum machine's
+advantage ("significantly faster than current classical computers might
+achieve").
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ParameterError
+
+#: Exponent constant of the general number field sieve.
+NFS_CONSTANT: float = 1.923
+
+#: Empirical anchor from the paper: the RSA-512 factorisation took about
+#: 8400 MIPS-years (Cavallar et al., Eurocrypt 2000).
+RSA512_MIPS_YEARS: float = 8400.0
+
+_SECONDS_PER_YEAR: float = 365.25 * 24 * 3600
+
+
+def classical_nfs_operations(bits: int) -> float:
+    """Relative operation count of the number field sieve for an ``N``-bit modulus.
+
+    The returned value is ``exp(1.923 (ln N)^{1/3} (ln ln N)^{2/3})`` with
+    ``N = 2^bits``; it is meaningful as a *ratio* between problem sizes rather
+    than as an absolute operation count.
+    """
+    if bits < 8:
+        raise ParameterError("NFS estimates require a modulus of at least 8 bits")
+    ln_n = bits * math.log(2.0)
+    return math.exp(NFS_CONSTANT * ln_n ** (1.0 / 3.0) * math.log(ln_n) ** (2.0 / 3.0))
+
+
+def classical_factoring_time_years(bits: int, mips: float = 1.0e6) -> float:
+    """Estimated classical factoring time in years on a machine of given MIPS.
+
+    The estimate scales the RSA-512 anchor (8400 MIPS-years) by the NFS
+    complexity ratio between the requested size and 512 bits.
+
+    Parameters
+    ----------
+    bits:
+        Modulus width.
+    mips:
+        Classical machine throughput in millions of instructions per second
+        (default: a 1-TIPS-class cluster expressed as 1e6 MIPS).
+    """
+    if mips <= 0:
+        raise ParameterError("machine throughput must be positive")
+    ratio = classical_nfs_operations(bits) / classical_nfs_operations(512)
+    mips_years = RSA512_MIPS_YEARS * ratio
+    return mips_years / mips
+
+
+def quantum_speedup_factor(bits: int, quantum_time_seconds: float, mips: float = 1.0e6) -> float:
+    """Ratio of classical to quantum wall-clock time for factoring ``N`` bits."""
+    if quantum_time_seconds <= 0:
+        raise ParameterError("quantum time must be positive")
+    classical_seconds = classical_factoring_time_years(bits, mips) * _SECONDS_PER_YEAR
+    return classical_seconds / quantum_time_seconds

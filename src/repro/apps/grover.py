@@ -1,0 +1,79 @@
+"""Grover-search resource model on the QLA.
+
+Grover's database search is the second algorithm the paper's introduction
+motivates.  The model here is deliberately simple but complete enough to feed
+the generic application estimator: a search over ``2^n`` items needs about
+``(pi / 4) * 2^(n/2)`` Grover iterations, and each iteration costs one oracle
+evaluation plus one diffusion operator, both of which decompose into
+multi-controlled NOTs and hence into a linear number of Toffoli gates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.performance import ApplicationProfile
+from repro.exceptions import ParameterError
+
+
+@dataclass(frozen=True)
+class GroverResourceModel:
+    """Resource model for Grover search over an ``n``-bit space.
+
+    Parameters
+    ----------
+    oracle_toffoli_per_bit:
+        Toffoli gates per search-space bit in one oracle evaluation (the
+        oracle's arithmetic; 2 covers a comparator-style predicate).
+    ancilla_qubits_per_bit:
+        Logical ancilla qubits per bit (multi-controlled-NOT decomposition
+        workspace).
+    """
+
+    oracle_toffoli_per_bit: int = 2
+    ancilla_qubits_per_bit: int = 1
+
+    def __post_init__(self) -> None:
+        if self.oracle_toffoli_per_bit < 1:
+            raise ParameterError("the oracle needs at least one Toffoli per bit")
+        if self.ancilla_qubits_per_bit < 0:
+            raise ParameterError("ancilla count cannot be negative")
+
+    def iterations(self, search_bits: int) -> int:
+        """Optimal number of Grover iterations, floor(pi/4 * 2^(n/2))."""
+        self._check_bits(search_bits)
+        return max(1, int(math.pi / 4.0 * math.sqrt(2.0**search_bits)))
+
+    def toffoli_per_iteration(self, search_bits: int) -> int:
+        """Toffoli gates in one oracle call plus one diffusion operator.
+
+        The diffusion operator is an (n-1)-controlled phase flip, which
+        decomposes into roughly ``2 n`` Toffolis with a clean ancilla register.
+        """
+        self._check_bits(search_bits)
+        oracle = self.oracle_toffoli_per_bit * search_bits
+        diffusion = 2 * search_bits
+        return oracle + diffusion
+
+    def logical_qubits(self, search_bits: int) -> int:
+        """Search register plus oracle/diffusion workspace."""
+        self._check_bits(search_bits)
+        return search_bits * (1 + self.ancilla_qubits_per_bit) + 1
+
+    def profile(self, search_bits: int) -> ApplicationProfile:
+        """An :class:`ApplicationProfile` usable with the QLA machine estimator."""
+        self._check_bits(search_bits)
+        toffoli_count = self.iterations(search_bits) * self.toffoli_per_iteration(search_bits)
+        return ApplicationProfile(
+            name=f"grover-{search_bits}",
+            logical_qubits=self.logical_qubits(search_bits),
+            toffoli_count=toffoli_count,
+            extra_logical_steps=2 * search_bits,  # initial/final Hadamard layers + readout
+            repetitions=1.0,
+        )
+
+    @staticmethod
+    def _check_bits(search_bits: int) -> None:
+        if search_bits < 2:
+            raise ParameterError("Grover search needs a space of at least 2 bits")

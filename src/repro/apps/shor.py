@@ -1,0 +1,237 @@
+"""Shor's-algorithm resource model on the QLA (Table 2).
+
+Combines the modular-exponentiation latency model, the fault-tolerant Toffoli
+cost, the quantum Fourier transform, the tile-area model and the
+error-correction latency into the quantities the paper reports for factoring
+an ``N``-bit number: logical qubits, Toffoli gates, total gates, chip area and
+wall-clock time.
+
+The headline chain for N = 128 (Section 5): modular exponentiation needs about
+63,730 Toffoli gates at 21 error-correction steps each, roughly 1.34 million
+error-correction steps in total; at 0.043 s per level-2 step that is about
+16 hours, and with the 1.3 average repetitions of the algorithm about 21 hours
+-- "tens of hours".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.apps.modexp import ModularExponentiationModel
+from repro.circuits.qft import qft_cost
+from repro.circuits.toffoli import FaultTolerantToffoliCost, fault_tolerant_toffoli_cost
+from repro.constants import seconds_to_days, seconds_to_hours
+from repro.exceptions import ParameterError
+from repro.layout.area import ChipAreaModel
+from repro.qecc.latency import EccLatencyModel
+
+#: Average number of times the Shor circuit must be repeated before the
+#: classical post-processing succeeds (Ekert & Jozsa; Section 5 uses 1.3).
+DEFAULT_ALGORITHM_REPETITIONS: float = 1.3
+
+#: The paper's Table 2, used by the benchmarks for side-by-side comparison.
+#: Keys are modulus widths; values are (logical qubits, Toffoli gates, total
+#: gates, area in m^2, time in days).
+PAPER_TABLE2: dict[int, dict[str, float]] = {
+    128: {"logical_qubits": 37_971, "toffoli_gates": 63_729, "total_gates": 115_033, "area_m2": 0.11, "time_days": 0.9},
+    512: {"logical_qubits": 150_771, "toffoli_gates": 397_910, "total_gates": 1_016_295, "area_m2": 0.45, "time_days": 5.5},
+    1024: {"logical_qubits": 301_251, "toffoli_gates": 964_919, "total_gates": 3_270_582, "area_m2": 0.90, "time_days": 13.4},
+    2048: {"logical_qubits": 602_259, "toffoli_gates": 2_301_767, "total_gates": 11_148_214, "area_m2": 1.80, "time_days": 32.1},
+}
+
+
+@dataclass(frozen=True)
+class ShorResourceEstimate:
+    """Resource estimate for factoring one ``N``-bit modulus on the QLA.
+
+    Attributes
+    ----------
+    bits:
+        Modulus width ``N``.
+    logical_qubits:
+        Logical qubits (data registers plus concurrent adder units and their
+        Toffoli ancilla).
+    toffoli_gates:
+        Toffoli stages on the modular-exponentiation critical path.
+    total_gates:
+        Total gate count including CNOT/NOT work.
+    ecc_steps:
+        Logical error-correction steps on the critical path (21 per Toffoli
+        plus the QFT).
+    area_square_metres:
+        Chip area of the tile array.
+    execution_time_seconds:
+        Wall-clock time for one run of the circuit.
+    expected_time_seconds:
+        Wall-clock time including the average 1.3 algorithm repetitions.
+    computation_size:
+        ``S = K * Q`` -- elementary steps times logical qubits, the quantity
+        compared against the Equation 2 reliability budget.
+    """
+
+    bits: int
+    logical_qubits: int
+    toffoli_gates: int
+    total_gates: int
+    ecc_steps: int
+    area_square_metres: float
+    execution_time_seconds: float
+    expected_time_seconds: float
+    computation_size: float
+
+    @property
+    def execution_time_hours(self) -> float:
+        """Single-run execution time in hours."""
+        return seconds_to_hours(self.execution_time_seconds)
+
+    @property
+    def expected_time_days(self) -> float:
+        """Expected (repetition-weighted) time in days."""
+        return seconds_to_days(self.expected_time_seconds)
+
+
+@dataclass(frozen=True)
+class ShorResourceModel:
+    """End-to-end Shor resource model for the QLA.
+
+    Parameters
+    ----------
+    modexp:
+        Modular-exponentiation latency model.
+    toffoli:
+        Fault-tolerant Toffoli cost (21 ECC steps on the critical path).
+    latency:
+        Error-correction latency model providing the level-2 ECC step time.
+    area:
+        Chip-area model (tile footprint).
+    recursion_level:
+        Concatenation level of the logical qubits (2 throughout the paper).
+    concurrent_adder_units:
+        Number of carry-lookahead adder units operating concurrently; together
+        with ``data_registers`` this sets the logical-qubit count.  The value
+        72 reproduces the paper's Table 2 qubit column (the paper does not
+        state its concurrency configuration explicitly; see EXPERIMENTS.md).
+    data_registers:
+        Number of ``n``-bit data registers (exponent, accumulator, modulus,
+        scratch).
+    fixed_logical_overhead:
+        Logical qubits not proportional to ``n`` (control, factories).
+    algorithm_repetitions:
+        Average repetitions of the whole circuit until success.
+    ecc_time_override_seconds:
+        If set, use this level-2 ECC step time instead of the latency model's
+        (e.g. the paper's 0.043 s), which isolates the resource counts from
+        the latency calibration.
+    """
+
+    modexp: ModularExponentiationModel = field(default_factory=ModularExponentiationModel)
+    toffoli: FaultTolerantToffoliCost = field(default_factory=fault_tolerant_toffoli_cost)
+    latency: EccLatencyModel = field(default_factory=EccLatencyModel)
+    area: ChipAreaModel = field(default_factory=ChipAreaModel)
+    recursion_level: int = 2
+    concurrent_adder_units: int = 72
+    data_registers: int = 7
+    fixed_logical_overhead: int = 500
+    algorithm_repetitions: float = DEFAULT_ALGORITHM_REPETITIONS
+    ecc_time_override_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.recursion_level < 1:
+            raise ParameterError("recursion level must be at least 1")
+        if self.concurrent_adder_units < 1:
+            raise ParameterError("need at least one adder unit")
+        if self.data_registers < 1:
+            raise ParameterError("need at least one data register")
+        if self.fixed_logical_overhead < 0:
+            raise ParameterError("fixed overhead cannot be negative")
+        if self.algorithm_repetitions < 1.0:
+            raise ParameterError("algorithm repetitions cannot be below 1")
+        if self.ecc_time_override_seconds is not None and self.ecc_time_override_seconds <= 0:
+            raise ParameterError("ECC time override must be positive")
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+
+    def ecc_step_time(self) -> float:
+        """Duration of one logical error-correction step at the machine's level."""
+        if self.ecc_time_override_seconds is not None:
+            return self.ecc_time_override_seconds
+        return self.latency.ecc_time(self.recursion_level)
+
+    def logical_qubits(self, bits: int) -> int:
+        """Logical qubits needed to factor an ``N``-bit modulus."""
+        self._check_bits(bits)
+        adder_cost = self.modexp.adder(bits) if self.modexp.adder else None
+        adder_width = adder_cost.width if adder_cost is not None else 4 * bits
+        return (
+            self.data_registers * bits
+            + self.concurrent_adder_units * adder_width
+            + self.fixed_logical_overhead
+        )
+
+    def qft_ecc_steps(self, bits: int) -> int:
+        """Error-correction steps charged to the final quantum Fourier transform."""
+        # The QFT acts on the 2n-bit exponent register; the semiclassical
+        # variant has linear depth.
+        return qft_cost(2 * bits, semiclassical=True).depth
+
+    # ------------------------------------------------------------------
+    # Full estimate
+    # ------------------------------------------------------------------
+
+    def estimate(self, bits: int) -> ShorResourceEstimate:
+        """Full resource estimate for factoring an ``N``-bit modulus."""
+        self._check_bits(bits)
+        modexp_cost = self.modexp.cost(bits)
+        toffoli_gates = modexp_cost.toffoli_depth
+        ecc_steps = toffoli_gates * self.toffoli.ecc_steps + self.qft_ecc_steps(bits)
+        step_time = self.ecc_step_time()
+        execution_time = ecc_steps * step_time
+        expected_time = execution_time * self.algorithm_repetitions
+        logical_qubits = self.logical_qubits(bits)
+        return ShorResourceEstimate(
+            bits=bits,
+            logical_qubits=logical_qubits,
+            toffoli_gates=toffoli_gates,
+            total_gates=modexp_cost.total_gate_work,
+            ecc_steps=ecc_steps,
+            area_square_metres=self.area.chip_area(logical_qubits),
+            execution_time_seconds=execution_time,
+            expected_time_seconds=expected_time,
+            computation_size=float(ecc_steps) * float(logical_qubits),
+        )
+
+    @staticmethod
+    def _check_bits(bits: int) -> None:
+        if bits < 4:
+            raise ParameterError("the Shor model is meaningful for moduli of at least 4 bits")
+
+
+def table2_rows(
+    bit_sizes: tuple[int, ...] = (128, 512, 1024, 2048),
+    model: ShorResourceModel | None = None,
+) -> list[dict[str, float]]:
+    """Regenerate Table 2: one row per modulus width.
+
+    Each row carries both the reproduction's values and (when available) the
+    paper's published numbers, so the benchmark can print them side by side.
+    """
+    the_model = model if model is not None else ShorResourceModel()
+    rows = []
+    for bits in bit_sizes:
+        estimate = the_model.estimate(bits)
+        row: dict[str, float] = {
+            "bits": bits,
+            "logical_qubits": estimate.logical_qubits,
+            "toffoli_gates": estimate.toffoli_gates,
+            "total_gates": estimate.total_gates,
+            "area_m2": estimate.area_square_metres,
+            "time_days": estimate.expected_time_days,
+        }
+        paper = PAPER_TABLE2.get(bits)
+        if paper is not None:
+            row.update({f"paper_{key}": value for key, value in paper.items()})
+        rows.append(row)
+    return rows

@@ -1,0 +1,157 @@
+"""Pulse-sequence generation: the timed physical schedule of a mapped circuit.
+
+ARQ's output stage turns a mapped circuit into the sequence of physical
+operations the classical control system would issue -- laser pulses, shuttle
+commands, readout windows -- each with a start time, a duration and a failure
+probability drawn from the technology table.  The schedule respects qubit
+dependencies (ASAP scheduling) so its makespan is the circuit's physical
+critical path; it is what the latency cross-checks and the execution-trace
+examples consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arq.mapper import MappedCircuit
+from repro.circuits.gate import OpKind
+from repro.iontrap.movement import movement_failure_probability, movement_time
+from repro.iontrap.operations import OperationCatalog, PhysicalOperation, PhysicalOperationType
+from repro.iontrap.parameters import IonTrapParameters, EXPECTED_PARAMETERS
+
+
+@dataclass(frozen=True)
+class PulseEvent:
+    """One entry of the physical schedule.
+
+    Attributes
+    ----------
+    start_seconds, duration_seconds:
+        Timing of the event (ASAP schedule).
+    operation:
+        The physical operation performed.
+    failure_probability:
+        Probability the event corrupts its operands.
+    label:
+        Label inherited from the logical operation (e.g. measurement tags).
+    """
+
+    start_seconds: float
+    duration_seconds: float
+    operation: PhysicalOperation
+    failure_probability: float
+    label: str = ""
+
+    @property
+    def end_seconds(self) -> float:
+        """Completion time of the event."""
+        return self.start_seconds + self.duration_seconds
+
+
+@dataclass(frozen=True)
+class PulseSchedule:
+    """A timed physical schedule.
+
+    Attributes
+    ----------
+    events:
+        Pulse events in issue order.
+    makespan_seconds:
+        Completion time of the last event (the physical critical path).
+    """
+
+    events: tuple[PulseEvent, ...]
+    makespan_seconds: float
+
+    def total_busy_time(self) -> float:
+        """Sum of all event durations (a work, not wall-clock, measure)."""
+        return sum(event.duration_seconds for event in self.events)
+
+    def expected_error_count(self) -> float:
+        """Sum of event failure probabilities (expected number of faults)."""
+        return sum(event.failure_probability for event in self.events)
+
+    def events_of_kind(self, kind: PhysicalOperationType) -> list[PulseEvent]:
+        """All events of one physical operation type."""
+        return [event for event in self.events if event.operation.kind is kind]
+
+
+_GATE_KIND = {
+    1: PhysicalOperationType.SINGLE_GATE,
+    2: PhysicalOperationType.DOUBLE_GATE,
+    3: PhysicalOperationType.DOUBLE_GATE,
+}
+
+
+def build_pulse_schedule(
+    mapped: MappedCircuit, parameters: IonTrapParameters | None = None
+) -> PulseSchedule:
+    """Flatten a mapped circuit into an ASAP-timed physical schedule."""
+    params = parameters if parameters is not None else EXPECTED_PARAMETERS
+    catalog = OperationCatalog(params)
+    ready_at: dict[int, float] = {}
+    events: list[PulseEvent] = []
+
+    def issue(op: PhysicalOperation, start: float, label: str = "") -> float:
+        duration = catalog.duration(op)
+        failure = catalog.failure_probability(op)
+        events.append(
+            PulseEvent(
+                start_seconds=start,
+                duration_seconds=duration,
+                operation=op,
+                failure_probability=failure,
+                label=label,
+            )
+        )
+        return start + duration
+
+    for mapped_op in mapped.operations:
+        logical = mapped_op.operation
+        qubits = logical.qubits
+        start = max((ready_at.get(q, 0.0) for q in qubits), default=0.0)
+        finish = start
+
+        if mapped_op.movement is not None and mapped_op.moved_qubit is not None:
+            move_op = PhysicalOperation(
+                kind=PhysicalOperationType.MOVE,
+                ions=(mapped_op.moved_qubit,),
+                cells=mapped_op.movement.cells,
+                label=logical.label,
+            )
+            move_duration = movement_time(mapped_op.movement, params)
+            move_failure = movement_failure_probability(mapped_op.movement, params)
+            events.append(
+                PulseEvent(
+                    start_seconds=start,
+                    duration_seconds=move_duration,
+                    operation=move_op,
+                    failure_probability=move_failure,
+                    label=logical.label,
+                )
+            )
+            finish = start + move_duration
+
+        if logical.kind is OpKind.PREPARE:
+            finish = issue(
+                PhysicalOperation(PhysicalOperationType.PREPARE, ions=qubits, label=logical.label),
+                finish,
+                logical.label,
+            )
+        elif logical.kind in (OpKind.MEASURE, OpKind.MEASURE_X):
+            finish = issue(
+                PhysicalOperation(PhysicalOperationType.MEASURE, ions=qubits, label=logical.label),
+                finish,
+                logical.label,
+            )
+        else:
+            kind = _GATE_KIND.get(logical.num_qubits, PhysicalOperationType.DOUBLE_GATE)
+            finish = issue(
+                PhysicalOperation(kind, ions=qubits, label=logical.label), finish, logical.label
+            )
+
+        for qubit in qubits:
+            ready_at[qubit] = finish
+
+    makespan = max((event.end_seconds for event in events), default=0.0)
+    return PulseSchedule(events=tuple(events), makespan_seconds=makespan)

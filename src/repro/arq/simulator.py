@@ -1,0 +1,164 @@
+"""Noisy execution of circuits on the stabilizer backend.
+
+This is the execution core of ARQ: every operation of a (mapped) circuit is
+applied to a CHP tableau, followed by Pauli errors sampled from the technology
+noise model -- gate errors after gates, preparation errors after resets,
+classical flips on measurement outcomes, and movement-induced depolarisation
+before two-qubit gates whose operands had to be shuttled together.
+Measurement outcomes are collected by label so that syndrome post-processing
+(decoding, verification checks) can run exactly as the classical control
+system would run it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arq.mapper import LayoutMapper, MappedCircuit
+from repro.circuits import Circuit
+from repro.circuits.gate import OpKind
+from repro.exceptions import SimulationError
+from repro.pauli import PauliString, PauliTerm
+from repro.stabilizer import NoiseModel, NoiselessModel, StabilizerTableau
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one noisy circuit execution.
+
+    Attributes
+    ----------
+    tableau:
+        Final stabilizer state (measured qubits collapsed).
+    measurements:
+        Measurement outcomes keyed by operation label; unlabeled measurements
+        are keyed by ``"m<index>"`` where index is the operation position.
+    error_count:
+        Number of Pauli error events injected during the run.
+    """
+
+    tableau: StabilizerTableau
+    measurements: dict[str, int] = field(default_factory=dict)
+    error_count: int = 0
+
+    def bits(self, labels: list[str] | tuple[str, ...]) -> list[int]:
+        """Measurement outcomes for a list of labels, in order."""
+        missing = [label for label in labels if label not in self.measurements]
+        if missing:
+            raise SimulationError(f"missing measurement labels: {missing}")
+        return [self.measurements[label] for label in labels]
+
+
+class NoisyCircuitExecutor:
+    """Execute circuits on a stabilizer tableau under a Pauli noise model.
+
+    Parameters
+    ----------
+    noise:
+        The noise model (defaults to noiseless execution).
+    mapper:
+        Layout mapper supplying movement budgets for two-qubit gates; pass
+        None to execute without movement noise (pure circuit-level noise).
+    """
+
+    def __init__(
+        self,
+        noise: NoiseModel | None = None,
+        mapper: LayoutMapper | None = None,
+    ) -> None:
+        self._noise = noise if noise is not None else NoiselessModel()
+        self._mapper = mapper
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        circuit: Circuit,
+        rng: np.random.Generator,
+        tableau: StabilizerTableau | None = None,
+    ) -> ExecutionResult:
+        """Run a circuit once and return the execution result.
+
+        Parameters
+        ----------
+        circuit:
+            The circuit to execute.
+        rng:
+            Random generator for both measurement randomness and noise.
+        tableau:
+            Optional pre-initialised state (e.g. an ideally prepared logical
+            qubit); a fresh all-|0> register is created when omitted.
+        """
+        state = tableau if tableau is not None else StabilizerTableau(circuit.num_qubits, rng=rng)
+        if state.num_qubits < circuit.num_qubits:
+            raise SimulationError(
+                f"tableau has {state.num_qubits} qubits but the circuit needs "
+                f"{circuit.num_qubits}"
+            )
+        mapped = self._mapper.map_circuit(circuit) if self._mapper is not None else None
+        result = ExecutionResult(tableau=state)
+
+        operations = mapped.operations if mapped is not None else None
+        for index, operation in enumerate(circuit):
+            movement = None
+            moved_qubit = None
+            if operations is not None:
+                movement = operations[index].movement
+                moved_qubit = operations[index].moved_qubit
+
+            if movement is not None and moved_qubit is not None:
+                exposure = movement.cells + movement.corner_turns + movement.splits
+                terms = self._noise.sample_movement_error(moved_qubit, exposure, rng)
+                self._apply_terms(state, terms, result)
+
+            if operation.kind is OpKind.PREPARE:
+                state.reset(operation.qubits[0])
+                terms = self._noise.sample_preparation_error(operation.qubits[0], rng)
+                self._apply_terms(state, terms, result)
+            elif operation.kind is OpKind.MEASURE:
+                outcome = state.measure(operation.qubits[0]).value
+                outcome = self._maybe_flip(outcome, rng, result)
+                self._record(result, operation.label, index, outcome)
+            elif operation.kind is OpKind.MEASURE_X:
+                outcome = state.measure_x(operation.qubits[0]).value
+                outcome = self._maybe_flip(outcome, rng, result)
+                self._record(result, operation.label, index, outcome)
+            else:
+                if not operation.is_clifford:
+                    raise SimulationError(
+                        f"gate {operation.name} is not Clifford; ARQ simulates the "
+                        "stabilizer subset of circuits only"
+                    )
+                state.apply_gate(operation.name, operation.qubits)
+                terms = self._noise.sample_gate_error(operation.name, operation.qubits, rng)
+                self._apply_terms(state, terms, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _record(result: ExecutionResult, label: str, index: int, outcome: int) -> None:
+        key = label if label else f"m{index}"
+        result.measurements[key] = outcome
+
+    def _maybe_flip(self, outcome: int, rng: np.random.Generator, result: ExecutionResult) -> int:
+        if self._noise.measurement_flip(rng):
+            result.error_count += 1
+            return outcome ^ 1
+        return outcome
+
+    @staticmethod
+    def _apply_terms(
+        state: StabilizerTableau, terms: list[PauliTerm], result: ExecutionResult
+    ) -> None:
+        if not terms:
+            return
+        pauli = PauliString.from_terms(terms, num_qubits=state.num_qubits)
+        state.apply_pauli(pauli)
+        result.error_count += 1

@@ -1,0 +1,69 @@
+"""Quantum-circuit intermediate representation and circuit library.
+
+The circuit model is the input language of ARQ (Section 3 of the paper):
+applications are expressed as sequences of gates on logical qubits, which the
+architecture layer then maps onto physical layouts.  This package provides
+
+* a small gate/operation IR (:mod:`repro.circuits.gate`),
+* a circuit container with composition and gate counting
+  (:mod:`repro.circuits.circuit`),
+* dependency-DAG scheduling into parallel time-steps (:mod:`repro.circuits.dag`),
+* a library of standard circuits -- Bell/EPR preparation, teleportation,
+  cat states (:mod:`repro.circuits.library`),
+* the fault-tolerant Toffoli construction and cost model
+  (:mod:`repro.circuits.toffoli`),
+* quantum adders, including the logarithmic-depth carry-lookahead adder (QCLA)
+  the paper's Shor estimate uses (:mod:`repro.circuits.arithmetic`), and
+* the quantum Fourier transform cost model (:mod:`repro.circuits.qft`).
+"""
+
+from repro.circuits.gate import Gate, Operation, OpKind, CLIFFORD_GATES
+from repro.circuits.circuit import Circuit
+from repro.circuits.dag import CircuitDag, schedule_asap
+from repro.circuits.library import (
+    bell_pair_circuit,
+    ghz_circuit,
+    cat_state_circuit,
+    teleportation_circuit,
+)
+from repro.circuits.toffoli import (
+    toffoli_clifford_t_circuit,
+    FaultTolerantToffoliCost,
+    fault_tolerant_toffoli_cost,
+)
+from repro.circuits.arithmetic import (
+    AdderCost,
+    qcla_adder_cost,
+    ripple_carry_adder_cost,
+    ripple_carry_adder_circuit,
+)
+from repro.circuits.qft import qft_cost, qft_circuit, QftCost
+from repro.circuits.serialization import circuit_from_text, circuit_to_text
+from repro.circuits.classical import simulate_classical
+
+__all__ = [
+    "Gate",
+    "Operation",
+    "OpKind",
+    "CLIFFORD_GATES",
+    "Circuit",
+    "CircuitDag",
+    "schedule_asap",
+    "bell_pair_circuit",
+    "ghz_circuit",
+    "cat_state_circuit",
+    "teleportation_circuit",
+    "toffoli_clifford_t_circuit",
+    "FaultTolerantToffoliCost",
+    "fault_tolerant_toffoli_cost",
+    "AdderCost",
+    "qcla_adder_cost",
+    "ripple_carry_adder_cost",
+    "ripple_carry_adder_circuit",
+    "qft_cost",
+    "qft_circuit",
+    "QftCost",
+    "circuit_from_text",
+    "circuit_to_text",
+    "simulate_classical",
+]

@@ -1,0 +1,155 @@
+"""Quantum adders: the carry-lookahead adder (QCLA) cost model and a
+ripple-carry construction.
+
+Section 5 of the paper bases its Shor's-algorithm estimate on the
+logarithmic-depth quantum carry-lookahead adder of Draper, Kutin, Rains and
+Svore (quant-ph/0406142): an ``n``-bit addition with a critical path of
+``4 log2 n`` Toffoli gates plus 4 CNOTs and 2 NOTs, chosen because it is
+optimised for time rather than for qubit count.  The ripple-carry adder
+(linear depth, minimal width) is provided both as a cost model and as an
+explicit reversible circuit; it serves as the baseline the QCLA is compared
+against and as a functional-correctness anchor for the test-suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import CircuitError
+
+
+@dataclass(frozen=True)
+class AdderCost:
+    """Resource cost of one n-bit quantum addition.
+
+    Attributes
+    ----------
+    bits:
+        Operand width ``n``.
+    toffoli_depth:
+        Number of sequential Toffoli stages on the critical path.
+    toffoli_count:
+        Total number of Toffoli gates.
+    cnot_count:
+        Total number of CNOT gates.
+    not_count:
+        Total number of NOT (X) gates.
+    width:
+        Total number of logical qubits the adder occupies (operands, carries
+        and ancillae).
+    name:
+        Identifier of the construction ("qcla" or "ripple").
+    """
+
+    bits: int
+    toffoli_depth: int
+    toffoli_count: int
+    cnot_count: int
+    not_count: int
+    width: int
+    name: str
+
+    @property
+    def total_gates(self) -> int:
+        """Total gate count (Toffoli + CNOT + NOT)."""
+        return self.toffoli_count + self.cnot_count + self.not_count
+
+
+def qcla_adder_cost(bits: int) -> AdderCost:
+    """Cost of the Draper-Kutin-Rains-Svore carry-lookahead adder.
+
+    The critical path is ``4 * log2(n)`` Toffoli stages (plus a small constant),
+    4 CNOT stages and 2 NOT stages -- the figure quoted in Section 5 of the
+    QLA paper.  Gate totals follow the out-of-place construction of the QCLA
+    paper: approximately ``10 n`` Toffolis and ``4 n`` CNOTs, with a total
+    width of roughly ``4 n`` qubits (two operands, carry ancillae and the
+    propagate/generate tree).
+    """
+    if bits < 1:
+        raise CircuitError("adder width must be at least 1 bit")
+    log_n = max(1, math.ceil(math.log2(bits))) if bits > 1 else 1
+    ones = bin(bits).count("1")
+    return AdderCost(
+        bits=bits,
+        toffoli_depth=4 * log_n + 2,
+        toffoli_count=max(1, 10 * bits - 3 * ones - 3 * log_n - 4),
+        cnot_count=4 * bits,
+        not_count=2 * bits,
+        width=4 * bits - ones - log_n,
+        name="qcla",
+    )
+
+
+def ripple_carry_adder_cost(bits: int) -> AdderCost:
+    """Cost of the textbook (VBE-style) ripple-carry adder.
+
+    Linear Toffoli depth, minimal extra width: the baseline the QCLA's
+    logarithmic depth is traded against.
+    """
+    if bits < 1:
+        raise CircuitError("adder width must be at least 1 bit")
+    return AdderCost(
+        bits=bits,
+        toffoli_depth=2 * bits - 1,
+        toffoli_count=2 * bits - 1,
+        cnot_count=2 * bits + 1,
+        not_count=0,
+        width=3 * bits + 1,
+        name="ripple",
+    )
+
+
+def ripple_carry_adder_circuit(bits: int) -> Circuit:
+    """An explicit VBE-style ripple-carry adder circuit ``|a, b, 0> -> |a, a+b>``.
+
+    Register layout (little-endian within each register):
+
+    * qubits ``0 .. n-1``         : operand ``a`` (unchanged),
+    * qubits ``n .. 2n-1``        : operand ``b`` (replaced by the low ``n``
+      bits of ``a + b``),
+    * qubits ``2n .. 3n``         : carry ancillae, initially zero; qubit
+      ``3n`` (the last carry) ends up holding the final carry-out, i.e. bit
+      ``n`` of the sum.
+
+    The construction is the classic Vedral-Barenco-Ekert network: a forward
+    carry ripple, a high-bit sum, then an unwinding pass that restores the
+    carry ancillae to zero.  The circuit is purely classical-reversible
+    (Toffoli/CNOT), so its correctness is verified bit-exactly by
+    :func:`repro.circuits.classical.simulate_classical` in the tests.
+    """
+    if bits < 1:
+        raise CircuitError("adder width must be at least 1 bit")
+    n = bits
+    a = list(range(0, n))
+    b = list(range(n, 2 * n))
+    carry = list(range(2 * n, 3 * n + 1))
+    circuit = Circuit(3 * n + 1, name=f"ripple_adder_{n}")
+
+    def carry_forward(c_in: int, a_i: int, b_i: int, c_out: int) -> None:
+        circuit.toffoli(a_i, b_i, c_out)
+        circuit.cnot(a_i, b_i)
+        circuit.toffoli(c_in, b_i, c_out)
+
+    def carry_backward(c_in: int, a_i: int, b_i: int, c_out: int) -> None:
+        circuit.toffoli(c_in, b_i, c_out)
+        circuit.cnot(a_i, b_i)
+        circuit.toffoli(a_i, b_i, c_out)
+
+    def sum_bit(c_in: int, a_i: int, b_i: int) -> None:
+        circuit.cnot(a_i, b_i)
+        circuit.cnot(c_in, b_i)
+
+    # Forward pass: compute all carries.
+    for i in range(n):
+        carry_forward(carry[i], a[i], b[i], carry[i + 1])
+    # Highest bit: the final carry already holds bit n of the sum; compute the
+    # top sum bit in place.
+    circuit.cnot(a[n - 1], b[n - 1])
+    sum_bit(carry[n - 1], a[n - 1], b[n - 1])
+    # Backward pass: undo the carries while producing the remaining sum bits.
+    for i in range(n - 2, -1, -1):
+        carry_backward(carry[i], a[i], b[i], carry[i + 1])
+        sum_bit(carry[i], a[i], b[i])
+    return circuit

@@ -1,0 +1,239 @@
+"""The :class:`Circuit` container.
+
+A circuit is an ordered list of :class:`~repro.circuits.gate.Operation`
+objects on a register of a fixed (or growing) size.  It supports the handful
+of structural manipulations the rest of the library needs: appending
+operations, sequential composition, qubit remapping (used when a logical
+circuit is instantiated on a physical block of the QLA layout), gate counting
+and depth computation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+from repro.circuits.gate import Gate, Operation, OpKind
+from repro.exceptions import CircuitError
+
+
+class Circuit:
+    """An ordered sequence of operations on ``num_qubits`` qubits.
+
+    Parameters
+    ----------
+    num_qubits:
+        Size of the register.  Appending an operation on a qubit index outside
+        the register raises :class:`~repro.exceptions.CircuitError`; the
+        register can be grown explicitly with :meth:`add_qubits`.
+    name:
+        Optional human-readable name used in reports.
+    """
+
+    def __init__(self, num_qubits: int, name: str = "") -> None:
+        if num_qubits <= 0:
+            raise CircuitError("a circuit needs at least one qubit")
+        self._num_qubits = num_qubits
+        self._operations: list[Operation] = []
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Register size."""
+        return self._num_qubits
+
+    @property
+    def operations(self) -> tuple[Operation, ...]:
+        """The operations in program order (immutable snapshot)."""
+        return tuple(self._operations)
+
+    def __len__(self) -> int:
+        return len(self._operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._operations)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        label = self.name or "circuit"
+        return f"Circuit({label!r}, qubits={self._num_qubits}, ops={len(self)})"
+
+    def add_qubits(self, count: int) -> int:
+        """Grow the register by ``count`` qubits, returning the first new index."""
+        if count < 0:
+            raise CircuitError("cannot add a negative number of qubits")
+        first_new = self._num_qubits
+        self._num_qubits += count
+        return first_new
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+
+    def append(self, operation: Operation) -> "Circuit":
+        """Append a single operation (returns ``self`` for chaining)."""
+        self._validate(operation)
+        self._operations.append(operation)
+        return self
+
+    def extend(self, operations: Iterable[Operation]) -> "Circuit":
+        """Append several operations in order."""
+        for operation in operations:
+            self.append(operation)
+        return self
+
+    # Small fluent helpers so circuit construction code reads naturally.
+
+    def h(self, qubit: int) -> "Circuit":
+        """Append a Hadamard gate."""
+        return self.append(Gate.h(qubit))
+
+    def x(self, qubit: int) -> "Circuit":
+        """Append a Pauli X gate."""
+        return self.append(Gate.x(qubit))
+
+    def y(self, qubit: int) -> "Circuit":
+        """Append a Pauli Y gate."""
+        return self.append(Gate.y(qubit))
+
+    def z(self, qubit: int) -> "Circuit":
+        """Append a Pauli Z gate."""
+        return self.append(Gate.z(qubit))
+
+    def s(self, qubit: int) -> "Circuit":
+        """Append a phase gate."""
+        return self.append(Gate.s(qubit))
+
+    def t(self, qubit: int) -> "Circuit":
+        """Append a T gate."""
+        return self.append(Gate.t(qubit))
+
+    def tdg(self, qubit: int) -> "Circuit":
+        """Append an inverse T gate."""
+        return self.append(Gate.tdg(qubit))
+
+    def cnot(self, control: int, target: int) -> "Circuit":
+        """Append a CNOT gate."""
+        return self.append(Gate.cnot(control, target))
+
+    def cz(self, qubit_a: int, qubit_b: int) -> "Circuit":
+        """Append a CZ gate."""
+        return self.append(Gate.cz(qubit_a, qubit_b))
+
+    def swap(self, qubit_a: int, qubit_b: int) -> "Circuit":
+        """Append a SWAP gate."""
+        return self.append(Gate.swap(qubit_a, qubit_b))
+
+    def toffoli(self, control_a: int, control_b: int, target: int) -> "Circuit":
+        """Append a Toffoli gate."""
+        return self.append(Gate.toffoli(control_a, control_b, target))
+
+    def prepare(self, qubit: int, label: str = "") -> "Circuit":
+        """Append a |0> preparation."""
+        return self.append(Gate.prepare(qubit, label=label))
+
+    def measure(self, qubit: int, label: str = "") -> "Circuit":
+        """Append a Z-basis measurement."""
+        return self.append(Gate.measure(qubit, label=label))
+
+    def measure_x(self, qubit: int, label: str = "") -> "Circuit":
+        """Append an X-basis measurement."""
+        return self.append(Gate.measure_x(qubit, label=label))
+
+    # ------------------------------------------------------------------
+    # Composition and rewriting
+    # ------------------------------------------------------------------
+
+    def compose(self, other: "Circuit", qubit_map: dict[int, int] | None = None) -> "Circuit":
+        """Append all operations of ``other``, optionally remapping its qubits.
+
+        ``qubit_map`` maps qubit indices of ``other`` onto indices of this
+        circuit; when omitted, the identity mapping is used (so ``other`` must
+        fit inside this register).
+        """
+        for operation in other:
+            if qubit_map is not None:
+                operation = operation.remapped(qubit_map)
+            self.append(operation)
+        return self
+
+    def remapped(self, mapping: dict[int, int], num_qubits: int | None = None) -> "Circuit":
+        """A new circuit with every qubit index translated through ``mapping``."""
+        if num_qubits is None:
+            num_qubits = max(mapping.values()) + 1 if mapping else self._num_qubits
+        result = Circuit(num_qubits, name=self.name)
+        for operation in self:
+            result.append(operation.remapped(mapping))
+        return result
+
+    def copy(self) -> "Circuit":
+        """A shallow copy (operations are immutable so this is a full copy)."""
+        result = Circuit(self._num_qubits, name=self.name)
+        result._operations = list(self._operations)
+        return result
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+
+    def count_ops(self) -> Counter:
+        """Histogram of operation names."""
+        return Counter(op.name for op in self._operations)
+
+    def gate_count(self, *names: str) -> int:
+        """Total number of gates, optionally restricted to the given names."""
+        if not names:
+            return sum(1 for op in self._operations if op.kind is OpKind.GATE)
+        wanted = {name.upper() for name in names}
+        return sum(
+            1 for op in self._operations if op.kind is OpKind.GATE and op.name in wanted
+        )
+
+    def measurement_count(self) -> int:
+        """Number of measurement operations (Z and X basis)."""
+        return sum(
+            1
+            for op in self._operations
+            if op.kind in (OpKind.MEASURE, OpKind.MEASURE_X)
+        )
+
+    def two_qubit_gate_count(self) -> int:
+        """Number of gates acting on two or more qubits."""
+        return sum(
+            1
+            for op in self._operations
+            if op.kind is OpKind.GATE and op.num_qubits >= 2
+        )
+
+    def is_clifford(self) -> bool:
+        """True if every operation can run on the stabilizer simulator."""
+        return all(op.is_clifford for op in self._operations)
+
+    def depth(self) -> int:
+        """Circuit depth: number of parallel time-steps under ASAP scheduling."""
+        # Imported lazily to avoid a circular import with repro.circuits.dag.
+        from repro.circuits.dag import schedule_asap
+
+        layers = schedule_asap(self)
+        return len(layers)
+
+    def qubits_used(self) -> set[int]:
+        """The set of qubit indices touched by at least one operation."""
+        used: set[int] = set()
+        for op in self._operations:
+            used.update(op.qubits)
+        return used
+
+    # ------------------------------------------------------------------
+    # Internal
+    # ------------------------------------------------------------------
+
+    def _validate(self, operation: Operation) -> None:
+        if max(operation.qubits) >= self._num_qubits:
+            raise CircuitError(
+                f"operation {operation.name} on qubits {operation.qubits} does not fit "
+                f"in a register of {self._num_qubits} qubits"
+            )

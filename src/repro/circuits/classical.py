@@ -1,0 +1,81 @@
+"""Classical simulation of reversible (X / CNOT / Toffoli / SWAP) circuits.
+
+Quantum arithmetic circuits -- adders, modular arithmetic -- are permutations
+of the computational basis, so their functional correctness can be checked by
+propagating classical bits.  This tiny simulator does exactly that and is used
+by the test-suite to validate the adder constructions that feed the Shor
+resource model.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gate import OpKind
+from repro.exceptions import SimulationError
+
+#: Gates that map computational basis states to computational basis states.
+_CLASSICAL_GATES = {"I", "X", "CNOT", "CX", "TOFFOLI", "SWAP"}
+
+
+def simulate_classical(circuit: Circuit, input_bits: Sequence[int]) -> list[int]:
+    """Propagate classical bits through a reversible circuit.
+
+    Parameters
+    ----------
+    circuit:
+        A circuit containing only classical reversible gates (X, CNOT,
+        Toffoli, SWAP, identity) plus PREPARE operations (which force a bit to
+        0).  Measurements are allowed and leave the bit unchanged.
+    input_bits:
+        Initial bit values, one per qubit of the circuit.
+
+    Returns
+    -------
+    list[int]
+        Final bit values after the circuit.
+    """
+    if len(input_bits) != circuit.num_qubits:
+        raise SimulationError(
+            f"expected {circuit.num_qubits} input bits, got {len(input_bits)}"
+        )
+    bits = [int(b) & 1 for b in input_bits]
+    for op in circuit:
+        if op.kind is OpKind.PREPARE:
+            bits[op.qubits[0]] = 0
+            continue
+        if op.kind in (OpKind.MEASURE, OpKind.MEASURE_X):
+            continue
+        if op.name not in _CLASSICAL_GATES:
+            raise SimulationError(
+                f"gate {op.name} is not a classical reversible gate"
+            )
+        if op.name == "I":
+            continue
+        if op.name == "X":
+            bits[op.qubits[0]] ^= 1
+        elif op.name in ("CNOT", "CX"):
+            control, target = op.qubits
+            bits[target] ^= bits[control]
+        elif op.name == "TOFFOLI":
+            control_a, control_b, target = op.qubits
+            bits[target] ^= bits[control_a] & bits[control_b]
+        elif op.name == "SWAP":
+            a, b = op.qubits
+            bits[a], bits[b] = bits[b], bits[a]
+    return bits
+
+
+def bits_from_int(value: int, width: int) -> list[int]:
+    """Little-endian bit decomposition of ``value`` into ``width`` bits."""
+    if value < 0:
+        raise SimulationError("cannot decompose a negative value into bits")
+    if value >= (1 << width):
+        raise SimulationError(f"value {value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def int_from_bits(bits: Sequence[int]) -> int:
+    """Little-endian reconstruction of an integer from its bits."""
+    return sum((int(bit) & 1) << i for i, bit in enumerate(bits))

@@ -1,0 +1,201 @@
+"""Gate and operation primitives of the circuit IR.
+
+An :class:`Operation` is anything that appears in a circuit: a unitary gate, a
+qubit preparation, or a measurement.  Gates carry only a name and the qubits
+they act on; physical durations and failure rates are attached later by the
+architecture layer (:mod:`repro.iontrap` and :mod:`repro.arq`), keeping the
+logical circuit independent of the technology -- the same separation the paper
+draws between the circuit model and the QLA layout.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.exceptions import CircuitError
+
+#: Gates the stabilizer simulator can execute directly.
+CLIFFORD_GATES: frozenset[str] = frozenset(
+    {"I", "X", "Y", "Z", "H", "S", "SDG", "CNOT", "CX", "CZ", "SWAP"}
+)
+
+#: Gates understood by the IR.  Non-Clifford gates (T, TOFFOLI) may appear in
+#: application circuits; they are handled by decomposition or by the analytic
+#: resource models rather than by direct stabilizer simulation.
+KNOWN_GATES: frozenset[str] = CLIFFORD_GATES | frozenset({"T", "TDG", "TOFFOLI", "CCZ"})
+
+_GATE_ARITY: dict[str, int] = {
+    "I": 1,
+    "X": 1,
+    "Y": 1,
+    "Z": 1,
+    "H": 1,
+    "S": 1,
+    "SDG": 1,
+    "T": 1,
+    "TDG": 1,
+    "CNOT": 2,
+    "CX": 2,
+    "CZ": 2,
+    "SWAP": 2,
+    "TOFFOLI": 3,
+    "CCZ": 3,
+}
+
+
+class OpKind(enum.Enum):
+    """Kind of circuit operation."""
+
+    GATE = "gate"
+    PREPARE = "prepare"
+    MEASURE = "measure"
+    MEASURE_X = "measure_x"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A single circuit operation.
+
+    Attributes
+    ----------
+    kind:
+        Whether this is a gate, a preparation or a measurement.
+    name:
+        Gate name for :attr:`OpKind.GATE` operations; a fixed label otherwise.
+    qubits:
+        Qubit indices the operation touches, in gate-argument order
+        (control(s) first for controlled gates).
+    label:
+        Optional free-form annotation (e.g. which logical block a physical
+        operation belongs to); ignored by simulation.
+    """
+
+    kind: OpKind
+    name: str
+    qubits: tuple[int, ...]
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.qubits) == 0:
+            raise CircuitError("an operation must act on at least one qubit")
+        if len(set(self.qubits)) != len(self.qubits):
+            raise CircuitError(f"operation {self.name} has repeated qubits {self.qubits}")
+        if any(q < 0 for q in self.qubits):
+            raise CircuitError(f"operation {self.name} has negative qubit index")
+        if self.kind is OpKind.GATE:
+            if self.name not in KNOWN_GATES:
+                raise CircuitError(f"unknown gate name {self.name!r}")
+            expected = _GATE_ARITY[self.name]
+            if len(self.qubits) != expected:
+                raise CircuitError(
+                    f"gate {self.name} expects {expected} qubit(s), got {len(self.qubits)}"
+                )
+
+    @property
+    def is_clifford(self) -> bool:
+        """True if the operation can run directly on the stabilizer simulator."""
+        if self.kind is not OpKind.GATE:
+            return True
+        return self.name in CLIFFORD_GATES
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the operation touches."""
+        return len(self.qubits)
+
+    def shifted(self, offset: int) -> "Operation":
+        """A copy of the operation with all qubit indices shifted by ``offset``."""
+        return Operation(
+            kind=self.kind,
+            name=self.name,
+            qubits=tuple(q + offset for q in self.qubits),
+            label=self.label,
+        )
+
+    def remapped(self, mapping: dict[int, int]) -> "Operation":
+        """A copy with qubit indices translated through ``mapping``."""
+        try:
+            new_qubits = tuple(mapping[q] for q in self.qubits)
+        except KeyError as exc:
+            raise CircuitError(f"qubit {exc.args[0]} missing from remapping") from exc
+        return Operation(kind=self.kind, name=self.name, qubits=new_qubits, label=self.label)
+
+
+class Gate:
+    """Convenience constructors for common operations."""
+
+    @staticmethod
+    def gate(name: str, *qubits: int, label: str = "") -> Operation:
+        """A named unitary gate on the given qubits."""
+        return Operation(kind=OpKind.GATE, name=name.upper(), qubits=tuple(qubits), label=label)
+
+    @staticmethod
+    def h(qubit: int) -> Operation:
+        """Hadamard gate."""
+        return Gate.gate("H", qubit)
+
+    @staticmethod
+    def x(qubit: int) -> Operation:
+        """Pauli X gate."""
+        return Gate.gate("X", qubit)
+
+    @staticmethod
+    def y(qubit: int) -> Operation:
+        """Pauli Y gate."""
+        return Gate.gate("Y", qubit)
+
+    @staticmethod
+    def z(qubit: int) -> Operation:
+        """Pauli Z gate."""
+        return Gate.gate("Z", qubit)
+
+    @staticmethod
+    def s(qubit: int) -> Operation:
+        """Phase gate S."""
+        return Gate.gate("S", qubit)
+
+    @staticmethod
+    def t(qubit: int) -> Operation:
+        """T gate (non-Clifford)."""
+        return Gate.gate("T", qubit)
+
+    @staticmethod
+    def tdg(qubit: int) -> Operation:
+        """Inverse T gate (non-Clifford)."""
+        return Gate.gate("TDG", qubit)
+
+    @staticmethod
+    def cnot(control: int, target: int) -> Operation:
+        """Controlled-NOT gate."""
+        return Gate.gate("CNOT", control, target)
+
+    @staticmethod
+    def cz(qubit_a: int, qubit_b: int) -> Operation:
+        """Controlled-Z gate."""
+        return Gate.gate("CZ", qubit_a, qubit_b)
+
+    @staticmethod
+    def swap(qubit_a: int, qubit_b: int) -> Operation:
+        """SWAP gate."""
+        return Gate.gate("SWAP", qubit_a, qubit_b)
+
+    @staticmethod
+    def toffoli(control_a: int, control_b: int, target: int) -> Operation:
+        """Toffoli (controlled-controlled-NOT) gate."""
+        return Gate.gate("TOFFOLI", control_a, control_b, target)
+
+    @staticmethod
+    def prepare(qubit: int, label: str = "") -> Operation:
+        """Preparation of a qubit in |0>."""
+        return Operation(kind=OpKind.PREPARE, name="PREPARE", qubits=(qubit,), label=label)
+
+    @staticmethod
+    def measure(qubit: int, label: str = "") -> Operation:
+        """Z-basis measurement of a qubit."""
+        return Operation(kind=OpKind.MEASURE, name="MEASURE", qubits=(qubit,), label=label)
+
+    @staticmethod
+    def measure_x(qubit: int, label: str = "") -> Operation:
+        """X-basis measurement of a qubit."""
+        return Operation(kind=OpKind.MEASURE_X, name="MEASURE_X", qubits=(qubit,), label=label)

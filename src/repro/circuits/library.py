@@ -1,0 +1,108 @@
+"""Library of standard small circuits used throughout the architecture.
+
+These are the communication and verification primitives of the QLA:
+
+* Bell/EPR pair preparation (the raw resource of the teleportation
+  interconnect, Section 4.2),
+* GHZ / cat states (used for ancilla verification in fault-tolerant
+  syndrome extraction),
+* the standard two-classical-bit teleportation circuit (Figure 8's protocol
+  expressed at the circuit level).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Circuit
+from repro.exceptions import CircuitError
+
+
+def bell_pair_circuit(qubit_a: int = 0, qubit_b: int = 1, num_qubits: int | None = None) -> Circuit:
+    """Prepare the EPR state (|00> + |11>)/sqrt(2) on two qubits.
+
+    Parameters
+    ----------
+    qubit_a, qubit_b:
+        The two qubits to entangle.
+    num_qubits:
+        Register size; defaults to the smallest register containing both qubits.
+    """
+    if qubit_a == qubit_b:
+        raise CircuitError("an EPR pair needs two distinct qubits")
+    size = num_qubits if num_qubits is not None else max(qubit_a, qubit_b) + 1
+    circuit = Circuit(size, name="bell_pair")
+    circuit.prepare(qubit_a)
+    circuit.prepare(qubit_b)
+    circuit.h(qubit_a)
+    circuit.cnot(qubit_a, qubit_b)
+    return circuit
+
+
+def ghz_circuit(num_qubits: int) -> Circuit:
+    """Prepare an n-qubit GHZ state (|0...0> + |1...1>)/sqrt(2)."""
+    if num_qubits < 2:
+        raise CircuitError("a GHZ state needs at least two qubits")
+    circuit = Circuit(num_qubits, name=f"ghz_{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.prepare(qubit)
+    circuit.h(0)
+    for qubit in range(1, num_qubits):
+        circuit.cnot(qubit - 1, qubit)
+    return circuit
+
+
+def cat_state_circuit(num_qubits: int, verify: bool = True) -> Circuit:
+    """Prepare a cat (GHZ) state with an optional parity-verification qubit.
+
+    Fault-tolerant syndrome extraction uses verified cat states so that a
+    single preparation error cannot propagate into the data block.  When
+    ``verify`` is True the returned circuit uses one extra qubit that checks
+    the parity of the first and last cat qubits and is then measured.
+    """
+    if num_qubits < 2:
+        raise CircuitError("a cat state needs at least two qubits")
+    total = num_qubits + (1 if verify else 0)
+    circuit = Circuit(total, name=f"cat_{num_qubits}")
+    for qubit in range(total):
+        circuit.prepare(qubit)
+    circuit.h(0)
+    for qubit in range(1, num_qubits):
+        circuit.cnot(qubit - 1, qubit)
+    if verify:
+        check = num_qubits
+        circuit.cnot(0, check)
+        circuit.cnot(num_qubits - 1, check)
+        circuit.measure(check, label="cat_verify")
+    return circuit
+
+
+def teleportation_circuit(
+    source: int = 0, epr_a: int = 1, epr_b: int = 2, num_qubits: int | None = None
+) -> Circuit:
+    """The standard single-qubit teleportation circuit.
+
+    The state of ``source`` is teleported onto ``epr_b`` using an EPR pair on
+    ``(epr_a, epr_b)``.  The conditional Pauli corrections are included as
+    classically controlled X/Z gates; in the stabilizer executor they are
+    applied unconditionally after the measurements are read out, which is how
+    the correction would be scheduled on the hardware.
+
+    Returns a circuit whose measurement labels identify the two classical bits
+    (``teleport_mz`` for the Z-basis result on ``source``'s partner and
+    ``teleport_mx`` for the X-basis result on ``source``).
+    """
+    qubits = {source, epr_a, epr_b}
+    if len(qubits) != 3:
+        raise CircuitError("teleportation needs three distinct qubits")
+    size = num_qubits if num_qubits is not None else max(qubits) + 1
+    circuit = Circuit(size, name="teleport")
+    # EPR pair preparation between the two channel endpoints.
+    circuit.prepare(epr_a)
+    circuit.prepare(epr_b)
+    circuit.h(epr_a)
+    circuit.cnot(epr_a, epr_b)
+    # Bell measurement of the source qubit against its half of the pair.
+    circuit.cnot(source, epr_a)
+    circuit.h(source)
+    circuit.measure(epr_a, label="teleport_mz")
+    circuit.measure(source, label="teleport_mx")
+    return circuit

@@ -1,0 +1,128 @@
+"""Quantum Fourier transform structure and cost model.
+
+The second (much cheaper) stage of Shor's algorithm is the quantum Fourier
+transform over the exponent register.  The paper treats it as a small additive
+term on top of the modular-exponentiation cost ("21 x 63730 + QFT"), so the
+model here provides both an explicit circuit (full QFT with controlled
+rotations, useful for structural tests) and a cost summary in logical
+time-steps, including the semiclassical (measurement-based) variant whose
+depth is linear in the register size and which a real machine would use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gate import Gate, Operation, OpKind
+from repro.exceptions import CircuitError
+
+
+@dataclass(frozen=True)
+class QftCost:
+    """Cost summary of a QFT over ``bits`` qubits.
+
+    Attributes
+    ----------
+    bits:
+        Register width.
+    rotation_count:
+        Number of (controlled-) rotation gates in the full circuit.
+    depth:
+        Critical-path length in logical time-steps of the chosen variant.
+    semiclassical:
+        Whether the cost refers to the semiclassical (measure-and-feedforward)
+        QFT, which needs no two-qubit gates and has linear depth.
+    """
+
+    bits: int
+    rotation_count: int
+    depth: int
+    semiclassical: bool
+
+
+def qft_cost(bits: int, semiclassical: bool = True, logical_steps_per_rotation: int = 1) -> QftCost:
+    """Cost of a QFT on ``bits`` qubits.
+
+    Parameters
+    ----------
+    bits:
+        Register width.
+    semiclassical:
+        If True (default, and what the Shor estimate assumes), the QFT is the
+        semiclassical version: qubits are measured one at a time and the
+        remaining rotations become classically controlled single-qubit gates,
+        giving depth linear in ``bits``.
+    logical_steps_per_rotation:
+        How many logical error-correction steps one (possibly non-transversal)
+        rotation costs; kept as a parameter because fine-angle rotations must
+        be synthesised from the fault-tolerant gate set.
+    """
+    if bits < 1:
+        raise CircuitError("QFT width must be at least 1")
+    rotation_count = bits * (bits - 1) // 2 + bits
+    if semiclassical:
+        depth = 2 * bits * logical_steps_per_rotation
+    else:
+        depth = (2 * bits - 1) * logical_steps_per_rotation
+    return QftCost(
+        bits=bits,
+        rotation_count=rotation_count,
+        depth=depth,
+        semiclassical=semiclassical,
+    )
+
+
+def qft_circuit(bits: int, approximation_degree: int | None = None) -> Circuit:
+    """The textbook QFT circuit (Hadamards plus controlled rotations).
+
+    Controlled phase rotations are represented with the generic gate name
+    ``CZ`` when the angle is pi (exact) and with non-Clifford placeholder
+    ``T``-like rotations otherwise; since the library never simulates the QFT
+    on the stabilizer backend, the circuit is used for structural analysis
+    (gate counts, depth) only.  The rotation angle is recorded in the
+    operation label as ``rz(k)`` meaning a controlled rotation by pi / 2**k.
+
+    Parameters
+    ----------
+    bits:
+        Register width.
+    approximation_degree:
+        If given, rotations smaller than pi / 2**approximation_degree are
+        dropped (the standard approximate QFT, which loses negligible fidelity
+        for degree ~ log2(bits) + 2).
+    """
+    if bits < 1:
+        raise CircuitError("QFT width must be at least 1")
+    circuit = Circuit(bits, name=f"qft_{bits}")
+    max_k = approximation_degree if approximation_degree is not None else bits
+    if max_k < 1:
+        raise CircuitError("approximation degree must be at least 1")
+    for target in range(bits):
+        circuit.h(target)
+        for offset, control in enumerate(range(target + 1, bits), start=1):
+            k = offset + 1  # rotation by pi / 2**offset on the controlled qubit
+            if offset + 1 > max_k:
+                continue
+            if offset == 1:
+                # Controlled-S; represented exactly as CZ**(1/2) -- we keep the
+                # generic controlled-phase as a labelled CZ for analysis.
+                circuit.append(Gate.gate("CZ", control, target, label=f"rz({k})"))
+            else:
+                circuit.append(Gate.gate("CZ", control, target, label=f"rz({k})"))
+    # Final bit-reversal swaps.
+    for low in range(bits // 2):
+        high = bits - 1 - low
+        if low != high:
+            circuit.swap(low, high)
+    return circuit
+
+
+def controlled_rotation_count(circuit: Circuit) -> int:
+    """Number of controlled-rotation placeholders in a QFT circuit."""
+    return sum(
+        1
+        for op in circuit
+        if op.kind is OpKind.GATE and op.name == "CZ" and op.label.startswith("rz(")
+    )

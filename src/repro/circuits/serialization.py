@@ -1,0 +1,122 @@
+"""Plain-text serialization of circuits (ARQ's circuit-description input).
+
+ARQ "takes a description of a general quantum circuit with a sequence of
+quantum gates as an input"; this module defines that description for the
+reproduction: a line-oriented text format, one operation per line,
+
+    # comment
+    qubits 7
+    prepare 0
+    h 0
+    cnot 0 1
+    toffoli 0 1 2
+    measure 2 label=syndrome_bit
+
+and the corresponding parser/writer.  The format is deliberately trivial --
+easy to generate from other tools, easy to diff, and sufficient to express
+every operation of the circuit IR.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gate import Gate, OpKind, Operation
+from repro.exceptions import CircuitError
+
+_KIND_KEYWORDS = {
+    OpKind.PREPARE: "prepare",
+    OpKind.MEASURE: "measure",
+    OpKind.MEASURE_X: "measure_x",
+}
+
+
+def circuit_to_text(circuit: Circuit) -> str:
+    """Serialise a circuit to the line-oriented text format."""
+    lines = [f"# circuit {circuit.name}" if circuit.name else "# circuit"]
+    lines.append(f"qubits {circuit.num_qubits}")
+    for operation in circuit:
+        lines.append(_operation_to_line(operation))
+    return "\n".join(lines) + "\n"
+
+
+def _operation_to_line(operation: Operation) -> str:
+    if operation.kind is OpKind.GATE:
+        keyword = operation.name.lower()
+    else:
+        keyword = _KIND_KEYWORDS[operation.kind]
+    parts = [keyword] + [str(q) for q in operation.qubits]
+    if operation.label:
+        parts.append(f"label={operation.label}")
+    return " ".join(parts)
+
+
+def circuit_from_text(text: str | Iterable[str]) -> Circuit:
+    """Parse a circuit from the text format.
+
+    Raises
+    ------
+    CircuitError
+        On malformed lines, unknown operations, missing ``qubits`` header or
+        out-of-range qubit indices.
+    """
+    lines = text.splitlines() if isinstance(text, str) else list(text)
+    circuit: Circuit | None = None
+    name = ""
+    for line_number, raw_line in enumerate(lines, start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            comment = line.lstrip("#").strip()
+            if comment.startswith("circuit "):
+                name = comment[len("circuit ") :].strip()
+            continue
+        tokens = line.split()
+        keyword = tokens[0].lower()
+        if keyword == "qubits":
+            if circuit is not None:
+                raise CircuitError(f"line {line_number}: duplicate 'qubits' declaration")
+            if len(tokens) != 2:
+                raise CircuitError(f"line {line_number}: 'qubits' expects one integer")
+            circuit = Circuit(_parse_int(tokens[1], line_number), name=name)
+            continue
+        if circuit is None:
+            raise CircuitError(
+                f"line {line_number}: operations must follow a 'qubits <n>' declaration"
+            )
+        circuit.append(_parse_operation(keyword, tokens[1:], line_number))
+    if circuit is None:
+        raise CircuitError("no 'qubits' declaration found")
+    return circuit
+
+
+def _parse_int(token: str, line_number: int) -> int:
+    try:
+        return int(token)
+    except ValueError as exc:
+        raise CircuitError(f"line {line_number}: expected an integer, got {token!r}") from exc
+
+
+def _parse_operation(keyword: str, arguments: list[str], line_number: int) -> Operation:
+    label = ""
+    qubit_tokens = []
+    for token in arguments:
+        if token.startswith("label="):
+            label = token[len("label=") :]
+        else:
+            qubit_tokens.append(token)
+    qubits = [_parse_int(token, line_number) for token in qubit_tokens]
+    if not qubits:
+        raise CircuitError(f"line {line_number}: operation {keyword!r} needs qubit indices")
+    try:
+        if keyword == "prepare":
+            return Gate.prepare(qubits[0], label=label)
+        if keyword == "measure":
+            return Gate.measure(qubits[0], label=label)
+        if keyword == "measure_x":
+            return Gate.measure_x(qubits[0], label=label)
+        return Gate.gate(keyword.upper(), *qubits, label=label)
+    except CircuitError as exc:
+        raise CircuitError(f"line {line_number}: {exc}") from exc

@@ -1,0 +1,53 @@
+"""Shared physical constants and unit helpers.
+
+The paper works in a small set of units: seconds for time, micrometres and
+"cells" for distance (one QCCD trap cell is 20 um on a side), and plain
+probabilities for failure rates.  The helpers here keep unit conversions in
+one place so the rest of the library can use explicit, readable quantities.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Time units (expressed in seconds)
+# ---------------------------------------------------------------------------
+
+SECOND: float = 1.0
+MILLISECOND: float = 1e-3
+MICROSECOND: float = 1e-6
+NANOSECOND: float = 1e-9
+
+HOUR: float = 3600.0
+DAY: float = 24.0 * HOUR
+
+# ---------------------------------------------------------------------------
+# Length units (expressed in metres)
+# ---------------------------------------------------------------------------
+
+METRE: float = 1.0
+MILLIMETRE: float = 1e-3
+MICROMETRE: float = 1e-6
+
+#: Side length of a single QCCD trap cell assumed throughout the paper
+#: (Section 2.2: "we let the trap separation be ~20 um").
+CELL_SIZE_METRES: float = 20.0 * MICROMETRE
+
+
+def cells_to_metres(cells: float) -> float:
+    """Convert a distance expressed in QCCD cells to metres."""
+    return cells * CELL_SIZE_METRES
+
+
+def metres_to_cells(metres: float) -> float:
+    """Convert a distance expressed in metres to QCCD cells."""
+    return metres / CELL_SIZE_METRES
+
+
+def seconds_to_hours(seconds: float) -> float:
+    """Convert seconds to hours."""
+    return seconds / HOUR
+
+
+def seconds_to_days(seconds: float) -> float:
+    """Convert seconds to days."""
+    return seconds / DAY

@@ -1,0 +1,27 @@
+"""The QLA machine model: the paper's primary contribution as a public API.
+
+:class:`~repro.core.machine.QLAMachine` composes the pieces the rest of the
+library provides -- the concatenated Steane logical qubit (tile geometry,
+error-correction latency, Equation 2 reliability), the teleportation
+interconnect with its repeater islands, and the EPR scheduler -- into one
+object a user can size, query and run application estimates against.
+"""
+
+from repro.core.logical_qubit import LogicalQubitModel
+from repro.core.interconnect import TeleportationInterconnect
+from repro.core.performance import ApplicationProfile, ApplicationPerformance, estimate_application
+from repro.core.machine import QLAMachine, MachineConfiguration
+from repro.core.report import format_table, format_shor_table, format_technology_table
+
+__all__ = [
+    "LogicalQubitModel",
+    "TeleportationInterconnect",
+    "ApplicationProfile",
+    "ApplicationPerformance",
+    "estimate_application",
+    "QLAMachine",
+    "MachineConfiguration",
+    "format_table",
+    "format_shor_table",
+    "format_technology_table",
+]

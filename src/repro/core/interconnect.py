@@ -1,0 +1,98 @@
+"""The teleportation interconnect of a sized QLA machine.
+
+Combines the array geometry (where the logical qubits and islands are), the
+repeater/purification connection-time model (Figure 9) and the
+error-correction cycle time into the question the paper actually cares about:
+*can a connection between two logical qubits be established within one
+error-correction window, so that communication and computation fully
+overlap?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ParameterError
+from repro.layout.qla_array import QLAArray
+from repro.teleport.channel_design import PAPER_SEPARATIONS_CELLS
+from repro.teleport.repeater import ConnectionEstimate, ConnectionTimeModel
+
+
+@dataclass(frozen=True)
+class TeleportationInterconnect:
+    """Interconnect view over a QLA array.
+
+    Parameters
+    ----------
+    array:
+        The tile array carrying logical qubits and islands.
+    connection_model:
+        The repeater/purification timing model.
+    island_separation_cells:
+        Island spacing used for connections (the scheduler experiments fix
+        this at 100 cells).
+    """
+
+    array: QLAArray
+    connection_model: ConnectionTimeModel = field(default_factory=ConnectionTimeModel)
+    island_separation_cells: int = 100
+
+    def __post_init__(self) -> None:
+        if self.island_separation_cells <= 0:
+            raise ParameterError("island separation must be positive")
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+
+    def distance_cells(self, qubit_a: int, qubit_b: int) -> int:
+        """Manhattan distance between two logical qubits in cells."""
+        return self.array.distance_cells(qubit_a, qubit_b)
+
+    def connection(self, qubit_a: int, qubit_b: int) -> ConnectionEstimate:
+        """Connection estimate (time, fidelity, hops) between two logical qubits."""
+        distance = self.distance_cells(qubit_a, qubit_b)
+        if distance == 0:
+            raise ParameterError("the two logical qubits are co-located; no connection needed")
+        return self.connection_model.estimate(distance, self.island_separation_cells)
+
+    def connection_time(self, qubit_a: int, qubit_b: int) -> float:
+        """Connection time between two logical qubits in seconds."""
+        return self.connection(qubit_a, qubit_b).connection_time_seconds
+
+    def overlaps_error_correction(
+        self, qubit_a: int, qubit_b: int, ecc_step_time: float, ecc_steps_available: int = 21
+    ) -> bool:
+        """Whether the connection fits inside the ECC work preceding a gate.
+
+        A fault-tolerant Toffoli spends about 21 error-correction steps per
+        logical operand (Section 5); communication fully overlaps computation
+        when the connection can be established within that window.
+        """
+        if ecc_step_time <= 0:
+            raise ParameterError("ECC step time must be positive")
+        if ecc_steps_available <= 0:
+            raise ParameterError("the overlap window must contain at least one ECC step")
+        return self.connection_time(qubit_a, qubit_b) <= ecc_step_time * ecc_steps_available
+
+    def worst_case_connection_time(self) -> float:
+        """Connection time across the full diagonal of the array."""
+        width = self.array.width_cells
+        height = self.array.height_cells
+        return self.connection_model.estimate(
+            width + height, self.island_separation_cells
+        ).connection_time_seconds
+
+    def best_island_separation(self, qubit_a: int, qubit_b: int) -> int:
+        """The Figure 9 optimum separation for this particular qubit pair."""
+        distance = self.distance_cells(qubit_a, qubit_b)
+        best = None
+        best_time = float("inf")
+        for separation in PAPER_SEPARATIONS_CELLS:
+            time = self.connection_model.connection_time(distance, separation)
+            if time < best_time:
+                best_time = time
+                best = separation
+        if best is None:
+            raise ParameterError("no feasible island separation for this pair")
+        return best

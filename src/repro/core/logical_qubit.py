@@ -1,0 +1,88 @@
+"""The QLA logical qubit as a single queryable model.
+
+A logical qubit of the QLA is a level-2 concatenated Steane block laid out as
+a 36 x 147-cell tile; it owns its own ancilla resources so that error
+correction never needs external help (Section 4.1's "self-contained unit"
+design decision).  :class:`LogicalQubitModel` bundles the code, the tile
+geometry, the latency model and the Equation-2 reliability model so that
+higher layers (the machine model, the Shor estimator) have a single object to
+ask about "the logical qubit".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ParameterError
+from repro.layout.tile import LogicalQubitTile, level1_block_geometry, level2_tile_geometry
+from repro.qecc.concatenation import ConcatenationModel
+from repro.qecc.latency import EccLatencyModel
+from repro.qecc.steane import SteaneCode, steane_code
+
+
+@dataclass(frozen=True)
+class LogicalQubitModel:
+    """A concatenated Steane logical qubit of the QLA.
+
+    Parameters
+    ----------
+    recursion_level:
+        Concatenation level (the paper uses 2).
+    code:
+        Base quantum error-correcting code.
+    latency:
+        Error-correction latency model.
+    reliability:
+        Equation-2 concatenation/reliability model.
+    tile:
+        Physical tile geometry; defaults to the level-appropriate geometry.
+    """
+
+    recursion_level: int = 2
+    code: SteaneCode = field(default_factory=steane_code)
+    latency: EccLatencyModel = field(default_factory=EccLatencyModel)
+    reliability: ConcatenationModel = field(default_factory=ConcatenationModel)
+    tile: LogicalQubitTile | None = None
+
+    def __post_init__(self) -> None:
+        if self.recursion_level < 1:
+            raise ParameterError("a QLA logical qubit is encoded at level 1 or higher")
+        if self.tile is None:
+            default_tile = (
+                level2_tile_geometry() if self.recursion_level >= 2 else level1_block_geometry()
+            )
+            object.__setattr__(self, "tile", default_tile)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def data_ions(self) -> int:
+        """Physical data ions per logical qubit (7^L for the Steane code)."""
+        return self.code.num_physical_qubits**self.recursion_level
+
+    @property
+    def total_ions(self) -> int:
+        """All ions in the tile, including ancilla and cooling ions."""
+        return self.tile.total_ions
+
+    def ecc_step_time(self) -> float:
+        """Duration of one error-correction step at the qubit's level (seconds)."""
+        return self.latency.ecc_time(self.recursion_level)
+
+    def logical_gate_time(self, two_qubit: bool = False) -> float:
+        """Duration of one transversal logical gate followed by error correction."""
+        return self.latency.logical_gate_time(self.recursion_level, two_qubit=two_qubit)
+
+    def failure_rate(self, physical_failure_rate: float | None = None) -> float:
+        """Equation-2 logical failure rate per error-correction step."""
+        return self.reliability.failure_rate(self.recursion_level, physical_failure_rate)
+
+    def supported_computation_size(self, physical_failure_rate: float | None = None) -> float:
+        """Largest computation ``S = K * Q`` this qubit's reliability supports."""
+        return self.reliability.achievable_size(self.recursion_level, physical_failure_rate)
+
+    def area_square_metres(self) -> float:
+        """Tile footprint (including channel share) in square metres."""
+        return self.tile.footprint_square_metres

@@ -1,0 +1,225 @@
+"""The QLA machine: a sized instance of the architecture.
+
+:class:`QLAMachine` is the library's top-level object.  Given a configuration
+(number of logical qubits, recursion level, technology parameters, channel
+bandwidth) it instantiates the logical-qubit model, lays the tiles out on the
+substrate, builds the teleportation interconnect and exposes the questions the
+paper answers: how big is the chip, how long is an error-correction step, is
+the recursion level sufficient for a target application, does communication
+overlap computation, and what does running Shor's algorithm cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.shor import ShorResourceEstimate, ShorResourceModel
+from repro.core.interconnect import TeleportationInterconnect
+from repro.core.logical_qubit import LogicalQubitModel
+from repro.core.performance import ApplicationPerformance, ApplicationProfile, estimate_application
+from repro.exceptions import ParameterError
+from repro.iontrap.parameters import IonTrapParameters, EXPECTED_PARAMETERS
+from repro.layout.area import ChipAreaModel
+from repro.layout.qla_array import QLAArray, build_qla_array
+from repro.network.metrics import ScheduleMetrics, compute_metrics
+from repro.network.scheduler import GreedyEprScheduler
+from repro.network.topology import InterconnectTopology
+from repro.network.traffic import ToffoliTrafficGenerator
+from repro.qecc.concatenation import ConcatenationModel
+from repro.qecc.latency import EccLatencyModel
+from repro.teleport.repeater import ConnectionTimeModel
+
+
+@dataclass(frozen=True)
+class MachineConfiguration:
+    """Sizing and technology choices of a QLA instance.
+
+    Attributes
+    ----------
+    num_logical_qubits:
+        Logical qubits on the chip.
+    recursion_level:
+        Concatenation level of every logical qubit (2 in the paper).
+    channel_bandwidth:
+        Physical channels per direction between neighbouring tiles.
+    island_separation_cells:
+        Teleportation-island spacing used by the interconnect.
+    parameters:
+        Ion-trap technology parameters.
+    """
+
+    num_logical_qubits: int = 1024
+    recursion_level: int = 2
+    channel_bandwidth: int = 2
+    island_separation_cells: int = 100
+    parameters: IonTrapParameters = EXPECTED_PARAMETERS
+
+    def __post_init__(self) -> None:
+        if self.num_logical_qubits <= 0:
+            raise ParameterError("a machine needs at least one logical qubit")
+        if self.recursion_level < 1:
+            raise ParameterError("recursion level must be at least 1")
+        if self.channel_bandwidth < 1:
+            raise ParameterError("channel bandwidth must be at least 1")
+        if self.island_separation_cells <= 0:
+            raise ParameterError("island separation must be positive")
+
+
+class QLAMachine:
+    """A sized Quantum Logic Array.
+
+    Parameters
+    ----------
+    configuration:
+        Machine sizing and technology configuration.
+    """
+
+    def __init__(self, configuration: MachineConfiguration | None = None) -> None:
+        self._config = configuration if configuration is not None else MachineConfiguration()
+        params = self._config.parameters
+        self._latency = EccLatencyModel(parameters=params)
+        self._reliability = ConcatenationModel(
+            physical_failure_rate=params.average_component_failure
+        )
+        self._logical_qubit = LogicalQubitModel(
+            recursion_level=self._config.recursion_level,
+            latency=self._latency,
+            reliability=self._reliability,
+        )
+        self._array: QLAArray = build_qla_array(
+            self._config.num_logical_qubits,
+            tile=self._logical_qubit.tile,
+            island_spacing_cells=self._config.island_separation_cells,
+        )
+        self._interconnect = TeleportationInterconnect(
+            array=self._array,
+            connection_model=ConnectionTimeModel(),
+            island_separation_cells=self._config.island_separation_cells,
+        )
+        self._area_model = ChipAreaModel(tile=self._logical_qubit.tile)
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+
+    @property
+    def configuration(self) -> MachineConfiguration:
+        """The machine's configuration."""
+        return self._config
+
+    @property
+    def logical_qubit(self) -> LogicalQubitModel:
+        """The logical-qubit design shared by every tile."""
+        return self._logical_qubit
+
+    @property
+    def array(self) -> QLAArray:
+        """The physical tile array."""
+        return self._array
+
+    @property
+    def interconnect(self) -> TeleportationInterconnect:
+        """The teleportation interconnect."""
+        return self._interconnect
+
+    @property
+    def latency_model(self) -> EccLatencyModel:
+        """The error-correction latency model."""
+        return self._latency
+
+    # ------------------------------------------------------------------
+    # Machine-level quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def num_logical_qubits(self) -> int:
+        """Logical qubits on the chip."""
+        return self._config.num_logical_qubits
+
+    def total_physical_ions(self) -> int:
+        """Total trapped ions on the chip (data + ancilla + cooling)."""
+        return self._array.total_physical_ions()
+
+    def chip_area_square_metres(self) -> float:
+        """Chip area of the tile array."""
+        return self._area_model.chip_area(self.num_logical_qubits)
+
+    def ecc_step_time(self) -> float:
+        """Duration of one logical error-correction step (seconds)."""
+        return self._logical_qubit.ecc_step_time()
+
+    def logical_failure_rate(self) -> float:
+        """Equation-2 logical failure rate per step at the machine's level."""
+        return self._logical_qubit.failure_rate()
+
+    def supported_computation_size(self) -> float:
+        """Largest computation ``S = K * Q`` the reliability supports."""
+        return self._logical_qubit.supported_computation_size()
+
+    # ------------------------------------------------------------------
+    # Application estimation
+    # ------------------------------------------------------------------
+
+    def estimate_application(self, profile: ApplicationProfile) -> ApplicationPerformance:
+        """Estimate an arbitrary application on this machine's logical qubit."""
+        return estimate_application(profile, self._logical_qubit)
+
+    def estimate_shor(self, bits: int, use_paper_ecc_time: bool = False) -> ShorResourceEstimate:
+        """Estimate Shor's algorithm for an ``N``-bit modulus (Table 2 rows).
+
+        Parameters
+        ----------
+        bits:
+            Modulus width.
+        use_paper_ecc_time:
+            If True, charge the paper's 0.043 s per level-2 error-correction
+            step instead of the value derived from this machine's latency
+            model (useful for isolating resource counts from the latency
+            calibration).
+        """
+        model = ShorResourceModel(
+            latency=self._latency,
+            recursion_level=self._config.recursion_level,
+            ecc_time_override_seconds=0.043 if use_paper_ecc_time else None,
+        )
+        return model.estimate(bits)
+
+    # ------------------------------------------------------------------
+    # Communication studies
+    # ------------------------------------------------------------------
+
+    def communication_overlaps(self, qubit_a: int, qubit_b: int) -> bool:
+        """Whether establishing a connection between two qubits hides behind ECC."""
+        return self._interconnect.overlaps_error_correction(
+            qubit_a, qubit_b, self.ecc_step_time()
+        )
+
+    def run_scheduling_study(
+        self,
+        array_rows: int = 8,
+        array_columns: int = 8,
+        toffolis_per_window: int = 48,
+        windows: int = 20,
+        seed: int = 2005,
+    ) -> ScheduleMetrics:
+        """Run the Section 5 scheduling experiment on a sub-array of the machine.
+
+        The experiment schedules the EPR traffic of a Toffoli workload on an
+        ``array_rows x array_columns`` region with this machine's channel
+        bandwidth and reports overlap and utilisation metrics.
+        """
+        topology = InterconnectTopology(
+            rows=array_rows,
+            columns=array_columns,
+            bandwidth=self._config.channel_bandwidth,
+            tile=self._logical_qubit.tile,
+        )
+        traffic = ToffoliTrafficGenerator(
+            topology,
+            toffolis_per_window=toffolis_per_window,
+            windows=windows,
+            seed=seed,
+        )
+        scheduler = GreedyEprScheduler(topology)
+        result = scheduler.schedule(traffic.generate())
+        return compute_metrics(result, topology)

@@ -1,0 +1,124 @@
+"""Generic application performance estimation on the QLA.
+
+The Shor model in :mod:`repro.apps.shor` is the paper's worked example; this
+module provides the generic form: any application characterised by its logical
+qubit count, its Toffoli count and its additional logical time-steps can be
+turned into a wall-clock/area/reliability estimate against a given logical
+qubit design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.toffoli import FaultTolerantToffoliCost, fault_tolerant_toffoli_cost
+from repro.constants import seconds_to_days, seconds_to_hours
+from repro.core.logical_qubit import LogicalQubitModel
+from repro.exceptions import ParameterError
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """Architecture-independent description of a quantum application.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name ("shor-128", "grover-40", ...).
+    logical_qubits:
+        Number of logical qubits the application needs simultaneously.
+    toffoli_count:
+        Toffoli gates on the critical path.
+    extra_logical_steps:
+        Additional logical time-steps not inside Toffoli gates (e.g. the QFT).
+    repetitions:
+        Expected number of end-to-end repetitions until success.
+    """
+
+    name: str
+    logical_qubits: int
+    toffoli_count: int
+    extra_logical_steps: int = 0
+    repetitions: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.logical_qubits <= 0:
+            raise ParameterError("an application needs at least one logical qubit")
+        if self.toffoli_count < 0 or self.extra_logical_steps < 0:
+            raise ParameterError("gate counts cannot be negative")
+        if self.repetitions < 1.0:
+            raise ParameterError("repetitions cannot be below one")
+
+
+@dataclass(frozen=True)
+class ApplicationPerformance:
+    """Performance of an application on a specific QLA configuration.
+
+    Attributes
+    ----------
+    profile:
+        The application being estimated.
+    ecc_steps:
+        Logical error-correction steps on the critical path.
+    execution_time_seconds:
+        Single-run wall-clock time.
+    expected_time_seconds:
+        Repetition-weighted wall-clock time.
+    chip_area_square_metres:
+        Area of the tile array hosting the application's logical qubits.
+    computation_size:
+        ``S = K * Q``, compared against the reliability budget.
+    reliability_margin:
+        Ratio of the supported computation size to the required one; values
+        above 1 mean the recursion level is sufficient (Section 4.1.2's
+        criterion).
+    """
+
+    profile: ApplicationProfile
+    ecc_steps: int
+    execution_time_seconds: float
+    expected_time_seconds: float
+    chip_area_square_metres: float
+    computation_size: float
+    reliability_margin: float
+
+    @property
+    def execution_time_hours(self) -> float:
+        """Single-run time in hours."""
+        return seconds_to_hours(self.execution_time_seconds)
+
+    @property
+    def expected_time_days(self) -> float:
+        """Expected time in days."""
+        return seconds_to_days(self.expected_time_seconds)
+
+    @property
+    def is_feasible(self) -> bool:
+        """True when the logical qubit's reliability covers the computation size."""
+        return self.reliability_margin >= 1.0
+
+
+def estimate_application(
+    profile: ApplicationProfile,
+    logical_qubit: LogicalQubitModel,
+    toffoli_cost: FaultTolerantToffoliCost | None = None,
+) -> ApplicationPerformance:
+    """Estimate an application's performance on a given logical-qubit design."""
+    cost = toffoli_cost if toffoli_cost is not None else fault_tolerant_toffoli_cost()
+    ecc_steps = profile.toffoli_count * cost.ecc_steps + profile.extra_logical_steps
+    step_time = logical_qubit.ecc_step_time()
+    execution = ecc_steps * step_time
+    expected = execution * profile.repetitions
+    area = profile.logical_qubits * logical_qubit.area_square_metres()
+    size = float(ecc_steps) * float(profile.logical_qubits)
+    supported = logical_qubit.supported_computation_size()
+    margin = supported / size if size > 0 else float("inf")
+    return ApplicationPerformance(
+        profile=profile,
+        ecc_steps=ecc_steps,
+        execution_time_seconds=execution,
+        expected_time_seconds=expected,
+        chip_area_square_metres=area,
+        computation_size=size,
+        reliability_margin=margin,
+    )

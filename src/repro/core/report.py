@@ -1,0 +1,78 @@
+"""Plain-text report formatting for tables and figure data.
+
+The benchmark harness regenerates the paper's tables and figures as text; the
+helpers here render lists of row dictionaries into aligned tables so every
+benchmark and example prints comparable, readable output without pulling in a
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.apps.shor import table2_rows
+from repro.iontrap.parameters import technology_table
+
+
+def _format_value(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None) -> str:
+    """Render a list of row mappings as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        The data; every row is a mapping from column name to value.
+    columns:
+        Column order; defaults to the keys of the first row.
+    """
+    if not rows:
+        return "(empty table)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [[_format_value(row.get(col)) for col in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(cols)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(cols))
+    separator = "  ".join("-" * widths[i] for i in range(len(cols)))
+    body = "\n".join(
+        "  ".join(r[i].rjust(widths[i]) for i in range(len(cols))) for r in rendered
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+def format_shor_table(bit_sizes: tuple[int, ...] = (128, 512, 1024, 2048)) -> str:
+    """Table 2 (reproduction vs paper) as text."""
+    rows = table2_rows(bit_sizes)
+    columns = [
+        "bits",
+        "logical_qubits",
+        "paper_logical_qubits",
+        "toffoli_gates",
+        "paper_toffoli_gates",
+        "total_gates",
+        "paper_total_gates",
+        "area_m2",
+        "paper_area_m2",
+        "time_days",
+        "paper_time_days",
+    ]
+    present = [c for c in columns if any(c in row for row in rows)]
+    return format_table(rows, present)
+
+
+def format_technology_table() -> str:
+    """Table 1 (operation times and failure rates) as text."""
+    return format_table(technology_table())

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the QLA reproduction library.
+
+All library-specific errors derive from :class:`QLAError` so callers can
+catch any library failure with a single ``except`` clause while still being
+able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class QLAError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class CircuitError(QLAError):
+    """Raised for malformed circuits or gates (bad qubit indices, arity, ...)."""
+
+
+class SimulationError(QLAError):
+    """Raised when a stabilizer simulation cannot be carried out.
+
+    Typical causes are non-Clifford gates submitted to the tableau simulator
+    or measurement requests for qubits outside the register.
+    """
+
+
+class CodeError(QLAError):
+    """Raised for invalid quantum error-correcting code definitions."""
+
+
+class DecodingError(QLAError):
+    """Raised when a syndrome cannot be decoded to a correction."""
+
+
+class LayoutError(QLAError):
+    """Raised for inconsistent physical layouts (overlaps, out-of-bounds cells)."""
+
+
+class SchedulingError(QLAError):
+    """Raised when the EPR scheduler cannot produce a feasible schedule."""
+
+
+class RoutingError(QLAError):
+    """Raised when no route exists between two endpoints of the interconnect."""
+
+
+class ParameterError(QLAError):
+    """Raised for invalid technology or model parameters."""

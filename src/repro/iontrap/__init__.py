@@ -1,0 +1,46 @@
+"""Trapped-ion QCCD substrate model.
+
+The QLA is built on the quantum charge-coupled device (QCCD) ion-trap model of
+Kielpinski, Monroe and Wineland: ions sit in segmented traps on a 2-D grid of
+20 um cells and are ballistically shuttled between cells to interact.  This
+package models that substrate:
+
+* :mod:`repro.iontrap.parameters` -- the technology table (Table 1) with
+  current and expected operation times and failure rates,
+* :mod:`repro.iontrap.operations` -- the physical operation set and its
+  per-operation timing/failure lookup,
+* :mod:`repro.iontrap.grid` -- the 2-D cell grid (trap, channel, empty cells)
+  and ion placement,
+* :mod:`repro.iontrap.ions` -- data and sympathetic-cooling ions,
+* :mod:`repro.iontrap.movement` -- ballistic-channel latency and bandwidth
+  (split cost, per-cell hop cost, corner turns, pipelining).
+"""
+
+from repro.iontrap.parameters import (
+    IonTrapParameters,
+    CURRENT_PARAMETERS,
+    EXPECTED_PARAMETERS,
+    technology_table,
+)
+from repro.iontrap.operations import PhysicalOperation, PhysicalOperationType, OperationCatalog
+from repro.iontrap.grid import CellType, QCCDGrid
+from repro.iontrap.ions import Ion, IonRole
+from repro.iontrap.movement import BallisticChannel, MovementPlan, movement_time, movement_failure_probability
+
+__all__ = [
+    "IonTrapParameters",
+    "CURRENT_PARAMETERS",
+    "EXPECTED_PARAMETERS",
+    "technology_table",
+    "PhysicalOperation",
+    "PhysicalOperationType",
+    "OperationCatalog",
+    "CellType",
+    "QCCDGrid",
+    "Ion",
+    "IonRole",
+    "BallisticChannel",
+    "MovementPlan",
+    "movement_time",
+    "movement_failure_probability",
+]

@@ -1,0 +1,177 @@
+"""The 2-D QCCD cell grid.
+
+The paper abstracts the QCCD as "a 2-D grid of identical cells ... cells can
+contain an ion, electrode, or just be empty to allow a ballistic channel for
+shuttling ions around".  :class:`QCCDGrid` models that abstraction: a
+rectangular array of typed cells with ion occupancy, plus Manhattan routing
+helpers (path length and corner counting) used by the movement model.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.exceptions import LayoutError
+from repro.iontrap.ions import Ion
+
+
+class CellType(enum.Enum):
+    """What a grid cell is used for."""
+
+    EMPTY = 0
+    TRAP = 1
+    CHANNEL = 2
+    ELECTRODE = 3
+
+
+class QCCDGrid:
+    """A rectangular grid of QCCD cells with ion occupancy.
+
+    Parameters
+    ----------
+    rows, columns:
+        Grid dimensions in cells.
+    default_type:
+        Cell type the grid is initialised with.
+    """
+
+    def __init__(self, rows: int, columns: int, default_type: CellType = CellType.TRAP) -> None:
+        if rows <= 0 or columns <= 0:
+            raise LayoutError("grid dimensions must be positive")
+        self._rows = rows
+        self._columns = columns
+        self._types = np.full((rows, columns), default_type.value, dtype=np.int8)
+        self._occupancy: dict[tuple[int, int], int] = {}
+        self._ions: dict[int, Ion] = {}
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        """Number of rows."""
+        return self._rows
+
+    @property
+    def columns(self) -> int:
+        """Number of columns."""
+        return self._columns
+
+    @property
+    def num_cells(self) -> int:
+        """Total number of cells."""
+        return self._rows * self._columns
+
+    def in_bounds(self, cell: tuple[int, int]) -> bool:
+        """True if a (row, column) pair lies on the grid."""
+        row, column = cell
+        return 0 <= row < self._rows and 0 <= column < self._columns
+
+    def _check_bounds(self, cell: tuple[int, int]) -> None:
+        if not self.in_bounds(cell):
+            raise LayoutError(f"cell {cell} outside {self._rows}x{self._columns} grid")
+
+    # ------------------------------------------------------------------
+    # Cell types
+    # ------------------------------------------------------------------
+
+    def cell_type(self, cell: tuple[int, int]) -> CellType:
+        """Type of one cell."""
+        self._check_bounds(cell)
+        return CellType(int(self._types[cell]))
+
+    def set_cell_type(self, cell: tuple[int, int], cell_type: CellType) -> None:
+        """Set the type of one cell."""
+        self._check_bounds(cell)
+        self._types[cell] = cell_type.value
+
+    def mark_region(
+        self, top_left: tuple[int, int], bottom_right: tuple[int, int], cell_type: CellType
+    ) -> None:
+        """Set the type of a rectangular region (inclusive corners)."""
+        self._check_bounds(top_left)
+        self._check_bounds(bottom_right)
+        r0, c0 = top_left
+        r1, c1 = bottom_right
+        if r1 < r0 or c1 < c0:
+            raise LayoutError("bottom-right corner must not precede top-left corner")
+        self._types[r0 : r1 + 1, c0 : c1 + 1] = cell_type.value
+
+    def count_cells(self, cell_type: CellType) -> int:
+        """Number of cells of a given type."""
+        return int(np.count_nonzero(self._types == cell_type.value))
+
+    # ------------------------------------------------------------------
+    # Ion occupancy
+    # ------------------------------------------------------------------
+
+    def place_ion(self, ion: Ion, cell: tuple[int, int]) -> None:
+        """Place an ion on a cell (the cell must be unoccupied)."""
+        self._check_bounds(cell)
+        if cell in self._occupancy:
+            raise LayoutError(f"cell {cell} already holds ion {self._occupancy[cell]}")
+        if ion.ion_id in self._ions:
+            raise LayoutError(f"ion {ion.ion_id} is already on the grid")
+        ion.position = cell
+        self._occupancy[cell] = ion.ion_id
+        self._ions[ion.ion_id] = ion
+
+    def ion_at(self, cell: tuple[int, int]) -> Ion | None:
+        """The ion occupying a cell, or None."""
+        self._check_bounds(cell)
+        ion_id = self._occupancy.get(cell)
+        return self._ions.get(ion_id) if ion_id is not None else None
+
+    def ion(self, ion_id: int) -> Ion:
+        """Look an ion up by identifier."""
+        if ion_id not in self._ions:
+            raise LayoutError(f"no ion with id {ion_id} on the grid")
+        return self._ions[ion_id]
+
+    @property
+    def num_ions(self) -> int:
+        """Number of ions currently placed."""
+        return len(self._ions)
+
+    def move_ion(self, ion_id: int, destination: tuple[int, int]) -> int:
+        """Move an ion along a Manhattan path to a new cell.
+
+        Returns the number of cells traversed.  The destination must be free;
+        intermediate cells are not occupancy-checked (the movement model
+        treats channel scheduling separately).
+        """
+        self._check_bounds(destination)
+        ion = self.ion(ion_id)
+        if ion.position is None:
+            raise LayoutError(f"ion {ion_id} has no current position")
+        if destination in self._occupancy and self._occupancy[destination] != ion_id:
+            raise LayoutError(f"destination {destination} is occupied")
+        distance = self.manhattan_distance(ion.position, destination)
+        del self._occupancy[ion.position]
+        self._occupancy[destination] = ion_id
+        ion.move_to(destination, distance)
+        return distance
+
+    # ------------------------------------------------------------------
+    # Routing helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def manhattan_distance(a: tuple[int, int], b: tuple[int, int]) -> int:
+        """Cells traversed moving rectilinearly from ``a`` to ``b``."""
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    @staticmethod
+    def corner_turns(a: tuple[int, int], b: tuple[int, int]) -> int:
+        """Corner turns on an L-shaped rectilinear path from ``a`` to ``b``.
+
+        Zero when the cells share a row or column, one otherwise.  The QLA
+        layout is arranged so no single gate needs more than two turns; the
+        movement model exposes the count so that bound can be asserted.
+        """
+        if a[0] == b[0] or a[1] == b[1]:
+            return 0
+        return 1

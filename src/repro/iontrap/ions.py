@@ -1,0 +1,64 @@
+"""Ion objects: data ions and sympathetic-cooling ions.
+
+The QCCD substrate distinguishes two roles (Figure 2 of the paper): *data*
+ions store quantum information, while *cooling* ions of a second species are
+kept near the ground state and absorb the vibrational heating that data ions
+pick up when they are shuttled around.  The layout machinery places both kinds
+on the grid; the performance models charge re-cooling time whenever a data ion
+has moved.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.exceptions import LayoutError
+
+
+class IonRole(enum.Enum):
+    """What an ion is used for."""
+
+    DATA = "data"
+    COOLING = "cooling"
+    ANCILLA = "ancilla"
+    EPR = "epr"
+
+
+@dataclass
+class Ion:
+    """A single trapped ion.
+
+    Attributes
+    ----------
+    ion_id:
+        Unique identifier within its grid or register.
+    role:
+        Data, ancilla, cooling or EPR-communication ion.
+    position:
+        Current (row, column) cell on the grid, or None if not placed.
+    heating_quanta:
+        Accumulated motional quanta since the last re-cooling; purely a
+        bookkeeping quantity used by movement accounting.
+    """
+
+    ion_id: int
+    role: IonRole = IonRole.DATA
+    position: tuple[int, int] | None = None
+    heating_quanta: float = field(default=0.0)
+
+    def move_to(self, position: tuple[int, int], cells_travelled: int, heating_per_cell: float = 0.1) -> None:
+        """Record a move to a new cell, accumulating motional heating."""
+        if cells_travelled < 0:
+            raise LayoutError("cells travelled cannot be negative")
+        self.position = position
+        self.heating_quanta += heating_per_cell * cells_travelled
+
+    def cool(self) -> None:
+        """Sympathetic re-cooling: reset the accumulated heating."""
+        self.heating_quanta = 0.0
+
+    @property
+    def is_data(self) -> bool:
+        """True for data or ancilla ions (the ones carrying quantum state)."""
+        return self.role in (IonRole.DATA, IonRole.ANCILLA, IonRole.EPR)

@@ -1,0 +1,116 @@
+"""Ballistic movement: latency, failure probability and channel bandwidth.
+
+Section 2.1 of the paper gives the ballistic-channel model the QLA relies on:
+moving an ion ``D`` cells costs ``tau + T * D`` where ``tau`` is the one-off
+split cost of detaching the ion from its chain and ``T`` the per-cell transit
+time; corner turns at channel intersections cost another split; and because
+the electrode cells switch independently a channel can be pipelined, giving a
+bandwidth of roughly 100 Mqbps for 0.01 us per-cell transit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError
+from repro.iontrap.parameters import IonTrapParameters, EXPECTED_PARAMETERS
+
+
+@dataclass(frozen=True)
+class MovementPlan:
+    """A single ion relocation.
+
+    Attributes
+    ----------
+    cells:
+        Number of cells traversed.
+    corner_turns:
+        Number of channel-intersection turns on the path.
+    splits:
+        Number of chain splits (usually one to start the move; a merge at the
+        destination is charged as part of the subsequent gate).
+    recool:
+        Whether a sympathetic re-cooling step follows the move.
+    """
+
+    cells: int
+    corner_turns: int = 0
+    splits: int = 1
+    recool: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cells < 0 or self.corner_turns < 0 or self.splits < 0:
+            raise ParameterError("movement plan quantities must be non-negative")
+
+
+def movement_time(plan: MovementPlan, parameters: IonTrapParameters | None = None) -> float:
+    """Wall-clock time of a movement plan in seconds (``tau + T*D`` plus turns)."""
+    p = parameters if parameters is not None else EXPECTED_PARAMETERS
+    time = plan.splits * p.split_time
+    time += plan.cells * p.movement_time_per_cell
+    time += plan.corner_turns * p.corner_turn_time
+    if plan.recool:
+        time += p.cooling_time
+    return time
+
+
+def movement_failure_probability(
+    plan: MovementPlan, parameters: IonTrapParameters | None = None
+) -> float:
+    """Probability that the moved ion acquires an error during the plan."""
+    p = parameters if parameters is not None else EXPECTED_PARAMETERS
+    per_cell = p.movement_failure_per_cell
+    # Splits and corner turns are charged one cell-equivalent of movement error
+    # each; they are the riskiest part of shuttling (Section 2.2).
+    exposure_cells = plan.cells + plan.corner_turns + plan.splits
+    if per_cell == 0.0 or exposure_cells == 0:
+        return 0.0
+    return 1.0 - (1.0 - per_cell) ** exposure_cells
+
+
+@dataclass(frozen=True)
+class BallisticChannel:
+    """A straight ballistic transport channel of a given length.
+
+    Attributes
+    ----------
+    length_cells:
+        Channel length in cells.
+    parameters:
+        Technology parameters used for latency/bandwidth.
+    """
+
+    length_cells: int
+    parameters: IonTrapParameters = EXPECTED_PARAMETERS
+
+    def __post_init__(self) -> None:
+        if self.length_cells <= 0:
+            raise ParameterError("channel length must be positive")
+
+    def latency(self, include_split: bool = True) -> float:
+        """Time for one ion to traverse the whole channel (``tau + T*D``)."""
+        p = self.parameters
+        time = self.length_cells * p.channel_cell_transit_time
+        if include_split:
+            time += p.split_time
+        return time
+
+    def bandwidth_qubits_per_second(self) -> float:
+        """Pipelined throughput of the channel in qubits per second.
+
+        Ions can follow each other one cell apart because each electrode cell
+        is switched independently, so the steady-state rate is one qubit per
+        per-cell transit time (about 100 Mqbps at 0.01 us per cell).
+        """
+        transit = self.parameters.channel_cell_transit_time
+        if transit <= 0:
+            raise ParameterError("per-cell transit time must be positive for bandwidth")
+        return 1.0 / transit
+
+    def transfer_time(self, num_qubits: int, include_split: bool = True) -> float:
+        """Time to stream ``num_qubits`` ions through the channel, pipelined."""
+        if num_qubits <= 0:
+            raise ParameterError("number of qubits must be positive")
+        first = self.latency(include_split=include_split)
+        rest = (num_qubits - 1) * self.parameters.channel_cell_transit_time
+        return first + rest

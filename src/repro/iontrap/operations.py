@@ -1,0 +1,141 @@
+"""Physical operation catalogue for the ion-trap substrate.
+
+The ARQ executor turns logical circuits into sequences of *physical*
+operations -- laser gates, ion movements, splits, measurements, cooling -- and
+charges each one a duration and a failure probability from the technology
+table.  This module defines those operation records and the catalogue object
+that performs the lookup.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError
+from repro.iontrap.parameters import IonTrapParameters, EXPECTED_PARAMETERS
+
+
+class PhysicalOperationType(enum.Enum):
+    """Kinds of physical operations the substrate supports."""
+
+    SINGLE_GATE = "single_gate"
+    DOUBLE_GATE = "double_gate"
+    MEASURE = "measure"
+    PREPARE = "prepare"
+    MOVE = "move"
+    SPLIT = "split"
+    CORNER_TURN = "corner_turn"
+    COOL = "cool"
+    IDLE = "idle"
+
+
+@dataclass(frozen=True)
+class PhysicalOperation:
+    """One physical operation on specific ions.
+
+    Attributes
+    ----------
+    kind:
+        Operation type.
+    ions:
+        Identifiers of the ions involved (indices into whatever register the
+        caller is using).
+    cells:
+        For MOVE operations, the number of cells traversed; ignored otherwise.
+    duration_seconds:
+        For IDLE operations, how long the ion waits; ignored otherwise.
+    label:
+        Optional annotation carried through to execution traces.
+    """
+
+    kind: PhysicalOperationType
+    ions: tuple[int, ...]
+    cells: int = 0
+    duration_seconds: float = 0.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.ions:
+            raise ParameterError("a physical operation must involve at least one ion")
+        if self.kind is PhysicalOperationType.MOVE and self.cells < 0:
+            raise ParameterError("movement distance cannot be negative")
+        if self.kind is PhysicalOperationType.IDLE and self.duration_seconds < 0:
+            raise ParameterError("idle duration cannot be negative")
+
+
+class OperationCatalog:
+    """Duration and failure-probability lookup for physical operations.
+
+    Parameters
+    ----------
+    parameters:
+        The technology parameter set to charge operations against; defaults to
+        the paper's expected (roadmap) parameters.
+    """
+
+    def __init__(self, parameters: IonTrapParameters | None = None) -> None:
+        self._parameters = parameters if parameters is not None else EXPECTED_PARAMETERS
+
+    @property
+    def parameters(self) -> IonTrapParameters:
+        """The underlying technology parameters."""
+        return self._parameters
+
+    def duration(self, operation: PhysicalOperation) -> float:
+        """Wall-clock duration of a physical operation in seconds."""
+        p = self._parameters
+        kind = operation.kind
+        if kind is PhysicalOperationType.SINGLE_GATE:
+            return p.single_gate_time
+        if kind is PhysicalOperationType.DOUBLE_GATE:
+            return p.double_gate_time
+        if kind is PhysicalOperationType.MEASURE:
+            return p.measure_time
+        if kind is PhysicalOperationType.PREPARE:
+            # Preparation is modelled as an optical-pumping step of the same
+            # duration as a measurement (the slowest laser-driven primitive).
+            return p.measure_time
+        if kind is PhysicalOperationType.MOVE:
+            return operation.cells * p.movement_time_per_cell
+        if kind is PhysicalOperationType.SPLIT:
+            return p.split_time
+        if kind is PhysicalOperationType.CORNER_TURN:
+            return p.corner_turn_time
+        if kind is PhysicalOperationType.COOL:
+            return p.cooling_time
+        if kind is PhysicalOperationType.IDLE:
+            return operation.duration_seconds
+        raise ParameterError(f"unknown physical operation kind {kind}")
+
+    def failure_probability(self, operation: PhysicalOperation) -> float:
+        """Failure probability charged to a physical operation."""
+        p = self._parameters
+        kind = operation.kind
+        if kind is PhysicalOperationType.SINGLE_GATE:
+            return p.single_gate_failure
+        if kind is PhysicalOperationType.DOUBLE_GATE:
+            return p.double_gate_failure
+        if kind is PhysicalOperationType.MEASURE:
+            return p.measure_failure
+        if kind is PhysicalOperationType.PREPARE:
+            return p.measure_failure
+        if kind is PhysicalOperationType.MOVE:
+            per_cell = p.movement_failure_per_cell
+            if operation.cells == 0 or per_cell == 0.0:
+                return 0.0
+            return 1.0 - (1.0 - per_cell) ** operation.cells
+        if kind in (
+            PhysicalOperationType.SPLIT,
+            PhysicalOperationType.CORNER_TURN,
+            PhysicalOperationType.COOL,
+        ):
+            # Splits, corner turns and re-cooling are charged the per-cell
+            # movement failure rate: they are movement-class manipulations.
+            return p.movement_failure_per_cell
+        if kind is PhysicalOperationType.IDLE:
+            rate = p.memory_failure_per_second
+            if rate == 0.0 or operation.duration_seconds == 0.0:
+                return 0.0
+            return 1.0 - (1.0 - rate) ** operation.duration_seconds
+        raise ParameterError(f"unknown physical operation kind {kind}")

@@ -1,0 +1,30 @@
+"""Physical layout of the QLA: tiles, array placement and chip area.
+
+The QLA arranges level-2 logical qubits as identical rectangular tiles on the
+QCCD substrate, separated by ballistic channels that carry EPR pairs and host
+the teleportation islands (Figures 1, 4 and 5 of the paper).  This package
+computes the tile geometry (36 x 147 cells at level 2), the array placement of
+logical qubits and islands, and the resulting chip area (the area column of
+Table 2).
+"""
+
+from repro.layout.tile import LogicalQubitTile, level1_block_geometry, level2_tile_geometry
+from repro.layout.qla_array import QLAArray, IslandPlacement
+from repro.layout.area import ChipAreaModel, chip_area_square_metres
+from repro.layout.placement import Placement, grid_placement
+from repro.layout.multichip import ChipAssignment, MultiChipPartition, YieldModel
+
+__all__ = [
+    "LogicalQubitTile",
+    "level1_block_geometry",
+    "level2_tile_geometry",
+    "QLAArray",
+    "IslandPlacement",
+    "ChipAreaModel",
+    "chip_area_square_metres",
+    "Placement",
+    "grid_placement",
+    "ChipAssignment",
+    "MultiChipPartition",
+    "YieldModel",
+]

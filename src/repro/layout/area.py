@@ -1,0 +1,81 @@
+"""Chip area model (the area column of Table 2).
+
+The paper computes the QLA chip area from the number of logical qubits and the
+tile footprint: each logical qubit occupies a 36 x 147-cell tile plus 11 and
+12 cells of channel in the two directions, with every cell 20 um on a side.
+For Shor-128 this gives roughly 0.11 m^2; for Shor-2048 about 1.8 m^2 -- the
+numbers that motivate the paper's discussion of multi-chip systems.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.constants import CELL_SIZE_METRES
+from repro.exceptions import ParameterError
+from repro.layout.tile import LogicalQubitTile, level2_tile_geometry
+
+#: Transistor count and process used for the paper's "100 logical qubits per
+#: Pentium 4" comparison (Section 4.2).
+PENTIUM4_AREA_SQUARE_METRES: float = 2.17e-4  # ~217 mm^2 die (90 nm Prescott class)
+
+
+@dataclass(frozen=True)
+class ChipAreaModel:
+    """Area model mapping logical-qubit counts to physical chip area.
+
+    Attributes
+    ----------
+    tile:
+        Tile geometry (footprint per logical qubit, including channels).
+    cell_size_metres:
+        Physical size of one QCCD cell.
+    """
+
+    tile: LogicalQubitTile = field(default_factory=level2_tile_geometry)
+    cell_size_metres: float = CELL_SIZE_METRES
+
+    def __post_init__(self) -> None:
+        if self.cell_size_metres <= 0:
+            raise ParameterError("cell size must be positive")
+
+    def area_per_logical_qubit(self) -> float:
+        """Footprint of one logical qubit (tile plus channels), in square metres."""
+        return self.tile.footprint_cells * self.cell_size_metres**2
+
+    def chip_area(self, num_logical_qubits: int) -> float:
+        """Total chip area for a machine of ``num_logical_qubits``, in square metres."""
+        if num_logical_qubits <= 0:
+            raise ParameterError("number of logical qubits must be positive")
+        return num_logical_qubits * self.area_per_logical_qubit()
+
+    def chip_edge_length(self, num_logical_qubits: int) -> float:
+        """Edge length of a square chip of the required area, in metres."""
+        return math.sqrt(self.chip_area(num_logical_qubits))
+
+    def logical_qubits_per_area(self, area_square_metres: float) -> int:
+        """How many logical qubits fit in a given area (e.g. one CPU die)."""
+        if area_square_metres <= 0:
+            raise ParameterError("area must be positive")
+        return int(area_square_metres / self.area_per_logical_qubit())
+
+    def logical_qubits_per_pentium4(self) -> int:
+        """The paper's illustrative density figure: logical qubits per P4-sized die.
+
+        The paper's "100 logical qubits per Pentium IV" comparison uses the
+        core tile area (2.11 mm^2) rather than the channel-inclusive footprint,
+        so the same convention is used here.
+        """
+        core_area = self.tile.core_cells * self.cell_size_metres**2
+        if core_area <= 0:
+            raise ParameterError("tile core area must be positive")
+        return int(PENTIUM4_AREA_SQUARE_METRES / core_area)
+
+
+def chip_area_square_metres(
+    num_logical_qubits: int, tile: LogicalQubitTile | None = None
+) -> float:
+    """Convenience wrapper: chip area for a number of level-2 logical qubits."""
+    model = ChipAreaModel(tile=tile if tile is not None else level2_tile_geometry())
+    return model.chip_area(num_logical_qubits)

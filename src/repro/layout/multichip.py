@@ -1,0 +1,184 @@
+"""Multi-chip partitioning and fabrication-yield modelling (Section 6).
+
+The paper's future-work discussion notes two practical problems with a
+single-die QLA at cryptographic sizes: the sheer chip area (0.45 m^2 already
+for Shor-512) and fabrication yield.  It points out that the QLA's tile
+redundancy lets defective tiles be "diagnosed and masked out in software", and
+that a multi-chip system connected by photonic/teleportation links is the
+natural way to keep individual dies manufacturable.
+
+This module provides those two models:
+
+* :class:`YieldModel` -- per-tile defect probability from a defect density,
+  expected number of good tiles per die, and the spare-tile overprovisioning
+  needed to reach a target machine size with a given confidence.
+* :class:`MultiChipPartition` -- split a machine of N logical qubits across
+  dies of a maximum area, count the inter-chip links crossed by the
+  interconnect, and charge the (slower) inter-chip connection time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.exceptions import ParameterError
+from repro.layout.area import ChipAreaModel
+from repro.layout.tile import LogicalQubitTile, level2_tile_geometry
+
+
+@dataclass(frozen=True)
+class YieldModel:
+    """Fabrication-yield model for an array of identical tiles.
+
+    Parameters
+    ----------
+    defect_density_per_square_metre:
+        Average number of tile-killing defects per square metre of substrate
+        (electrode shorts, surface contamination, ...).
+    tile:
+        Tile geometry, whose footprint sets the per-tile defect exposure.
+    """
+
+    defect_density_per_square_metre: float = 50.0
+    tile: LogicalQubitTile = field(default_factory=level2_tile_geometry)
+
+    def __post_init__(self) -> None:
+        if self.defect_density_per_square_metre < 0:
+            raise ParameterError("defect density cannot be negative")
+
+    @property
+    def tile_yield(self) -> float:
+        """Probability that a single tile is defect-free (Poisson model)."""
+        exposure = self.defect_density_per_square_metre * self.tile.footprint_square_metres
+        return math.exp(-exposure)
+
+    def expected_good_tiles(self, fabricated_tiles: int) -> float:
+        """Expected number of usable tiles out of ``fabricated_tiles``."""
+        if fabricated_tiles < 0:
+            raise ParameterError("tile count cannot be negative")
+        return fabricated_tiles * self.tile_yield
+
+    def tiles_to_fabricate(self, required_good_tiles: int, margin_sigmas: float = 3.0) -> int:
+        """Tiles to fabricate so the good-tile count meets the requirement.
+
+        Uses the normal approximation to the binomial with a ``margin_sigmas``
+        safety margin: enough spare tiles that the probability of falling
+        short is negligible, which is exactly the "mask out defects in
+        software" strategy the paper describes.
+        """
+        if required_good_tiles <= 0:
+            raise ParameterError("required tile count must be positive")
+        if margin_sigmas < 0:
+            raise ParameterError("margin cannot be negative")
+        p = self.tile_yield
+        if p <= 0.0:
+            raise ParameterError("tile yield is zero at this defect density")
+        # Solve n*p - margin*sqrt(n*p*(1-p)) >= required for n (conservatively).
+        n = int(math.ceil(required_good_tiles / p))
+        while True:
+            mean = n * p
+            sigma = math.sqrt(n * p * (1.0 - p))
+            if mean - margin_sigmas * sigma >= required_good_tiles:
+                return n
+            n = int(math.ceil(n * 1.02)) + 1
+
+    def machine_yield(self, fabricated_tiles: int, required_good_tiles: int) -> float:
+        """Probability that enough tiles work (normal approximation)."""
+        if fabricated_tiles < required_good_tiles:
+            return 0.0
+        p = self.tile_yield
+        mean = fabricated_tiles * p
+        sigma = math.sqrt(max(fabricated_tiles * p * (1.0 - p), 1e-12))
+        z = (mean - required_good_tiles) / sigma
+        return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+@dataclass(frozen=True)
+class ChipAssignment:
+    """One die of a multi-chip partition.
+
+    Attributes
+    ----------
+    chip_index:
+        Identifier of the die.
+    logical_qubits:
+        Number of logical qubits placed on the die.
+    area_square_metres:
+        Die area.
+    """
+
+    chip_index: int
+    logical_qubits: int
+    area_square_metres: float
+
+
+@dataclass(frozen=True)
+class MultiChipPartition:
+    """Partition of a QLA machine across several dies.
+
+    Parameters
+    ----------
+    max_chip_area_square_metres:
+        Largest die the fabrication process can produce (the paper treats a
+        ~0.1 m^2, 33-cm-a-side die as already "a substantial challenge").
+    area_model:
+        Chip-area model used to convert qubit counts to area.
+    interchip_connection_time_seconds:
+        Time to establish an entangled link between dies (photonic
+        interconnect); an order of magnitude slower than on-chip connections.
+    """
+
+    max_chip_area_square_metres: float = 0.12
+    area_model: ChipAreaModel = field(default_factory=ChipAreaModel)
+    interchip_connection_time_seconds: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_chip_area_square_metres <= 0:
+            raise ParameterError("maximum chip area must be positive")
+        if self.interchip_connection_time_seconds < 0:
+            raise ParameterError("inter-chip connection time cannot be negative")
+
+    def qubits_per_chip(self) -> int:
+        """Logical qubits that fit on one die."""
+        per_qubit = self.area_model.area_per_logical_qubit()
+        return max(1, int(self.max_chip_area_square_metres / per_qubit))
+
+    def partition(self, num_logical_qubits: int) -> list[ChipAssignment]:
+        """Split a machine into dies, filling each die before starting the next."""
+        if num_logical_qubits <= 0:
+            raise ParameterError("machine must have at least one logical qubit")
+        capacity = self.qubits_per_chip()
+        assignments: list[ChipAssignment] = []
+        remaining = num_logical_qubits
+        index = 0
+        while remaining > 0:
+            on_chip = min(capacity, remaining)
+            assignments.append(
+                ChipAssignment(
+                    chip_index=index,
+                    logical_qubits=on_chip,
+                    area_square_metres=self.area_model.chip_area(on_chip),
+                )
+            )
+            remaining -= on_chip
+            index += 1
+        return assignments
+
+    def num_chips(self, num_logical_qubits: int) -> int:
+        """Number of dies needed for a machine."""
+        return len(self.partition(num_logical_qubits))
+
+    def communication_penalty(
+        self, num_logical_qubits: int, interchip_traffic_fraction: float = 0.05
+    ) -> float:
+        """Average extra connection latency per transfer due to chip crossings.
+
+        ``interchip_traffic_fraction`` is the fraction of EPR transfers whose
+        endpoints live on different dies (small for adder-local traffic).
+        """
+        if not 0.0 <= interchip_traffic_fraction <= 1.0:
+            raise ParameterError("traffic fraction must be a probability")
+        if self.num_chips(num_logical_qubits) == 1:
+            return 0.0
+        return interchip_traffic_fraction * self.interchip_connection_time_seconds

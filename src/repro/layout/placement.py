@@ -1,0 +1,103 @@
+"""Placement of logical qubits on the QLA array.
+
+A placement maps logical-qubit identifiers to (row, column) positions in the
+rectangular array of tiles.  The default is row-major filling of a roughly
+square array, which is what the paper's area estimates assume; the scheduler
+and the interconnect models consume placements to compute distances in cells.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.exceptions import LayoutError
+from repro.layout.tile import LogicalQubitTile, level2_tile_geometry
+
+
+@dataclass
+class Placement:
+    """A mapping from logical qubit index to array coordinates.
+
+    Attributes
+    ----------
+    array_rows, array_columns:
+        Dimensions of the tile array.
+    tile:
+        Tile geometry used to convert array coordinates to cell coordinates.
+    positions:
+        ``logical qubit index -> (tile row, tile column)``.
+    """
+
+    array_rows: int
+    array_columns: int
+    tile: LogicalQubitTile = field(default_factory=level2_tile_geometry)
+    positions: dict[int, tuple[int, int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.array_rows <= 0 or self.array_columns <= 0:
+            raise LayoutError("array dimensions must be positive")
+        for qubit, (row, column) in self.positions.items():
+            if not (0 <= row < self.array_rows and 0 <= column < self.array_columns):
+                raise LayoutError(
+                    f"logical qubit {qubit} placed at {(row, column)} outside the "
+                    f"{self.array_rows}x{self.array_columns} array"
+                )
+
+    @property
+    def num_logical_qubits(self) -> int:
+        """Number of placed logical qubits."""
+        return len(self.positions)
+
+    def position_of(self, qubit: int) -> tuple[int, int]:
+        """Array coordinates of a logical qubit."""
+        if qubit not in self.positions:
+            raise LayoutError(f"logical qubit {qubit} is not placed")
+        return self.positions[qubit]
+
+    def cell_position_of(self, qubit: int) -> tuple[int, int]:
+        """Cell coordinates of the tile origin of a logical qubit."""
+        row, column = self.position_of(qubit)
+        return row * self.tile.pitch_rows, column * self.tile.pitch_columns
+
+    def distance_cells(self, qubit_a: int, qubit_b: int) -> int:
+        """Manhattan distance between two logical qubits, in cells."""
+        ra, ca = self.cell_position_of(qubit_a)
+        rb, cb = self.cell_position_of(qubit_b)
+        return abs(ra - rb) + abs(ca - cb)
+
+    def distance_tiles(self, qubit_a: int, qubit_b: int) -> int:
+        """Manhattan distance between two logical qubits, in tiles."""
+        ra, ca = self.position_of(qubit_a)
+        rb, cb = self.position_of(qubit_b)
+        return abs(ra - rb) + abs(ca - cb)
+
+
+def grid_placement(
+    num_logical_qubits: int,
+    tile: LogicalQubitTile | None = None,
+    array_columns: int | None = None,
+) -> Placement:
+    """Row-major placement of ``num_logical_qubits`` tiles on a near-square array.
+
+    Parameters
+    ----------
+    num_logical_qubits:
+        How many logical qubits to place.
+    tile:
+        Tile geometry (defaults to the level-2 tile).
+    array_columns:
+        Fix the number of columns; by default the array is made as square as
+        possible (``ceil(sqrt(n))`` columns).
+    """
+    if num_logical_qubits <= 0:
+        raise LayoutError("need at least one logical qubit to place")
+    the_tile = tile if tile is not None else level2_tile_geometry()
+    columns = array_columns if array_columns is not None else math.ceil(math.sqrt(num_logical_qubits))
+    if columns <= 0:
+        raise LayoutError("array must have at least one column")
+    rows = math.ceil(num_logical_qubits / columns)
+    positions = {
+        index: (index // columns, index % columns) for index in range(num_logical_qubits)
+    }
+    return Placement(array_rows=rows, array_columns=columns, tile=the_tile, positions=positions)

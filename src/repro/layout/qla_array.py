@@ -1,0 +1,168 @@
+"""The QLA array: tiles, channels and teleportation-island placement.
+
+Figure 1 of the paper shows the high-level structure: logical qubits (Q) on a
+regular array, connected by channels that contain teleportation/repeater
+islands (R) redirecting EPR traffic in the four cardinal directions.  Section
+4.2 fixes the island spacing the scheduler uses: one island every ~100 cells
+in the x direction (every third logical qubit) and one per logical qubit in
+the y direction (a tile is 147 cells tall).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import LayoutError
+from repro.layout.placement import Placement, grid_placement
+from repro.layout.tile import LogicalQubitTile, level2_tile_geometry
+
+#: Island spacing used by the paper's scheduler experiments (Section 5).
+DEFAULT_ISLAND_SPACING_CELLS: int = 100
+
+
+@dataclass(frozen=True)
+class IslandPlacement:
+    """Positions of the teleportation islands of a QLA array.
+
+    Attributes
+    ----------
+    x_spacing_tiles:
+        Number of tiles between islands along the x (row) direction.
+    y_spacing_tiles:
+        Number of tiles between islands along the y (column) direction.
+    positions:
+        Island coordinates in tile units ``(row, column)``.
+    """
+
+    x_spacing_tiles: int
+    y_spacing_tiles: int
+    positions: tuple[tuple[int, int], ...]
+
+    @property
+    def count(self) -> int:
+        """Number of islands."""
+        return len(self.positions)
+
+
+@dataclass
+class QLAArray:
+    """A rectangular array of logical-qubit tiles with its interconnect islands.
+
+    Parameters
+    ----------
+    placement:
+        Placement of logical qubits on the tile array.
+    island_spacing_cells:
+        Target island separation in cells; converted to a tile-granular
+        spacing along each axis using the tile pitch.
+    """
+
+    placement: Placement
+    island_spacing_cells: int = DEFAULT_ISLAND_SPACING_CELLS
+    _islands: IslandPlacement | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.island_spacing_cells <= 0:
+            raise LayoutError("island spacing must be positive")
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def tile(self) -> LogicalQubitTile:
+        """Tile geometry of the array."""
+        return self.placement.tile
+
+    @property
+    def array_rows(self) -> int:
+        """Number of tile rows."""
+        return self.placement.array_rows
+
+    @property
+    def array_columns(self) -> int:
+        """Number of tile columns."""
+        return self.placement.array_columns
+
+    @property
+    def num_logical_qubits(self) -> int:
+        """Number of logical qubits placed on the array."""
+        return self.placement.num_logical_qubits
+
+    @property
+    def width_cells(self) -> int:
+        """Total array width in cells (columns direction)."""
+        return self.array_columns * self.tile.pitch_columns
+
+    @property
+    def height_cells(self) -> int:
+        """Total array height in cells (rows direction)."""
+        return self.array_rows * self.tile.pitch_rows
+
+    @property
+    def total_cells(self) -> int:
+        """Total cell count of the array."""
+        return self.width_cells * self.height_cells
+
+    def total_physical_ions(self) -> int:
+        """Total number of ions across all tiles."""
+        return self.num_logical_qubits * self.tile.total_ions
+
+    # ------------------------------------------------------------------
+    # Islands
+    # ------------------------------------------------------------------
+
+    def island_spacing_tiles(self) -> tuple[int, int]:
+        """Island spacing along (rows, columns), in tiles.
+
+        Along the short (row) side of the tile the requested cell spacing maps
+        to several tiles; along the long (column) side a tile already exceeds
+        100 cells, so there is an island at every tile, exactly as Section 4.2
+        prescribes.
+        """
+        x_tiles = max(1, round(self.island_spacing_cells / self.tile.pitch_rows))
+        y_tiles = max(1, round(self.island_spacing_cells / self.tile.pitch_columns))
+        return x_tiles, y_tiles
+
+    def islands(self) -> IslandPlacement:
+        """Teleportation-island placement for the array (computed lazily)."""
+        if self._islands is None:
+            x_spacing, y_spacing = self.island_spacing_tiles()
+            positions = []
+            for row in range(0, self.array_rows, x_spacing):
+                for column in range(0, self.array_columns, y_spacing):
+                    positions.append((row, column))
+            self._islands = IslandPlacement(
+                x_spacing_tiles=x_spacing,
+                y_spacing_tiles=y_spacing,
+                positions=tuple(positions),
+            )
+        return self._islands
+
+    def nearest_island(self, qubit: int) -> tuple[int, int]:
+        """Array coordinates of the island closest to a logical qubit."""
+        islands = self.islands()
+        row, column = self.placement.position_of(qubit)
+        return min(
+            islands.positions,
+            key=lambda pos: abs(pos[0] - row) + abs(pos[1] - column),
+        )
+
+    def distance_cells(self, qubit_a: int, qubit_b: int) -> int:
+        """Manhattan distance between two logical qubits in cells."""
+        return self.placement.distance_cells(qubit_a, qubit_b)
+
+
+def build_qla_array(
+    num_logical_qubits: int,
+    tile: LogicalQubitTile | None = None,
+    island_spacing_cells: int = DEFAULT_ISLAND_SPACING_CELLS,
+    array_columns: int | None = None,
+) -> QLAArray:
+    """Convenience constructor: place ``num_logical_qubits`` tiles and add islands."""
+    placement = grid_placement(
+        num_logical_qubits,
+        tile=tile if tile is not None else level2_tile_geometry(),
+        array_columns=array_columns,
+    )
+    return QLAArray(placement=placement, island_spacing_cells=island_spacing_cells)

@@ -1,0 +1,143 @@
+"""Geometry of the QLA logical-qubit tile.
+
+Section 4.2 gives the level-2 tile dimensions: 36 x 147 cells of 20 um, i.e.
+about 2.11 mm^2 per logical qubit, with 11 extra cells of channel in one
+direction and 12 in the other separating neighbouring tiles.  The tile is
+built from level-1 blocks (7 data ions, 7 ancilla ions, 7 verification ions
+plus their sympathetic-cooling partners and the surrounding ballistic
+channel); a level-2 logical qubit stacks 7 level-1 data blocks flanked by two
+level-2 ancilla conglomerations (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import CELL_SIZE_METRES
+from repro.exceptions import LayoutError
+
+#: Level-2 tile dimensions in cells, as quoted in Section 4.2.
+LEVEL2_TILE_ROWS: int = 36
+LEVEL2_TILE_COLUMNS: int = 147
+
+#: Channel width added between tiles in each direction (Table 2 caption:
+#: "added 11 and 12 cells for the channels").
+CHANNEL_CELLS_X: int = 11
+CHANNEL_CELLS_Y: int = 12
+
+
+@dataclass(frozen=True)
+class LogicalQubitTile:
+    """Rectangular footprint of one logical qubit plus its share of channel.
+
+    Attributes
+    ----------
+    rows, columns:
+        Core tile size in cells (the logical qubit itself).
+    channel_rows, channel_columns:
+        Channel cells added along each direction for the interconnect.
+    recursion_level:
+        Encoding level the tile implements.
+    data_ions, ancilla_ions, cooling_ions:
+        Ion counts inside the tile.
+    """
+
+    rows: int
+    columns: int
+    channel_rows: int = CHANNEL_CELLS_X
+    channel_columns: int = CHANNEL_CELLS_Y
+    recursion_level: int = 2
+    data_ions: int = 49
+    ancilla_ions: int = 98
+    cooling_ions: int = 147
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.columns <= 0:
+            raise LayoutError("tile dimensions must be positive")
+        if self.channel_rows < 0 or self.channel_columns < 0:
+            raise LayoutError("channel widths cannot be negative")
+
+    @property
+    def core_cells(self) -> int:
+        """Cells occupied by the logical qubit itself."""
+        return self.rows * self.columns
+
+    @property
+    def pitch_rows(self) -> int:
+        """Tile pitch (tile + channel) in the row direction."""
+        return self.rows + self.channel_rows
+
+    @property
+    def pitch_columns(self) -> int:
+        """Tile pitch (tile + channel) in the column direction."""
+        return self.columns + self.channel_columns
+
+    @property
+    def footprint_cells(self) -> int:
+        """Cells per tile including its share of the surrounding channels."""
+        return self.pitch_rows * self.pitch_columns
+
+    @property
+    def total_ions(self) -> int:
+        """All ions in the tile (data + ancilla + cooling)."""
+        return self.data_ions + self.ancilla_ions + self.cooling_ions
+
+    @property
+    def area_square_metres(self) -> float:
+        """Physical area of the core tile in square metres."""
+        return self.core_cells * CELL_SIZE_METRES**2
+
+    @property
+    def footprint_square_metres(self) -> float:
+        """Physical area of the tile including channels, in square metres."""
+        return self.footprint_cells * CELL_SIZE_METRES**2
+
+    def side_lengths_millimetres(self) -> tuple[float, float]:
+        """Core tile side lengths (rows, columns) in millimetres."""
+        return (
+            self.rows * CELL_SIZE_METRES * 1e3,
+            self.columns * CELL_SIZE_METRES * 1e3,
+        )
+
+
+def level1_block_geometry() -> LogicalQubitTile:
+    """Geometry of a single level-1 block (Figure 4).
+
+    A level-1 block holds 7 data ions, 7 ancilla ions and 7 verification ions
+    together with their sympathetic-cooling partners, trapped between the
+    electrode cells and surrounded by a one-cell ballistic channel.  The
+    12 x 21 cell footprint reproduces the r = 12 average alignment distance
+    between neighbouring blocks used in Equation 2; a level-2 tile stacks
+    seven of these (plus the two level-2 ancilla conglomerations of Figure 5)
+    into the 36 x 147 footprint.
+    """
+    return LogicalQubitTile(
+        rows=12,
+        columns=21,
+        channel_rows=2,
+        channel_columns=2,
+        recursion_level=1,
+        data_ions=7,
+        ancilla_ions=14,
+        cooling_ions=21,
+    )
+
+
+def level2_tile_geometry() -> LogicalQubitTile:
+    """Geometry of the full level-2 logical qubit tile (36 x 147 cells).
+
+    Ion counts follow Figure 5: a data conglomeration of 7 level-1 blocks
+    (49 data ions) flanked by two level-2 ancilla conglomerations (2 x 49
+    ancilla ions), each level-1 block carrying its own ancilla/verification
+    ions and a matching number of sympathetic-cooling ions.
+    """
+    return LogicalQubitTile(
+        rows=LEVEL2_TILE_ROWS,
+        columns=LEVEL2_TILE_COLUMNS,
+        channel_rows=CHANNEL_CELLS_X,
+        channel_columns=CHANNEL_CELLS_Y,
+        recursion_level=2,
+        data_ions=49,
+        ancilla_ions=2 * 49 + 3 * 49,
+        cooling_ions=6 * 49,
+    )

@@ -1,0 +1,87 @@
+"""EPR traffic derived from an actual logical circuit.
+
+:class:`~repro.network.traffic.ToffoliTrafficGenerator` produces a synthetic
+workload with adder-like locality; this module closes the loop with the
+circuit IR: given a logical circuit whose qubits have been placed on the tile
+array, every multi-qubit gate becomes one or more EPR-delivery demands in the
+error-correction window in which the gate is scheduled (ASAP layering, one
+window per logical time-step).  This is the path an application compiler would
+take on a real QLA: circuit -> placement -> communication schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits import Circuit, schedule_asap
+from repro.circuits.gate import OpKind
+from repro.exceptions import SchedulingError
+from repro.network.topology import InterconnectTopology
+from repro.network.traffic import EprDemand
+
+Node = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class CircuitTrafficGenerator:
+    """Turn a placed logical circuit into EPR-transfer demands.
+
+    Parameters
+    ----------
+    topology:
+        Interconnect mesh whose tiles host the logical qubits.
+    circuit:
+        The logical circuit (qubit indices are logical-qubit indices).
+    placement:
+        Mapping from logical qubit index to tile coordinate; defaults to the
+        topology's row-major assignment.
+    """
+
+    topology: InterconnectTopology
+    circuit: Circuit
+    placement: dict[int, Node] | None = None
+
+    def _node_of(self, qubit: int) -> Node:
+        if self.placement is not None:
+            if qubit not in self.placement:
+                raise SchedulingError(f"logical qubit {qubit} has no placement")
+            node = self.placement[qubit]
+            if not self.topology.contains(node):
+                raise SchedulingError(f"placement {node} of qubit {qubit} is off the array")
+            return node
+        return self.topology.node_of_qubit(qubit)
+
+    def generate(self) -> list[EprDemand]:
+        """One demand per remote operand of every multi-qubit gate.
+
+        The first operand of each gate is treated as the anchor (the site where
+        the transversal interaction happens); every other operand that lives on
+        a different tile must have EPR pairs delivered from its tile to the
+        anchor's tile during the gate's error-correction window.
+        """
+        demands: list[EprDemand] = []
+        demand_id = 0
+        for window, layer in enumerate(schedule_asap(self.circuit)):
+            for operation in layer:
+                if operation.kind is not OpKind.GATE or operation.num_qubits < 2:
+                    continue
+                anchor = self._node_of(operation.qubits[0])
+                for operand in operation.qubits[1:]:
+                    source = self._node_of(operand)
+                    if source == anchor:
+                        continue
+                    demands.append(
+                        EprDemand(
+                            demand_id=demand_id,
+                            source=source,
+                            destination=anchor,
+                            window=window,
+                            pairs=1,
+                        )
+                    )
+                    demand_id += 1
+        return demands
+
+    def num_windows(self) -> int:
+        """Number of error-correction windows the circuit spans (its depth)."""
+        return self.circuit.depth()

@@ -1,0 +1,179 @@
+"""The greedy EPR-distribution scheduler (Section 5).
+
+The scheduler's goal, quoting the paper, "is to find paths between logical
+qubits to transport all the required EPR pairs within the time it takes to
+perform a level 2 error correction".  It is greedy -- "it works by grabbing all
+available bandwidth whenever it can" -- and when it cannot find a feasible path
+it backs off and retries with an alternative route; demands that still do not
+fit are deferred to the next window, which represents a communication stall
+(the situation bandwidth 2 is shown to avoid).
+
+Capacity model: each channel direction has ``bandwidth`` lanes; a lane can
+serve a bounded number of logical-qubit transfers per error-correction window
+(``transfers_per_lane_per_window``), set by the time it takes to stream and
+purify the 49 physical EPR pairs of one transversal teleportation through the
+segment pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import SchedulingError
+from repro.network.router import Route, ShortestPathRouter
+from repro.network.topology import InterconnectTopology
+from repro.network.traffic import EprDemand
+
+Node = tuple[int, int]
+Edge = tuple[Node, Node]
+
+
+@dataclass(frozen=True)
+class ScheduledTransfer:
+    """A demand that was successfully placed on the network.
+
+    Attributes
+    ----------
+    demand:
+        The original request.
+    route:
+        The path it was assigned.
+    window:
+        The window in which it was actually served (>= the requested window).
+    """
+
+    demand: EprDemand
+    route: Route
+    window: int
+
+    @property
+    def deferred(self) -> bool:
+        """True if the transfer missed its requested window."""
+        return self.window > self.demand.window
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling a demand list.
+
+    Attributes
+    ----------
+    transfers:
+        All successfully placed transfers.
+    unserved:
+        Demands that could not be placed within the allowed deferral horizon.
+    edge_load:
+        Per-window, per-directed-edge load actually used.
+    capacity_per_edge:
+        Transfers one directed edge can carry per window.
+    num_windows:
+        Number of windows the schedule spans (including deferral windows).
+    """
+
+    transfers: list[ScheduledTransfer] = field(default_factory=list)
+    unserved: list[EprDemand] = field(default_factory=list)
+    edge_load: dict[int, dict[Edge, int]] = field(default_factory=dict)
+    capacity_per_edge: int = 1
+    num_windows: int = 0
+
+    @property
+    def fully_overlapped(self) -> bool:
+        """True if every demand was served inside its own error-correction window."""
+        return not self.unserved and all(not t.deferred for t in self.transfers)
+
+    @property
+    def deferred_count(self) -> int:
+        """Number of transfers that missed their requested window."""
+        return sum(1 for t in self.transfers if t.deferred)
+
+
+class GreedyEprScheduler:
+    """Greedy windowed scheduler for EPR-pair distribution.
+
+    Parameters
+    ----------
+    topology:
+        The interconnect mesh (carries the bandwidth setting).
+    transfers_per_lane_per_window:
+        How many logical transfers one lane of one channel can carry during a
+        single level-2 error-correction window.
+    max_deferral_windows:
+        How many windows a demand may slip before it is declared unserved.
+    """
+
+    def __init__(
+        self,
+        topology: InterconnectTopology,
+        transfers_per_lane_per_window: int = 3,
+        max_deferral_windows: int = 4,
+    ) -> None:
+        if transfers_per_lane_per_window <= 0:
+            raise SchedulingError("a lane must carry at least one transfer per window")
+        if max_deferral_windows < 0:
+            raise SchedulingError("deferral horizon cannot be negative")
+        self._topology = topology
+        self._router = ShortestPathRouter(topology)
+        self._transfers_per_lane = transfers_per_lane_per_window
+        self._max_deferral = max_deferral_windows
+
+    @property
+    def capacity_per_edge_per_window(self) -> int:
+        """Transfers one directed channel can carry per window."""
+        return self._topology.bandwidth * self._transfers_per_lane
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(self, demands: list[EprDemand]) -> ScheduleResult:
+        """Place all demands, greedily, window by window."""
+        result = ScheduleResult(capacity_per_edge=self.capacity_per_edge_per_window)
+        if not demands:
+            return result
+        last_window = max(d.window for d in demands)
+        horizon = last_window + self._max_deferral + 1
+        edge_load: dict[int, dict[Edge, int]] = {w: {} for w in range(horizon)}
+        pending: dict[int, list[EprDemand]] = {w: [] for w in range(horizon)}
+        for demand in demands:
+            pending[demand.window].append(demand)
+
+        for window in range(horizon):
+            queue = pending[window]
+            for demand in queue:
+                placed = self._try_place(demand, window, edge_load[window], result)
+                if placed:
+                    continue
+                next_window = window + 1
+                if next_window < horizon and next_window <= demand.window + self._max_deferral:
+                    pending[next_window].append(demand)
+                else:
+                    result.unserved.append(demand)
+
+        result.edge_load = {w: load for w, load in edge_load.items() if load}
+        result.num_windows = horizon
+        return result
+
+    def _try_place(
+        self,
+        demand: EprDemand,
+        window: int,
+        load: dict[Edge, int],
+        result: ScheduleResult,
+    ) -> bool:
+        """Try all candidate routes; reserve the first that fits."""
+        if demand.source == demand.destination:
+            result.transfers.append(
+                ScheduledTransfer(demand=demand, route=Route(nodes=(demand.source,)), window=window)
+            )
+            return True
+        capacity = self.capacity_per_edge_per_window
+        for route in self._router.candidate_routes(demand.source, demand.destination, load):
+            edges = route.directed_edges()
+            if all(load.get(edge, 0) + demand.pairs <= capacity for edge in edges):
+                for edge in edges:
+                    load[edge] = load.get(edge, 0) + demand.pairs
+                result.transfers.append(
+                    ScheduledTransfer(demand=demand, route=route, window=window)
+                )
+                return True
+        return False

@@ -1,0 +1,112 @@
+"""Island/channel topology of the QLA interconnect.
+
+The interconnect is modelled as a 2-D mesh: one network node per logical-qubit
+tile (each tile has a teleportation island adjacent to it in the y direction,
+and every third tile hosts one in the x direction -- at the granularity of the
+scheduler a node per tile is the natural abstraction), with bidirectional
+channels between neighbouring tiles.  Each channel direction provides
+``bandwidth`` physical lanes, matching the paper's definition: "We define the
+bandwidth of QLA's communication channels as the number of physical channels
+in each direction."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.exceptions import LayoutError
+from repro.layout.tile import LogicalQubitTile, level2_tile_geometry
+
+
+@dataclass
+class InterconnectTopology:
+    """Mesh network over the tile array.
+
+    Parameters
+    ----------
+    rows, columns:
+        Tile-array dimensions.
+    bandwidth:
+        Physical lanes per channel direction.
+    tile:
+        Tile geometry, used to convert hops to cell distances.
+    """
+
+    rows: int
+    columns: int
+    bandwidth: int = 2
+    tile: LogicalQubitTile = field(default_factory=level2_tile_geometry)
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.columns <= 0:
+            raise LayoutError("topology dimensions must be positive")
+        if self.bandwidth <= 0:
+            raise LayoutError("bandwidth must be at least one lane per direction")
+        self._graph = nx.Graph()
+        for row in range(self.rows):
+            for column in range(self.columns):
+                self._graph.add_node((row, column))
+        for row in range(self.rows):
+            for column in range(self.columns):
+                if row + 1 < self.rows:
+                    self._graph.add_edge(
+                        (row, column), (row + 1, column), length_cells=self.tile.pitch_rows
+                    )
+                if column + 1 < self.columns:
+                    self._graph.add_edge(
+                        (row, column), (row, column + 1), length_cells=self.tile.pitch_columns
+                    )
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying undirected mesh graph (nodes are (row, column) tiles)."""
+        return self._graph
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of network nodes (tiles)."""
+        return self._graph.number_of_nodes()
+
+    @property
+    def num_channels(self) -> int:
+        """Number of undirected channels (mesh edges)."""
+        return self._graph.number_of_edges()
+
+    @property
+    def num_directed_lanes(self) -> int:
+        """Total directed lane count: 2 directions x bandwidth per channel."""
+        return 2 * self.bandwidth * self.num_channels
+
+    def contains(self, node: tuple[int, int]) -> bool:
+        """True if a tile coordinate is part of the topology."""
+        return node in self._graph
+
+    def neighbors(self, node: tuple[int, int]) -> list[tuple[int, int]]:
+        """Adjacent tiles of a node."""
+        if node not in self._graph:
+            raise LayoutError(f"node {node} not in topology")
+        return list(self._graph.neighbors(node))
+
+    def node_of_qubit(self, qubit_index: int) -> tuple[int, int]:
+        """Tile coordinate of a logical qubit placed in row-major order."""
+        if qubit_index < 0 or qubit_index >= self.rows * self.columns:
+            raise LayoutError(
+                f"logical qubit {qubit_index} outside the {self.rows}x{self.columns} array"
+            )
+        return (qubit_index // self.columns, qubit_index % self.columns)
+
+    def hop_distance(self, node_a: tuple[int, int], node_b: tuple[int, int]) -> int:
+        """Manhattan hop count between two tiles."""
+        return abs(node_a[0] - node_b[0]) + abs(node_a[1] - node_b[1])
+
+    def cell_distance(self, node_a: tuple[int, int], node_b: tuple[int, int]) -> int:
+        """Manhattan distance in cells between two tile origins."""
+        return abs(node_a[0] - node_b[0]) * self.tile.pitch_rows + abs(
+            node_a[1] - node_b[1]
+        ) * self.tile.pitch_columns

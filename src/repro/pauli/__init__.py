@@ -1,0 +1,11 @@
+"""Pauli-string algebra in the symplectic (binary) representation.
+
+The stabilizer formalism used by the ARQ simulator (and by the Steane code
+machinery) manipulates n-qubit Pauli operators.  :class:`~repro.pauli.pauli.PauliString`
+stores an operator as a pair of binary vectors (x, z) plus a phase, which is
+exactly the representation used inside the CHP tableau simulator.
+"""
+
+from repro.pauli.pauli import PauliString, PauliTerm, commutes, random_pauli
+
+__all__ = ["PauliString", "PauliTerm", "commutes", "random_pauli"]

@@ -1,0 +1,272 @@
+"""Symplectic representation of n-qubit Pauli operators.
+
+An n-qubit Pauli operator (up to phase) is represented by two length-n binary
+vectors ``x`` and ``z``:
+
+* ``x[i] = 1, z[i] = 0``  ->  X on qubit i
+* ``x[i] = 0, z[i] = 1``  ->  Z on qubit i
+* ``x[i] = 1, z[i] = 1``  ->  Y on qubit i
+* ``x[i] = 0, z[i] = 0``  ->  identity on qubit i
+
+The overall phase is tracked as an exponent of ``i`` (0, 1, 2 or 3) so that
+products of Paulis compose exactly, which is what the syndrome-extraction and
+decoder code in :mod:`repro.qecc` relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+
+_SINGLE_LETTERS = {"I": (0, 0), "X": (1, 0), "Y": (1, 1), "Z": (0, 1)}
+_LETTER_FROM_BITS = {(0, 0): "I", (1, 0): "X", (1, 1): "Y", (0, 1): "Z"}
+
+
+@dataclass(frozen=True)
+class PauliTerm:
+    """A single-qubit Pauli acting on one named qubit of a larger register."""
+
+    qubit: int
+    letter: str
+
+    def __post_init__(self) -> None:
+        if self.letter not in _SINGLE_LETTERS:
+            raise CircuitError(f"unknown Pauli letter {self.letter!r}")
+        if self.qubit < 0:
+            raise CircuitError(f"negative qubit index {self.qubit}")
+
+
+class PauliString:
+    """An n-qubit Pauli operator with an explicit phase.
+
+    Parameters
+    ----------
+    x, z:
+        Binary vectors of equal length n (anything :func:`numpy.asarray` accepts).
+    phase:
+        Exponent of ``i`` in the global phase, i.e. the operator equals
+        ``i**phase * prod_j X_j^{x_j} Z_j^{z_j}`` (X applied before Z on each
+        qubit, the convention used by the CHP tableau).
+    """
+
+    __slots__ = ("_x", "_z", "_phase")
+
+    def __init__(self, x: Sequence[int], z: Sequence[int], phase: int = 0) -> None:
+        x_arr = np.asarray(x, dtype=np.uint8) % 2
+        z_arr = np.asarray(z, dtype=np.uint8) % 2
+        if x_arr.ndim != 1 or z_arr.ndim != 1:
+            raise CircuitError("Pauli x/z vectors must be one-dimensional")
+        if x_arr.shape != z_arr.shape:
+            raise CircuitError(
+                f"Pauli x and z vectors have different lengths "
+                f"({x_arr.shape[0]} vs {z_arr.shape[0]})"
+            )
+        self._x = x_arr
+        self._z = z_arr
+        self._phase = int(phase) % 4
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def identity(cls, num_qubits: int) -> "PauliString":
+        """The identity operator on ``num_qubits`` qubits."""
+        return cls(np.zeros(num_qubits, dtype=np.uint8), np.zeros(num_qubits, dtype=np.uint8))
+
+    @classmethod
+    def from_label(cls, label: str, phase: int = 0) -> "PauliString":
+        """Build a Pauli from a letter string such as ``"XIZZY"``.
+
+        The leftmost letter acts on qubit 0.
+        """
+        x = []
+        z = []
+        for letter in label:
+            if letter not in _SINGLE_LETTERS:
+                raise CircuitError(f"unknown Pauli letter {letter!r} in {label!r}")
+            xi, zi = _SINGLE_LETTERS[letter]
+            x.append(xi)
+            z.append(zi)
+        return cls(x, z, phase)
+
+    @classmethod
+    def from_terms(
+        cls, terms: Iterable[PauliTerm], num_qubits: int, phase: int = 0
+    ) -> "PauliString":
+        """Build a sparse Pauli from single-qubit terms on a register of given size."""
+        x = np.zeros(num_qubits, dtype=np.uint8)
+        z = np.zeros(num_qubits, dtype=np.uint8)
+        for term in terms:
+            if term.qubit >= num_qubits:
+                raise CircuitError(
+                    f"Pauli term on qubit {term.qubit} outside register of size {num_qubits}"
+                )
+            xi, zi = _SINGLE_LETTERS[term.letter]
+            x[term.qubit] ^= xi
+            z[term.qubit] ^= zi
+        return cls(x, z, phase)
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def x(self) -> np.ndarray:
+        """The X part of the symplectic representation (read-only view)."""
+        view = self._x.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def z(self) -> np.ndarray:
+        """The Z part of the symplectic representation (read-only view)."""
+        view = self._z.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def phase(self) -> int:
+        """Exponent of ``i`` in the global phase (0..3)."""
+        return self._phase
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the operator acts on (including identity factors)."""
+        return self._x.shape[0]
+
+    @property
+    def weight(self) -> int:
+        """Number of qubits on which the operator acts non-trivially."""
+        return int(np.count_nonzero(self._x | self._z))
+
+    def is_identity(self) -> bool:
+        """True if the operator is the identity up to phase."""
+        return self.weight == 0
+
+    def support(self) -> list[int]:
+        """Indices of qubits acted on non-trivially, in increasing order."""
+        return list(np.flatnonzero(self._x | self._z))
+
+    def letter(self, qubit: int) -> str:
+        """The single-qubit Pauli letter acting on ``qubit``."""
+        return _LETTER_FROM_BITS[(int(self._x[qubit]), int(self._z[qubit]))]
+
+    def to_label(self) -> str:
+        """Letter-string representation (qubit 0 leftmost), without phase."""
+        return "".join(self.letter(q) for q in range(self.num_qubits))
+
+    # -- algebra ------------------------------------------------------------
+
+    def commutes_with(self, other: "PauliString") -> bool:
+        """True if the two operators commute.
+
+        Two Paulis commute exactly when their symplectic inner product
+        ``x1.z2 + z1.x2`` is even.
+        """
+        self._check_compatible(other)
+        inner = int(np.dot(self._x, other._z) + np.dot(self._z, other._x))
+        return inner % 2 == 0
+
+    def __mul__(self, other: "PauliString") -> "PauliString":
+        """Operator product ``self * other`` with exact phase tracking."""
+        self._check_compatible(other)
+        x_new = self._x ^ other._x
+        z_new = self._z ^ other._z
+        # Each qubit contributes a phase from reordering X and Z factors.
+        phase = self._phase + other._phase
+        phase += 2 * int(np.dot(self._z, other._x))  # ZX = -XZ on overlapping factors
+        # Combining Y factors: track i exponents of individual letters.
+        phase += _y_phase_correction(self._x, self._z, other._x, other._z)
+        return PauliString(x_new, z_new, phase)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PauliString):
+            return NotImplemented
+        return (
+            self._phase == other._phase
+            and np.array_equal(self._x, other._x)
+            and np.array_equal(self._z, other._z)
+        )
+
+    def equals_up_to_phase(self, other: "PauliString") -> bool:
+        """True if the operators agree ignoring the global phase."""
+        return np.array_equal(self._x, other._x) and np.array_equal(self._z, other._z)
+
+    def __hash__(self) -> int:
+        return hash((self._x.tobytes(), self._z.tobytes(), self._phase))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        sign = {0: "+", 1: "+i", 2: "-", 3: "-i"}[self._phase]
+        return f"PauliString({sign}{self.to_label()})"
+
+    def _check_compatible(self, other: "PauliString") -> None:
+        if self.num_qubits != other.num_qubits:
+            raise CircuitError(
+                "cannot combine Paulis on registers of different sizes "
+                f"({self.num_qubits} vs {other.num_qubits})"
+            )
+
+
+def _y_phase_correction(
+    x1: np.ndarray, z1: np.ndarray, x2: np.ndarray, z2: np.ndarray
+) -> int:
+    """Phase correction (exponent of i) from merging per-qubit X/Z factors.
+
+    We store a Y factor as XZ without an explicit ``i``; the canonical letter Y
+    equals ``i * X * Z``.  This helper keeps products consistent with the naive
+    XZ bookkeeping already applied by the caller, so the only remaining
+    correction is the anticommutation already counted there.  It is kept as a
+    separate function so the convention is documented in one place.
+    """
+    # With the X-before-Z convention and the ZX anticommutation term applied by
+    # the caller, no further correction is required.  Returning 0 keeps the
+    # convention explicit and testable.
+    _ = (x1, z1, x2, z2)
+    return 0
+
+
+def commutes(a: PauliString, b: PauliString) -> bool:
+    """Module-level convenience wrapper for :meth:`PauliString.commutes_with`."""
+    return a.commutes_with(b)
+
+
+def random_pauli(
+    num_qubits: int,
+    rng: np.random.Generator,
+    weight: int | None = None,
+    include_identity: bool = False,
+) -> PauliString:
+    """Sample a uniformly random Pauli string.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register size.
+    rng:
+        NumPy random generator supplying the randomness.
+    weight:
+        If given, the Pauli acts non-trivially on exactly this many qubits
+        (chosen uniformly at random) with uniformly random non-identity letters.
+    include_identity:
+        When ``weight`` is ``None``, whether the all-identity string may be
+        returned.
+    """
+    if weight is not None:
+        if not 0 <= weight <= num_qubits:
+            raise CircuitError(f"weight {weight} out of range for {num_qubits} qubits")
+        qubits = rng.choice(num_qubits, size=weight, replace=False)
+        x = np.zeros(num_qubits, dtype=np.uint8)
+        z = np.zeros(num_qubits, dtype=np.uint8)
+        for q in qubits:
+            letter = rng.choice(["X", "Y", "Z"])
+            xi, zi = _SINGLE_LETTERS[letter]
+            x[q], z[q] = xi, zi
+        return PauliString(x, z)
+
+    while True:
+        x = rng.integers(0, 2, size=num_qubits, dtype=np.uint8)
+        z = rng.integers(0, 2, size=num_qubits, dtype=np.uint8)
+        candidate = PauliString(x, z)
+        if include_identity or not candidate.is_identity():
+            return candidate

@@ -1,0 +1,74 @@
+"""Quantum error correction: CSS codes, the Steane [[7,1,3]] code, recursion.
+
+The QLA's building block is a logical qubit encoded in the Steane [[7,1,3]]
+code and concatenated to level 2 (Section 4.1 of the paper).  This package
+contains:
+
+* a generic CSS-code framework built from classical parity-check matrices
+  (:mod:`repro.qecc.css`),
+* the Steane code itself with its stabilizers, logical operators and
+  encoding circuit (:mod:`repro.qecc.steane`, :mod:`repro.qecc.encoder`),
+* Steane-style syndrome extraction with encoded ancilla blocks, matching the
+  circuit of Figure 6 (:mod:`repro.qecc.syndrome`),
+* a lookup-table decoder (:mod:`repro.qecc.decoder`),
+* the concatenation / threshold resource model of Equation 2
+  (:mod:`repro.qecc.concatenation`),
+* the error-correction latency model of Equation 1
+  (:mod:`repro.qecc.latency`), and
+* threshold-crossing estimation utilities used by the Figure 7 experiment
+  (:mod:`repro.qecc.threshold`).
+"""
+
+from repro.qecc.css import CSSCode
+from repro.qecc.steane import SteaneCode, steane_code
+from repro.qecc.encoder import steane_encode_zero_circuit, steane_encode_plus_circuit
+from repro.qecc.syndrome import (
+    SyndromeExtractionCircuit,
+    steane_syndrome_circuit,
+    full_error_correction_circuit,
+)
+from repro.qecc.decoder import LookupDecoder
+from repro.qecc.concatenation import (
+    ConcatenationModel,
+    failure_rate_at_level,
+    achievable_system_size,
+    required_recursion_level,
+)
+from repro.qecc.latency import EccLatencyModel, EccLatencyBreakdown
+from repro.qecc.threshold import ThresholdEstimate, estimate_threshold_crossing
+from repro.qecc.concatenated import (
+    concatenated_block_size,
+    concatenated_encode_zero_circuit,
+    concatenated_logical_x,
+    concatenated_logical_z,
+    concatenated_stabilizers,
+    transversal_logical_cnot_circuit,
+    transversal_logical_gate_circuit,
+)
+
+__all__ = [
+    "CSSCode",
+    "SteaneCode",
+    "steane_code",
+    "steane_encode_zero_circuit",
+    "steane_encode_plus_circuit",
+    "SyndromeExtractionCircuit",
+    "steane_syndrome_circuit",
+    "full_error_correction_circuit",
+    "LookupDecoder",
+    "ConcatenationModel",
+    "failure_rate_at_level",
+    "achievable_system_size",
+    "required_recursion_level",
+    "EccLatencyModel",
+    "EccLatencyBreakdown",
+    "ThresholdEstimate",
+    "estimate_threshold_crossing",
+    "concatenated_block_size",
+    "concatenated_encode_zero_circuit",
+    "concatenated_logical_x",
+    "concatenated_logical_z",
+    "concatenated_stabilizers",
+    "transversal_logical_cnot_circuit",
+    "transversal_logical_gate_circuit",
+]

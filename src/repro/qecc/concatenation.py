@@ -1,0 +1,173 @@
+"""Recursive (concatenated) error correction resource model -- Equation 2.
+
+Section 4.1.2 of the paper estimates the logical failure rate of a level-L
+concatenated Steane qubit on a *local* architecture using Gottesman's formula
+
+    P_f(L) = (p_th / r^L) * (p_0 / p_th)^(2^L)
+
+where ``p_0`` is the physical component failure rate, ``p_th`` the threshold
+failure rate of the error-correction circuit (7.5e-5 for the Steane circuit
+with movement, from Svore/Terhal/DiVincenzo; (2.1 +/- 1.8)e-3 empirically for
+the QLA tile), and ``r`` the communication distance between level-1 blocks in
+cells (r = 12 in the QLA layout).  The achievable computation size is
+``S = K * Q = 1 / P_f``.
+
+This module implements that formula, its inverse (the recursion level needed
+for a target computation size), and the paper's headline numbers: a level-2
+failure rate of about 1e-16 with the theoretical threshold (1e-21 with the
+empirical one), sufficient for Shor-1024 at S ~ 4.4e12.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError
+
+#: Threshold of the Steane [[7,1,3]] error-correction circuit including
+#: movement, as computed by Svore, Terhal and DiVincenzo (quant-ph/0410047)
+#: and quoted in Section 4.1.2.
+THEORETICAL_THRESHOLD: float = 7.5e-5
+
+#: Empirical threshold of the QLA logical-qubit tile measured by the paper's
+#: ARQ simulations (Figure 7).
+EMPIRICAL_THRESHOLD: float = 2.1e-3
+
+#: Reichardt's improved-ancilla-preparation threshold, which the paper cites
+#: as the value its design approaches.
+REICHARDT_THRESHOLD: float = 9.0e-3
+
+#: Average communication distance between level-1 blocks in the QLA tile,
+#: in cells (Section 4.1.2: "aligned in QLA to allow r = 12 cells on average").
+DEFAULT_BLOCK_SEPARATION_CELLS: int = 12
+
+#: Average of the expected physical component failure rates in Table 1
+#: (single gate 1e-8, double gate 1e-7, measurement 1e-8, movement 1e-6/cell).
+EXPECTED_AVERAGE_COMPONENT_FAILURE: float = (1e-8 + 1e-7 + 1e-8 + 1e-6) / 4.0
+
+
+def failure_rate_at_level(
+    p0: float,
+    level: int,
+    threshold: float = THEORETICAL_THRESHOLD,
+    block_separation_cells: float = DEFAULT_BLOCK_SEPARATION_CELLS,
+) -> float:
+    """Logical failure rate after ``level`` levels of recursion (Equation 2).
+
+    Parameters
+    ----------
+    p0:
+        Physical component failure rate.
+    level:
+        Recursion level ``L`` (level 0 returns ``p0`` itself).
+    threshold:
+        Threshold failure rate ``p_th`` of the error-correction circuit.
+    block_separation_cells:
+        Communication distance ``r`` between sub-blocks, in cells.
+    """
+    if p0 < 0.0:
+        raise ParameterError("p0 must be non-negative")
+    if level < 0:
+        raise ParameterError("recursion level must be non-negative")
+    if threshold <= 0.0:
+        raise ParameterError("threshold must be positive")
+    if block_separation_cells <= 0.0:
+        raise ParameterError("block separation must be positive")
+    if level == 0:
+        return p0
+    exponent = 2**level
+    return (threshold / block_separation_cells**level) * (p0 / threshold) ** exponent
+
+
+def achievable_system_size(
+    p0: float,
+    level: int,
+    threshold: float = THEORETICAL_THRESHOLD,
+    block_separation_cells: float = DEFAULT_BLOCK_SEPARATION_CELLS,
+) -> float:
+    """Largest computation size ``S = K * Q`` supported at a recursion level.
+
+    The paper requires the component failure rate to be below ``1 / S``; the
+    achievable size is therefore the reciprocal of the level-L failure rate.
+    """
+    rate = failure_rate_at_level(p0, level, threshold, block_separation_cells)
+    if rate <= 0.0:
+        return math.inf
+    return 1.0 / rate
+
+
+def required_recursion_level(
+    p0: float,
+    target_size: float,
+    threshold: float = THEORETICAL_THRESHOLD,
+    block_separation_cells: float = DEFAULT_BLOCK_SEPARATION_CELLS,
+    max_level: int = 10,
+) -> int:
+    """Smallest recursion level whose failure rate supports ``target_size`` steps.
+
+    Raises
+    ------
+    ParameterError
+        If ``p0`` is at or above threshold (recursion then makes things worse
+        and no level suffices), or if ``max_level`` levels are not enough.
+    """
+    if target_size <= 0.0:
+        raise ParameterError("target size must be positive")
+    if p0 >= threshold:
+        raise ParameterError(
+            f"component failure rate {p0} is not below the threshold {threshold}; "
+            "recursion cannot reach an arbitrary reliability"
+        )
+    for level in range(0, max_level + 1):
+        if achievable_system_size(p0, level, threshold, block_separation_cells) >= target_size:
+            return level
+    raise ParameterError(
+        f"no recursion level up to {max_level} reaches a computation size of {target_size}"
+    )
+
+
+@dataclass(frozen=True)
+class ConcatenationModel:
+    """Bundled Equation-2 model with fixed threshold and layout parameters.
+
+    This is the object the rest of the library passes around: the QLA machine
+    model holds one instance configured with either the theoretical or the
+    empirical threshold and asks it for failure rates, achievable computation
+    sizes and required recursion levels.
+    """
+
+    threshold: float = THEORETICAL_THRESHOLD
+    block_separation_cells: float = DEFAULT_BLOCK_SEPARATION_CELLS
+    physical_failure_rate: float = EXPECTED_AVERAGE_COMPONENT_FAILURE
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0.0:
+            raise ParameterError("threshold must be positive")
+        if self.block_separation_cells <= 0.0:
+            raise ParameterError("block separation must be positive")
+        if self.physical_failure_rate < 0.0:
+            raise ParameterError("physical failure rate must be non-negative")
+
+    def failure_rate(self, level: int, p0: float | None = None) -> float:
+        """Equation 2 at the model's parameters."""
+        rate = p0 if p0 is not None else self.physical_failure_rate
+        return failure_rate_at_level(rate, level, self.threshold, self.block_separation_cells)
+
+    def achievable_size(self, level: int, p0: float | None = None) -> float:
+        """Computation size supported at a recursion level."""
+        rate = p0 if p0 is not None else self.physical_failure_rate
+        return achievable_system_size(rate, level, self.threshold, self.block_separation_cells)
+
+    def required_level(self, target_size: float, p0: float | None = None) -> int:
+        """Recursion level needed for a computation of ``target_size`` steps."""
+        rate = p0 if p0 is not None else self.physical_failure_rate
+        return required_recursion_level(
+            rate, target_size, self.threshold, self.block_separation_cells
+        )
+
+    def physical_qubits_per_logical(self, level: int, code_block_size: int = 7) -> int:
+        """Data ions in one logical qubit at a recursion level (7^L for Steane)."""
+        if level < 0:
+            raise ParameterError("recursion level must be non-negative")
+        return code_block_size**level

@@ -1,0 +1,258 @@
+"""Generic CSS (Calderbank-Shor-Steane) codes from classical parity checks.
+
+A CSS code is defined by two classical parity-check matrices ``Hx`` and ``Hz``
+whose rows are the X-type and Z-type stabilizer generators.  The Steane
+[[7,1,3]] code used by the QLA is the CSS code built from the [7,4,3] Hamming
+code for both X and Z checks; keeping the generic machinery separate lets the
+library express the paper's remark that the block structure "is easily
+extended to 7-bit and larger codes".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import CodeError
+from repro.pauli import PauliString
+
+
+def _as_binary_matrix(rows: np.ndarray | list[list[int]], name: str) -> np.ndarray:
+    matrix = np.asarray(rows, dtype=np.uint8) % 2
+    if matrix.ndim != 2:
+        raise CodeError(f"{name} must be a two-dimensional binary matrix")
+    return matrix
+
+
+def gf2_rank(matrix: np.ndarray) -> int:
+    """Rank of a binary matrix over GF(2)."""
+    m = matrix.copy().astype(np.uint8) % 2
+    rows, cols = m.shape
+    rank = 0
+    pivot_row = 0
+    for col in range(cols):
+        pivot = None
+        for row in range(pivot_row, rows):
+            if m[row, col]:
+                pivot = row
+                break
+        if pivot is None:
+            continue
+        m[[pivot_row, pivot]] = m[[pivot, pivot_row]]
+        for row in range(rows):
+            if row != pivot_row and m[row, col]:
+                m[row] ^= m[pivot_row]
+        pivot_row += 1
+        rank += 1
+        if pivot_row == rows:
+            break
+    return rank
+
+
+def gf2_nullspace(matrix: np.ndarray) -> np.ndarray:
+    """A basis (as rows) of the right nullspace of a binary matrix over GF(2)."""
+    m = matrix.copy().astype(np.uint8) % 2
+    rows, cols = m.shape
+    pivots: list[int] = []
+    pivot_row = 0
+    for col in range(cols):
+        pivot = None
+        for row in range(pivot_row, rows):
+            if m[row, col]:
+                pivot = row
+                break
+        if pivot is None:
+            continue
+        m[[pivot_row, pivot]] = m[[pivot, pivot_row]]
+        for row in range(rows):
+            if row != pivot_row and m[row, col]:
+                m[row] ^= m[pivot_row]
+        pivots.append(col)
+        pivot_row += 1
+        if pivot_row == rows:
+            break
+    free_cols = [c for c in range(cols) if c not in pivots]
+    basis = []
+    for free in free_cols:
+        vec = np.zeros(cols, dtype=np.uint8)
+        vec[free] = 1
+        for row_index, pivot_col in enumerate(pivots):
+            if m[row_index, free]:
+                vec[pivot_col] = 1
+        basis.append(vec)
+    if not basis:
+        return np.zeros((0, cols), dtype=np.uint8)
+    return np.array(basis, dtype=np.uint8)
+
+
+class CSSCode:
+    """A CSS quantum error-correcting code.
+
+    Parameters
+    ----------
+    hx:
+        Binary matrix whose rows define the X-type stabilizer generators
+        (an X on every qubit where the row has a 1).
+    hz:
+        Binary matrix whose rows define the Z-type stabilizer generators.
+    distance:
+        Code distance, if known (used for reporting and decoder sanity checks).
+    name:
+        Human-readable identifier.
+
+    Raises
+    ------
+    CodeError
+        If the two check matrices act on different numbers of qubits or do not
+        commute (``Hx @ Hz.T != 0`` over GF(2)).
+    """
+
+    def __init__(
+        self,
+        hx: np.ndarray | list[list[int]],
+        hz: np.ndarray | list[list[int]],
+        distance: int | None = None,
+        name: str = "css",
+    ) -> None:
+        self._hx = _as_binary_matrix(hx, "hx")
+        self._hz = _as_binary_matrix(hz, "hz")
+        if self._hx.shape[1] != self._hz.shape[1]:
+            raise CodeError(
+                "hx and hz must act on the same number of qubits "
+                f"({self._hx.shape[1]} vs {self._hz.shape[1]})"
+            )
+        product = (self._hx @ self._hz.T) % 2
+        if np.any(product):
+            raise CodeError("hx and hz stabilizers do not commute (Hx.Hz^T != 0 mod 2)")
+        self._distance = distance
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Code parameters
+    # ------------------------------------------------------------------
+
+    @property
+    def hx(self) -> np.ndarray:
+        """X-type parity-check matrix (rows are generators)."""
+        return self._hx.copy()
+
+    @property
+    def hz(self) -> np.ndarray:
+        """Z-type parity-check matrix (rows are generators)."""
+        return self._hz.copy()
+
+    @property
+    def num_physical_qubits(self) -> int:
+        """Block length ``n``."""
+        return int(self._hx.shape[1])
+
+    @property
+    def num_logical_qubits(self) -> int:
+        """Number of encoded qubits ``k = n - rank(Hx) - rank(Hz)``."""
+        n = self.num_physical_qubits
+        return n - gf2_rank(self._hx) - gf2_rank(self._hz)
+
+    @property
+    def distance(self) -> int | None:
+        """Code distance ``d`` if declared at construction time."""
+        return self._distance
+
+    @property
+    def correctable_errors(self) -> int:
+        """Number of arbitrary single-qubit errors the code corrects: (d-1)//2."""
+        if self._distance is None:
+            raise CodeError(f"code {self.name} has no declared distance")
+        return (self._distance - 1) // 2
+
+    # ------------------------------------------------------------------
+    # Stabilizers and logical operators
+    # ------------------------------------------------------------------
+
+    def x_stabilizers(self) -> list[PauliString]:
+        """X-type stabilizer generators as Pauli strings."""
+        n = self.num_physical_qubits
+        return [PauliString(row, np.zeros(n, dtype=np.uint8)) for row in self._hx]
+
+    def z_stabilizers(self) -> list[PauliString]:
+        """Z-type stabilizer generators as Pauli strings."""
+        n = self.num_physical_qubits
+        return [PauliString(np.zeros(n, dtype=np.uint8), row) for row in self._hz]
+
+    def stabilizers(self) -> list[PauliString]:
+        """All stabilizer generators (X-type first, then Z-type)."""
+        return self.x_stabilizers() + self.z_stabilizers()
+
+    def logical_x_operators(self) -> list[PauliString]:
+        """Representative logical X operators (one per encoded qubit).
+
+        A logical X is an X-type operator that commutes with every Z
+        stabilizer (its support is in the nullspace of ``Hz``) but is not
+        itself a product of X stabilizers.
+        """
+        return self._logical_operators(self._hz, self._hx, is_x_type=True)
+
+    def logical_z_operators(self) -> list[PauliString]:
+        """Representative logical Z operators (one per encoded qubit)."""
+        return self._logical_operators(self._hx, self._hz, is_x_type=False)
+
+    def _logical_operators(
+        self, commute_with: np.ndarray, modulo_rows: np.ndarray, is_x_type: bool
+    ) -> list[PauliString]:
+        n = self.num_physical_qubits
+        candidates = gf2_nullspace(commute_with)
+        logicals: list[np.ndarray] = []
+        span_rows = [row.copy() for row in modulo_rows]
+        for candidate in candidates:
+            trial = span_rows + [logical for logical in logicals] + [candidate]
+            base = span_rows + [logical for logical in logicals]
+            base_rank = gf2_rank(np.array(base, dtype=np.uint8)) if base else 0
+            trial_rank = gf2_rank(np.array(trial, dtype=np.uint8))
+            if trial_rank > base_rank:
+                logicals.append(candidate)
+            if len(logicals) == self.num_logical_qubits:
+                break
+        result = []
+        zeros = np.zeros(n, dtype=np.uint8)
+        for support in logicals:
+            if is_x_type:
+                result.append(PauliString(support, zeros))
+            else:
+                result.append(PauliString(zeros, support))
+        return result
+
+    # ------------------------------------------------------------------
+    # Syndromes
+    # ------------------------------------------------------------------
+
+    def syndrome_of(self, error: PauliString) -> tuple[np.ndarray, np.ndarray]:
+        """Syndrome of a Pauli error: (X-check results, Z-check results).
+
+        The X-type checks detect Z errors (phase flips) and the Z-type checks
+        detect X errors (bit flips); each returned vector has one bit per
+        generator, 1 meaning the check anticommutes with the error.
+        """
+        if error.num_qubits != self.num_physical_qubits:
+            raise CodeError(
+                f"error acts on {error.num_qubits} qubits, code block is "
+                f"{self.num_physical_qubits}"
+            )
+        x_check_results = (self._hx @ error.z) % 2
+        z_check_results = (self._hz @ error.x) % 2
+        return x_check_results.astype(np.uint8), z_check_results.astype(np.uint8)
+
+    def is_stabilizer_element(self, pauli: PauliString) -> bool:
+        """True if a Pauli (up to phase) lies in the stabilizer group."""
+        x_syn, z_syn = self.syndrome_of(pauli)
+        if np.any(x_syn) or np.any(z_syn):
+            return False
+        # Check membership of the X part in the row span of Hx and likewise for Z.
+        return self._in_row_span(pauli.x, self._hx) and self._in_row_span(pauli.z, self._hz)
+
+    @staticmethod
+    def _in_row_span(vector: np.ndarray, matrix: np.ndarray) -> bool:
+        if not np.any(vector):
+            return True
+        if matrix.shape[0] == 0:
+            return False
+        base_rank = gf2_rank(matrix)
+        augmented = np.vstack([matrix, vector.reshape(1, -1)])
+        return gf2_rank(augmented) == base_rank

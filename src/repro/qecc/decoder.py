@@ -1,0 +1,114 @@
+"""Lookup-table decoding for small CSS codes.
+
+For a distance-3 code every correctable error is a single-qubit Pauli, so the
+decoder is a table from syndrome to correction.  The table is built directly
+from the code's check matrices, which keeps the decoder valid for any small
+CSS code, not only the Steane code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DecodingError
+from repro.pauli import PauliString
+from repro.qecc.css import CSSCode
+from repro.qecc.steane import steane_code
+
+
+class LookupDecoder:
+    """Syndrome-to-correction lookup decoder for a CSS code.
+
+    Parameters
+    ----------
+    code:
+        The CSS code to decode; defaults to the Steane code.
+
+    Notes
+    -----
+    The table maps each single-qubit error syndrome to the corresponding
+    correction.  Syndromes that no single-qubit error produces (possible only
+    for codes of distance > 3 or for multi-qubit errors) raise
+    :class:`~repro.exceptions.DecodingError` unless ``strict=False`` is passed
+    to :meth:`correction_for_syndrome`, in which case the identity is returned
+    -- the behaviour of a real machine that applies no correction when the
+    syndrome is unrecognised.
+    """
+
+    def __init__(self, code: CSSCode | None = None) -> None:
+        self._code = code if code is not None else steane_code()
+        n = self._code.num_physical_qubits
+        self._x_table: dict[tuple[int, ...], int] = {}
+        self._z_table: dict[tuple[int, ...], int] = {}
+        hz = self._code.hz
+        hx = self._code.hx
+        for qubit in range(n):
+            error = np.zeros(n, dtype=np.uint8)
+            error[qubit] = 1
+            x_syndrome = tuple(int(b) for b in (hz @ error) % 2)
+            z_syndrome = tuple(int(b) for b in (hx @ error) % 2)
+            if any(x_syndrome):
+                self._x_table[x_syndrome] = qubit
+            if any(z_syndrome):
+                self._z_table[z_syndrome] = qubit
+
+    @property
+    def code(self) -> CSSCode:
+        """The code this decoder was built for."""
+        return self._code
+
+    def correction_for_syndrome(
+        self, syndrome: np.ndarray | list[int], error_type: str, strict: bool = True
+    ) -> PauliString:
+        """The Pauli correction a syndrome calls for.
+
+        Parameters
+        ----------
+        syndrome:
+            Bits of the relevant parity checks (Z-type checks for ``"X"``
+            errors, X-type checks for ``"Z"`` errors).
+        error_type:
+            ``"X"`` or ``"Z"`` -- the kind of data error being corrected.
+        strict:
+            If True, an unrecognised non-trivial syndrome raises; if False the
+            identity correction is returned instead.
+        """
+        if error_type not in ("X", "Z"):
+            raise DecodingError("error_type must be 'X' or 'Z'")
+        key = tuple(int(b) % 2 for b in np.asarray(syndrome).ravel())
+        n = self._code.num_physical_qubits
+        if not any(key):
+            return PauliString.identity(n)
+        table = self._x_table if error_type == "X" else self._z_table
+        if key not in table:
+            if strict:
+                raise DecodingError(
+                    f"syndrome {key} does not correspond to any single-qubit "
+                    f"{error_type} error"
+                )
+            return PauliString.identity(n)
+        qubit = table[key]
+        x = np.zeros(n, dtype=np.uint8)
+        z = np.zeros(n, dtype=np.uint8)
+        if error_type == "X":
+            x[qubit] = 1
+        else:
+            z[qubit] = 1
+        return PauliString(x, z)
+
+    def decode_residual(self, error: PauliString) -> tuple[PauliString, bool]:
+        """Decode a known physical error and report whether decoding succeeds.
+
+        Returns the correction the decoder would apply and a flag that is True
+        when correction followed by the error leaves the code space unchanged
+        (i.e. error * correction is a stabilizer element), False when a logical
+        error remains.  Used by tests and by the coarse-grained concatenation
+        analysis.
+        """
+        x_syndrome, z_syndrome = self._code.syndrome_of(error)
+        # X-type checks flag Z errors; Z-type checks flag X errors.
+        correction_x = self.correction_for_syndrome(z_syndrome, "X", strict=False)
+        correction_z = self.correction_for_syndrome(x_syndrome, "Z", strict=False)
+        correction = correction_x * correction_z
+        residual = error * correction
+        return correction, self._code.is_stabilizer_element(residual)

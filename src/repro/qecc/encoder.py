@@ -1,0 +1,131 @@
+"""Encoding circuits for CSS codes (and the Steane code in particular).
+
+The logical |0> of a CSS code is the uniform superposition of the row span of
+its X-type check matrix.  The encoder therefore places a Hadamard on one
+"seed" qubit per X generator and fans the generator out with CNOTs -- the
+standard construction, and the one the QLA tile executes when a fresh logical
+ancilla block is needed for syndrome extraction (Figure 6, "prep" boxes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits import Circuit
+from repro.exceptions import CodeError
+from repro.qecc.css import CSSCode
+from repro.qecc.steane import steane_code
+
+
+def _choose_seed_qubits(hx: np.ndarray) -> list[int]:
+    """Pick one seed qubit per X generator via Gaussian elimination.
+
+    The matrix is reduced to row-echelon form; the pivot column of each row is
+    its seed.  After reduction each seed appears in exactly one (reduced) row,
+    so the CNOT fan-out of different generators never interferes.
+    """
+    m = hx.copy().astype(np.uint8) % 2
+    rows, cols = m.shape
+    pivots: list[int] = []
+    pivot_row = 0
+    for col in range(cols):
+        pivot = None
+        for row in range(pivot_row, rows):
+            if m[row, col]:
+                pivot = row
+                break
+        if pivot is None:
+            continue
+        m[[pivot_row, pivot]] = m[[pivot, pivot_row]]
+        for row in range(rows):
+            if row != pivot_row and m[row, col]:
+                m[row] ^= m[pivot_row]
+        pivots.append(col)
+        pivot_row += 1
+        if pivot_row == rows:
+            break
+    if len(pivots) != rows:
+        raise CodeError("X check matrix has linearly dependent rows; cannot pick seeds")
+    return pivots
+
+
+def encode_zero_circuit(code: CSSCode, qubit_offset: int = 0, num_qubits: int | None = None) -> Circuit:
+    """Encoding circuit mapping |0...0> to the logical |0> of a CSS code.
+
+    Parameters
+    ----------
+    code:
+        The CSS code to encode.
+    qubit_offset:
+        Index of the first physical qubit of the block inside a larger
+        register (the QLA layout places many blocks in one register).
+    num_qubits:
+        Total register size; defaults to exactly one block.
+    """
+    # Reduce Hx so each generator has a private seed qubit.
+    hx = code.hx
+    m = hx.copy().astype(np.uint8) % 2
+    rows, cols = m.shape
+    pivots = _choose_seed_qubits(hx)
+    # Re-run elimination to obtain the reduced rows aligned with the pivots.
+    reduced = hx.copy().astype(np.uint8) % 2
+    pivot_row = 0
+    for col in range(cols):
+        pivot = None
+        for row in range(pivot_row, rows):
+            if reduced[row, col]:
+                pivot = row
+                break
+        if pivot is None:
+            continue
+        reduced[[pivot_row, pivot]] = reduced[[pivot, pivot_row]]
+        for row in range(rows):
+            if row != pivot_row and reduced[row, col]:
+                reduced[row] ^= reduced[pivot_row]
+        pivot_row += 1
+        if pivot_row == rows:
+            break
+
+    block = code.num_physical_qubits
+    size = num_qubits if num_qubits is not None else qubit_offset + block
+    circuit = Circuit(size, name=f"encode_zero_{code.name}")
+    for qubit in range(block):
+        circuit.prepare(qubit_offset + qubit)
+    for row_index, seed in enumerate(pivots):
+        circuit.h(qubit_offset + seed)
+    for row_index, seed in enumerate(pivots):
+        for target in np.flatnonzero(reduced[row_index]):
+            target = int(target)
+            if target == seed:
+                continue
+            circuit.cnot(qubit_offset + seed, qubit_offset + target)
+    return circuit
+
+
+def encode_plus_circuit(code: CSSCode, qubit_offset: int = 0, num_qubits: int | None = None) -> Circuit:
+    """Encoding circuit for the logical |+> state.
+
+    For self-dual CSS codes (Hx == Hz, which includes the Steane code) the
+    transversal Hadamard implements the logical Hadamard, so |+>_L is obtained
+    by encoding |0>_L and applying H to every physical qubit.
+    """
+    if not np.array_equal(code.hx, code.hz):
+        raise CodeError(
+            "encode_plus_circuit uses the transversal Hadamard and therefore "
+            "requires a self-dual CSS code"
+        )
+    circuit = encode_zero_circuit(code, qubit_offset=qubit_offset, num_qubits=num_qubits)
+    circuit.name = f"encode_plus_{code.name}"
+    for qubit in range(code.num_physical_qubits):
+        circuit.h(qubit_offset + qubit)
+    return circuit
+
+
+def steane_encode_zero_circuit(qubit_offset: int = 0, num_qubits: int | None = None) -> Circuit:
+    """Encoding circuit for the Steane logical |0> (9 CNOTs, 3 Hadamards)."""
+    return encode_zero_circuit(steane_code(), qubit_offset=qubit_offset, num_qubits=num_qubits)
+
+
+def steane_encode_plus_circuit(qubit_offset: int = 0, num_qubits: int | None = None) -> Circuit:
+    """Encoding circuit for the Steane logical |+>."""
+    return encode_plus_circuit(steane_code(), qubit_offset=qubit_offset, num_qubits=num_qubits)

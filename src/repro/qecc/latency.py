@@ -1,0 +1,263 @@
+"""Error-correction latency model -- Equation 1 of the paper.
+
+Section 4.1.1 estimates the wall-clock time of one error-correction step of
+the QLA logical qubit at recursion levels 1 and 2:
+
+    T_L,ecc = 2 * T_L,synd                                   (trivial syndrome)
+    T_L,ecc = 2 * (2 * T_L,synd + T_1 + T_{L-1},ecc)         (non-trivial)
+
+where ``T_L,synd`` is the time of one syndrome extraction at level L (itself
+dominated by the preparation of the encoded ancilla block), ``T_1`` the time
+of a logical one-qubit gate and ``T_{L-1},ecc`` the lower-level error
+correction that follows every logical gate.  The two cases are combined in a
+weighted average using the empirically measured non-trivial-syndrome rates.
+The paper's numbers with the expected technology parameters are roughly
+0.003 s at level 1 and 0.043 s at level 2, with about 0.008 s of the level-2
+figure spent preparing the logical ancilla.
+
+The model below rebuilds those figures mechanistically from the technology
+table and an explicit accounting of the Figure 6 schedule (encoding depth,
+verification rounds, ion movement per transversal interaction, and the number
+of lower-level error-correction rounds embedded in a level-L extraction).  The
+step counts are parameters of :class:`EccLatencyModel` with defaults chosen to
+follow the paper's circuit description; EXPERIMENTS.md records how close the
+resulting latencies come to the paper's values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError
+from repro.iontrap.parameters import IonTrapParameters, EXPECTED_PARAMETERS
+
+#: Non-trivial syndrome rates measured by the paper's numerical simulation of
+#: a level-2 qubit (Section 4.1.1); used as weights in the Equation 1 average.
+PAPER_NONTRIVIAL_SYNDROME_RATE_L1: float = 3.35e-4
+PAPER_NONTRIVIAL_SYNDROME_RATE_L2: float = 7.92e-4
+
+#: The paper's quoted latencies, kept available for calibration comparisons.
+PAPER_ECC_TIME_LEVEL1: float = 0.003
+PAPER_ECC_TIME_LEVEL2: float = 0.043
+PAPER_ANCILLA_PREP_TIME_LEVEL2: float = 0.008
+
+
+@dataclass(frozen=True)
+class EccLatencyBreakdown:
+    """Timing breakdown of one error-correction step at a recursion level.
+
+    All times are in seconds.
+
+    Attributes
+    ----------
+    level:
+        Recursion level the breakdown refers to.
+    ancilla_preparation:
+        Time to prepare (and verify) one encoded ancilla block at this level.
+    syndrome_extraction:
+        Time of one full syndrome extraction (preparation + transversal
+        interaction + transversal measurement + embedded lower-level ECC).
+    trivial_cycle:
+        Equation 1, trivial-syndrome branch (two serial extractions).
+    nontrivial_cycle:
+        Equation 1, non-trivial branch (repeat extraction, correct, lower ECC).
+    expected_cycle:
+        Weighted average of the two branches using the non-trivial rate.
+    nontrivial_rate:
+        The weight used for the non-trivial branch.
+    """
+
+    level: int
+    ancilla_preparation: float
+    syndrome_extraction: float
+    trivial_cycle: float
+    nontrivial_cycle: float
+    expected_cycle: float
+    nontrivial_rate: float
+
+
+@dataclass(frozen=True)
+class EccLatencyModel:
+    """Mechanistic latency model for concatenated Steane error correction.
+
+    Parameters
+    ----------
+    parameters:
+        Ion-trap technology parameters (times).
+    encoding_cnot_depth:
+        Depth, in two-qubit-interaction layers, of the encoding network of one
+        Steane block (the 9-CNOT encoder schedules into about 4 layers; the
+        fault-tolerant preparation of Figure 6 adds re-ordering moves, so the
+        default charges 6).
+    encoding_single_depth:
+        Depth in single-qubit layers of the encoder (the three Hadamards).
+    verification_rounds:
+        How many verification rounds a freshly encoded ancilla block goes
+        through before it may touch data; each round couples the block to a
+        verification block and measures it.
+    verification_cnot_depth:
+        Two-qubit-interaction layers per verification round (encode the
+        verification copy's interaction and parity collection).
+    interaction_move_cells:
+        Average ballistic distance, in cells, an ion travels to take part in
+        one two-qubit interaction (the paper's r = 12 block alignment).
+    corner_turns_per_interaction:
+        Corner turns per interaction (the QLA layout guarantees at most two).
+    splits_per_interaction:
+        Chain splits per interaction (detach, and re-detach after the gate).
+    sub_ecc_rounds_prep:
+        Lower-level error-correction rounds embedded in a level-L (L >= 2)
+        ancilla preparation (Figure 6's "ecc" boxes inside the prep stage).
+    sub_ecc_rounds_extraction:
+        Lower-level error-correction rounds embedded in the interaction part
+        of a level-L (L >= 2) syndrome extraction.
+    nontrivial_rate_l1 / nontrivial_rate_l2:
+        Non-trivial syndrome probabilities used to weight Equation 1.
+    """
+
+    parameters: IonTrapParameters = EXPECTED_PARAMETERS
+    encoding_cnot_depth: int = 6
+    encoding_single_depth: int = 3
+    verification_rounds: int = 3
+    verification_cnot_depth: int = 3
+    interaction_move_cells: int = 12
+    corner_turns_per_interaction: int = 2
+    splits_per_interaction: int = 2
+    sub_ecc_rounds_prep: int = 2
+    sub_ecc_rounds_extraction: int = 6
+    nontrivial_rate_l1: float = PAPER_NONTRIVIAL_SYNDROME_RATE_L1
+    nontrivial_rate_l2: float = PAPER_NONTRIVIAL_SYNDROME_RATE_L2
+
+    def __post_init__(self) -> None:
+        for name in (
+            "encoding_cnot_depth",
+            "encoding_single_depth",
+            "verification_rounds",
+            "verification_cnot_depth",
+            "interaction_move_cells",
+            "corner_turns_per_interaction",
+            "splits_per_interaction",
+            "sub_ecc_rounds_prep",
+            "sub_ecc_rounds_extraction",
+        ):
+            if getattr(self, name) < 0:
+                raise ParameterError(f"{name} must be non-negative")
+        for name in ("nontrivial_rate_l1", "nontrivial_rate_l2"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ParameterError(f"{name} must be a probability")
+
+    # ------------------------------------------------------------------
+    # Physical building blocks
+    # ------------------------------------------------------------------
+
+    @property
+    def interaction_time(self) -> float:
+        """Time of one two-qubit interaction including the ballistic shuttle.
+
+        Split(s) to detach the ions, movement over the block-alignment
+        distance and back, corner turns, the two-qubit laser gate, and a
+        sympathetic re-cooling step.
+        """
+        p = self.parameters
+        return (
+            self.splits_per_interaction * p.split_time
+            + self.corner_turns_per_interaction * p.corner_turn_time
+            + 2 * self.interaction_move_cells * p.movement_time_per_cell
+            + p.double_gate_time
+            + p.cooling_time
+        )
+
+    @property
+    def transversal_measurement_time(self) -> float:
+        """Time to measure a block transversally (all ions read in parallel)."""
+        return self.parameters.measure_time
+
+    @property
+    def logical_single_gate_time(self) -> float:
+        """Time of a transversal single-qubit logical gate (one laser layer)."""
+        return self.parameters.single_gate_time
+
+    # ------------------------------------------------------------------
+    # Level-dependent quantities
+    # ------------------------------------------------------------------
+
+    def ancilla_preparation_time(self, level: int) -> float:
+        """Time to prepare and verify one encoded ancilla block at a level."""
+        if level < 1:
+            raise ParameterError("ancilla preparation is defined for level >= 1")
+        p = self.parameters
+        encode = (
+            self.encoding_single_depth * p.single_gate_time
+            + self.encoding_cnot_depth * self.interaction_time
+        )
+        verify = self.verification_rounds * (
+            self.verification_cnot_depth * self.interaction_time
+            + self.transversal_measurement_time
+        )
+        if level == 1:
+            return encode + verify
+        # At higher levels the seven sub-blocks are prepared in parallel (one
+        # lower-level preparation on the critical path), then coupled by
+        # transversal logical CNOTs whose physical layers cost the same as the
+        # level-1 interaction, interleaved with lower-level error correction.
+        lower_prep = self.ancilla_preparation_time(level - 1)
+        lower_ecc = self.ecc_time(level - 1)
+        return encode + verify + lower_prep + self.sub_ecc_rounds_prep * lower_ecc
+
+    def syndrome_extraction_time(self, level: int) -> float:
+        """Time of one syndrome extraction (one error type) at a level."""
+        if level < 1:
+            raise ParameterError("syndrome extraction is defined for level >= 1")
+        prep = self.ancilla_preparation_time(level)
+        interaction = self.interaction_time
+        measure = self.transversal_measurement_time
+        if level == 1:
+            return prep + interaction + measure
+        lower_ecc = self.ecc_time(level - 1)
+        return prep + interaction + self.sub_ecc_rounds_extraction * lower_ecc + measure
+
+    def ecc_time(self, level: int) -> float:
+        """Expected duration of one error-correction step at a level (Eq. 1)."""
+        return self.breakdown(level).expected_cycle
+
+    def breakdown(self, level: int) -> EccLatencyBreakdown:
+        """Full timing breakdown at a recursion level."""
+        if level < 0:
+            raise ParameterError("recursion level must be non-negative")
+        if level == 0:
+            return EccLatencyBreakdown(
+                level=0,
+                ancilla_preparation=0.0,
+                syndrome_extraction=0.0,
+                trivial_cycle=0.0,
+                nontrivial_cycle=0.0,
+                expected_cycle=0.0,
+                nontrivial_rate=0.0,
+            )
+        synd = self.syndrome_extraction_time(level)
+        prep = self.ancilla_preparation_time(level)
+        lower = self.ecc_time(level - 1) if level > 1 else 0.0
+        trivial = 2.0 * synd
+        nontrivial = 2.0 * (2.0 * synd + self.logical_single_gate_time + lower)
+        rate = self.nontrivial_rate_l1 if level == 1 else self.nontrivial_rate_l2
+        expected = (1.0 - rate) * trivial + rate * nontrivial
+        return EccLatencyBreakdown(
+            level=level,
+            ancilla_preparation=prep,
+            syndrome_extraction=synd,
+            trivial_cycle=trivial,
+            nontrivial_cycle=nontrivial,
+            expected_cycle=expected,
+            nontrivial_rate=rate,
+        )
+
+    def logical_gate_time(self, level: int, two_qubit: bool = False) -> float:
+        """Time of one transversal logical gate followed by error correction.
+
+        This is the unit the application-level performance model charges per
+        logical time-step: the gate's physical layer plus a full ECC step of
+        the operands.
+        """
+        gate = self.interaction_time if two_qubit else self.logical_single_gate_time
+        return gate + self.ecc_time(level)

@@ -1,0 +1,115 @@
+"""The Steane [[7,1,3]] code.
+
+Section 4.1 of the paper chooses the Steane code because it admits a fully
+transversal implementation of the Clifford group ("a logical quantum bit-flip
+gate on our qubit can be implemented by applying 49 physical bit-flip gates on
+the ions, in parallel" at level 2) and a compact syndrome-extraction circuit.
+The code is the CSS construction on the [7,4,3] Hamming code for both bit-flip
+and phase-flip checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import CodeError
+from repro.pauli import PauliString
+from repro.qecc.css import CSSCode
+
+#: Parity-check matrix of the classical [7,4,3] Hamming code.  Columns are the
+#: binary representations of 1..7, so the syndrome directly names the flipped
+#: bit (1-indexed), the property the lookup decoder relies on.
+HAMMING_PARITY_CHECK: np.ndarray = np.array(
+    [
+        [0, 0, 0, 1, 1, 1, 1],
+        [0, 1, 1, 0, 0, 1, 1],
+        [1, 0, 1, 0, 1, 0, 1],
+    ],
+    dtype=np.uint8,
+)
+
+
+class SteaneCode(CSSCode):
+    """The [[7,1,3]] Steane code with convenience accessors.
+
+    The code encodes one logical qubit into seven physical qubits and corrects
+    any single-qubit error.  Logical X and Z are both weight-7 transversal
+    operators (X or Z on every physical qubit); weight-3 representatives also
+    exist but the transversal form is what the QLA tile applies physically.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            hx=HAMMING_PARITY_CHECK,
+            hz=HAMMING_PARITY_CHECK,
+            distance=3,
+            name="steane_7_1_3",
+        )
+
+    # -- logical operators --------------------------------------------------
+
+    def logical_x(self) -> PauliString:
+        """The transversal logical X operator (X on all seven qubits)."""
+        return PauliString.from_label("XXXXXXX")
+
+    def logical_z(self) -> PauliString:
+        """The transversal logical Z operator (Z on all seven qubits)."""
+        return PauliString.from_label("ZZZZZZZ")
+
+    def logical_y(self) -> PauliString:
+        """A representative logical Y operator."""
+        return self.logical_z() * self.logical_x()
+
+    # -- syndrome decoding helpers -------------------------------------------
+
+    def qubit_from_syndrome(self, syndrome: np.ndarray) -> int | None:
+        """The qubit a single-error syndrome points to, or None for no error.
+
+        Because the Hamming check columns are the binary numbers 1..7, the
+        three syndrome bits read as an integer give the (1-indexed) position
+        of the flipped qubit.
+        """
+        syndrome = np.asarray(syndrome, dtype=np.uint8) % 2
+        if syndrome.shape != (3,):
+            raise CodeError("a Steane syndrome has exactly three bits")
+        value = int(syndrome[0]) * 4 + int(syndrome[1]) * 2 + int(syndrome[2])
+        if value == 0:
+            return None
+        return value - 1
+
+    def correction_for(self, syndrome: np.ndarray, error_type: str) -> PauliString:
+        """The single-qubit correction a syndrome calls for.
+
+        Parameters
+        ----------
+        syndrome:
+            Three syndrome bits.
+        error_type:
+            ``"X"`` if the syndrome came from the Z-type checks (bit-flip
+            errors) or ``"Z"`` if it came from the X-type checks (phase-flip
+            errors); the correction applies the same Pauli as the error.
+        """
+        if error_type not in ("X", "Z"):
+            raise CodeError("error_type must be 'X' or 'Z'")
+        qubit = self.qubit_from_syndrome(syndrome)
+        n = self.num_physical_qubits
+        if qubit is None:
+            return PauliString.identity(n)
+        x = np.zeros(n, dtype=np.uint8)
+        z = np.zeros(n, dtype=np.uint8)
+        if error_type == "X":
+            x[qubit] = 1
+        else:
+            z[qubit] = 1
+        return PauliString(x, z)
+
+
+_STEANE_SINGLETON: SteaneCode | None = None
+
+
+def steane_code() -> SteaneCode:
+    """The shared Steane-code instance (the code object is immutable)."""
+    global _STEANE_SINGLETON
+    if _STEANE_SINGLETON is None:
+        _STEANE_SINGLETON = SteaneCode()
+    return _STEANE_SINGLETON

@@ -1,0 +1,257 @@
+"""Steane-style syndrome extraction circuits (Figure 6 of the paper).
+
+The Steane method extracts a full X- or Z-error syndrome with a single
+transversal interaction: a freshly encoded logical ancilla block is coupled to
+the data block by a transversal CNOT and then measured transversally; the
+classical parity checks of the measured 7-bit string reveal the error
+location.  Ancilla blocks are *verified* before use (a second encoded copy is
+consumed to catch preparation errors), which is why the paper's level-1 block
+carries 7 data, 7 ancilla and 7 verification ions.
+
+The circuits produced here label every measurement so the ARQ executor (and
+the Figure 7 experiment) can reconstruct syndromes from the simulated
+outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits import Circuit
+from repro.exceptions import CodeError
+from repro.qecc.css import CSSCode
+from repro.qecc.encoder import encode_plus_circuit, encode_zero_circuit
+from repro.qecc.steane import steane_code
+
+
+@dataclass(frozen=True)
+class SyndromeExtractionCircuit:
+    """A syndrome-extraction circuit plus the bookkeeping needed to use it.
+
+    Attributes
+    ----------
+    circuit:
+        The executable circuit (preparation, transversal CNOT, measurements).
+    error_type:
+        ``"X"`` if the extraction detects bit-flip errors on the data,
+        ``"Z"`` if it detects phase-flip errors.
+    data_qubits:
+        Physical indices of the data block.
+    ancilla_qubits:
+        Physical indices of the encoded ancilla block that is measured.
+    verification_qubits:
+        Physical indices of the verification block (empty if unverified).
+    ancilla_measurement_labels:
+        Labels of the transversal ancilla measurements, in qubit order; the
+        executor collects these bits to form the syndrome.
+    verification_measurement_labels:
+        Labels of the verification measurements (all should read 0 for an
+        accepted ancilla).
+    """
+
+    circuit: Circuit
+    error_type: str
+    data_qubits: tuple[int, ...]
+    ancilla_qubits: tuple[int, ...]
+    verification_qubits: tuple[int, ...] = ()
+    ancilla_measurement_labels: tuple[str, ...] = ()
+    verification_measurement_labels: tuple[str, ...] = field(default=())
+
+
+def _block_indices(offset: int, size: int) -> tuple[int, ...]:
+    return tuple(range(offset, offset + size))
+
+
+def steane_syndrome_circuit(
+    error_type: str,
+    data_offset: int = 0,
+    ancilla_offset: int | None = None,
+    verification_offset: int | None = None,
+    num_qubits: int | None = None,
+    code: CSSCode | None = None,
+    label_prefix: str = "",
+) -> SyndromeExtractionCircuit:
+    """Build one Steane-style syndrome extraction.
+
+    Parameters
+    ----------
+    error_type:
+        ``"X"`` to extract the bit-flip syndrome (ancilla prepared in |+>_L,
+        data controls a transversal CNOT into the ancilla, ancilla measured in
+        the Z basis) or ``"Z"`` for the phase-flip syndrome (ancilla prepared
+        in |0>_L, ancilla controls the CNOT, ancilla measured in the X basis).
+    data_offset:
+        First physical qubit of the data block.
+    ancilla_offset:
+        First physical qubit of the ancilla block; defaults to the block just
+        after the data.
+    verification_offset:
+        First physical qubit of the verification block used for verified
+        ancilla preparation; pass None to skip verification.
+    num_qubits:
+        Total register size (defaults to the smallest register that fits all
+        blocks used).
+    code:
+        The CSS code; defaults to the Steane code.
+    label_prefix:
+        Prepended to all measurement labels (used to disambiguate repeated
+        extractions in a larger schedule).
+    """
+    if error_type not in ("X", "Z"):
+        raise CodeError("error_type must be 'X' or 'Z'")
+    the_code = code if code is not None else steane_code()
+    n = the_code.num_physical_qubits
+    if ancilla_offset is None:
+        ancilla_offset = data_offset + n
+    blocks_end = max(data_offset, ancilla_offset) + n
+    if verification_offset is not None:
+        blocks_end = max(blocks_end, verification_offset + n)
+    size = num_qubits if num_qubits is not None else blocks_end
+    circuit = Circuit(size, name=f"steane_syndrome_{error_type.lower()}")
+
+    data = _block_indices(data_offset, n)
+    ancilla = _block_indices(ancilla_offset, n)
+    verification = (
+        _block_indices(verification_offset, n) if verification_offset is not None else ()
+    )
+
+    # 1. Prepare the encoded ancilla block.
+    #
+    # The bit-flip (X-error) extraction couples the data as *control* into the
+    # ancilla, so the ancilla must be |+>_L for the data to remain untouched;
+    # the phase-flip (Z-error) extraction couples the ancilla as *control*
+    # into the data, so the ancilla must be |0>_L.
+    if error_type == "X":
+        prep = encode_plus_circuit(the_code, qubit_offset=ancilla_offset, num_qubits=size)
+    else:
+        prep = encode_zero_circuit(the_code, qubit_offset=ancilla_offset, num_qubits=size)
+    circuit.compose(prep)
+
+    verification_labels: list[str] = []
+    if verification:
+        # Verified preparation: the verification block catches exactly the
+        # preparation errors that would propagate into the data through the
+        # subsequent transversal CNOT.  For the |+>_L ancilla (X extraction)
+        # those are Z errors, read out by coupling a |+>_L verification block
+        # as control into the ancilla and measuring it in the X basis; for the
+        # |0>_L ancilla (Z extraction) they are X errors, read out by copying
+        # them onto a |0>_L verification block and measuring in the Z basis.
+        # In both cases the coupling leaves an ideal ancilla state unchanged.
+        if error_type == "X":
+            verify_prep = encode_plus_circuit(
+                the_code, qubit_offset=verification_offset, num_qubits=size
+            )
+            circuit.compose(verify_prep)
+            for a_qubit, v_qubit in zip(ancilla, verification):
+                circuit.cnot(v_qubit, a_qubit)
+            for index, v_qubit in enumerate(verification):
+                label = f"{label_prefix}verify_{error_type.lower()}_{index}"
+                circuit.measure_x(v_qubit, label=label)
+                verification_labels.append(label)
+        else:
+            verify_prep = encode_zero_circuit(
+                the_code, qubit_offset=verification_offset, num_qubits=size
+            )
+            circuit.compose(verify_prep)
+            for a_qubit, v_qubit in zip(ancilla, verification):
+                circuit.cnot(a_qubit, v_qubit)
+            for index, v_qubit in enumerate(verification):
+                label = f"{label_prefix}verify_{error_type.lower()}_{index}"
+                circuit.measure(v_qubit, label=label)
+                verification_labels.append(label)
+
+    # 2. Transversal interaction between data and ancilla.
+    if error_type == "X":
+        for d_qubit, a_qubit in zip(data, ancilla):
+            circuit.cnot(d_qubit, a_qubit)
+    else:
+        for d_qubit, a_qubit in zip(data, ancilla):
+            circuit.cnot(a_qubit, d_qubit)
+
+    # 3. Transversal measurement of the ancilla block.
+    ancilla_labels: list[str] = []
+    for index, a_qubit in enumerate(ancilla):
+        label = f"{label_prefix}synd_{error_type.lower()}_{index}"
+        if error_type == "X":
+            circuit.measure(a_qubit, label=label)
+        else:
+            circuit.measure_x(a_qubit, label=label)
+        ancilla_labels.append(label)
+
+    return SyndromeExtractionCircuit(
+        circuit=circuit,
+        error_type=error_type,
+        data_qubits=data,
+        ancilla_qubits=ancilla,
+        verification_qubits=verification,
+        ancilla_measurement_labels=tuple(ancilla_labels),
+        verification_measurement_labels=tuple(verification_labels),
+    )
+
+
+def syndrome_from_ancilla_bits(
+    bits: np.ndarray | list[int], error_type: str, code: CSSCode | None = None
+) -> np.ndarray:
+    """Classical syndrome computed from the measured ancilla block.
+
+    For the X-error extraction the measured bit-string equals a codeword of
+    the classical code XOR the propagated bit-flip pattern of the data, so the
+    parity checks of the classical code recover the data's error syndrome.
+    The same holds for the Z-error extraction in the conjugate basis.
+    """
+    the_code = code if code is not None else steane_code()
+    bit_array = np.asarray(bits, dtype=np.uint8) % 2
+    if bit_array.shape != (the_code.num_physical_qubits,):
+        raise CodeError(
+            f"expected {the_code.num_physical_qubits} ancilla bits, got {bit_array.shape}"
+        )
+    check = the_code.hz if error_type == "X" else the_code.hx
+    return (check @ bit_array) % 2
+
+
+def full_error_correction_circuit(
+    data_offset: int = 0,
+    num_qubits: int | None = None,
+    verified: bool = True,
+    code: CSSCode | None = None,
+    label_prefix: str = "",
+) -> tuple[Circuit, SyndromeExtractionCircuit, SyndromeExtractionCircuit]:
+    """One full error-correction cycle: X-syndrome then Z-syndrome extraction.
+
+    The two extractions reuse the same ancilla and verification blocks one
+    after the other, exactly as the paper's level-1 block does ("we must
+    extract the two syndromes one after the other").  Returns the combined
+    circuit plus the two extraction descriptors (whose ``circuit`` attributes
+    are the individual halves).
+    """
+    the_code = code if code is not None else steane_code()
+    n = the_code.num_physical_qubits
+    ancilla_offset = data_offset + n
+    verification_offset = data_offset + 2 * n if verified else None
+    total = data_offset + (3 * n if verified else 2 * n)
+    size = num_qubits if num_qubits is not None else total
+
+    x_extraction = steane_syndrome_circuit(
+        "X",
+        data_offset=data_offset,
+        ancilla_offset=ancilla_offset,
+        verification_offset=verification_offset,
+        num_qubits=size,
+        code=the_code,
+        label_prefix=f"{label_prefix}ecc_",
+    )
+    z_extraction = steane_syndrome_circuit(
+        "Z",
+        data_offset=data_offset,
+        ancilla_offset=ancilla_offset,
+        verification_offset=verification_offset,
+        num_qubits=size,
+        code=the_code,
+        label_prefix=f"{label_prefix}ecc_",
+    )
+    combined = Circuit(size, name="steane_error_correction_cycle")
+    combined.compose(x_extraction.circuit)
+    combined.compose(z_extraction.circuit)
+    return combined, x_extraction, z_extraction

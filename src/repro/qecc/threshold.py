@@ -1,0 +1,151 @@
+"""Threshold-crossing estimation for concatenated codes (Figure 7 analysis).
+
+The paper's empirical threshold is the physical failure rate at which the
+level-1 and level-2 logical failure curves cross: below it, adding a level of
+recursion helps; above it, the extra circuitry hurts.  This module fits the
+standard concatenation form ``p_L ~ A * p^(2^L)`` to Monte-Carlo data, locates
+the crossing and reports it with an uncertainty band -- the quantity the paper
+quotes as ``p_th = (2.1 +/- 1.8) x 10^-3``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+
+@dataclass(frozen=True)
+class ThresholdEstimate:
+    """A threshold (curve-crossing) estimate.
+
+    Attributes
+    ----------
+    threshold:
+        Physical failure rate at which the two logical-failure curves cross.
+    lower, upper:
+        Crude uncertainty band derived from the statistical errors of the data
+        points bracketing the crossing.
+    level_a, level_b:
+        The two recursion levels whose curves were compared.
+    """
+
+    threshold: float
+    lower: float
+    upper: float
+    level_a: int = 1
+    level_b: int = 2
+
+    def __contains__(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+
+def fit_concatenation_coefficient(
+    physical_rates: Sequence[float], logical_rates: Sequence[float], level: int = 1
+) -> float:
+    """Fit ``A`` in ``p_logical = A * p_physical^(2^level)`` by least squares in log space.
+
+    Points with zero logical failure (no failures observed) are skipped -- they
+    carry no information about the coefficient.
+    """
+    if len(physical_rates) != len(logical_rates):
+        raise ParameterError("physical and logical rate arrays must have equal length")
+    exponent = 2**level
+    samples = [
+        np.log(pl) - exponent * np.log(pp)
+        for pp, pl in zip(physical_rates, logical_rates)
+        if pl > 0.0 and pp > 0.0
+    ]
+    if not samples:
+        raise ParameterError("no non-zero data points to fit the concatenation coefficient")
+    return float(np.exp(np.mean(samples)))
+
+
+def pseudothreshold_from_coefficient(coefficient: float, level: int = 1) -> float:
+    """The pseudothreshold ``p*`` where ``A p^(2^L) = p``.
+
+    For the usual level-1 quadratic form this is simply ``1 / A``.
+    """
+    if coefficient <= 0.0:
+        raise ParameterError("concatenation coefficient must be positive")
+    exponent = 2**level
+    return float(coefficient ** (-1.0 / (exponent - 1)))
+
+
+def estimate_threshold_crossing(
+    physical_rates: Sequence[float],
+    failures_level_a: Sequence[float],
+    failures_level_b: Sequence[float],
+    errors_level_a: Sequence[float] | None = None,
+    errors_level_b: Sequence[float] | None = None,
+    level_a: int = 1,
+    level_b: int = 2,
+) -> ThresholdEstimate:
+    """Locate the crossing of two logical-failure curves.
+
+    Parameters
+    ----------
+    physical_rates:
+        Common x-axis: the swept physical component failure rates.
+    failures_level_a, failures_level_b:
+        Logical failure rates at the two recursion levels.
+    errors_level_a, errors_level_b:
+        Optional one-sigma statistical errors; when given they widen the
+        reported uncertainty band.
+    level_a, level_b:
+        Recursion levels, recorded in the result.
+
+    The crossing is found by linear interpolation of the difference curve
+    ``level_b - level_a``; if the difference never changes sign the crossing
+    is extrapolated from the closest pair of points.
+    """
+    x = np.asarray(physical_rates, dtype=float)
+    a = np.asarray(failures_level_a, dtype=float)
+    b = np.asarray(failures_level_b, dtype=float)
+    if not (x.shape == a.shape == b.shape) or x.ndim != 1 or x.size < 2:
+        raise ParameterError("need at least two aligned sweep points to locate a crossing")
+    order = np.argsort(x)
+    x, a, b = x[order], a[order], b[order]
+    err_a = np.asarray(errors_level_a, dtype=float)[order] if errors_level_a is not None else np.zeros_like(x)
+    err_b = np.asarray(errors_level_b, dtype=float)[order] if errors_level_b is not None else np.zeros_like(x)
+
+    diff = b - a
+    crossing_index = None
+    for i in range(len(x) - 1):
+        if diff[i] == 0.0:
+            crossing_index = (i, i)
+            break
+        if diff[i] * diff[i + 1] < 0.0:
+            crossing_index = (i, i + 1)
+            break
+
+    if crossing_index is None:
+        # No sign change observed: extrapolate from the last two points of the
+        # difference curve (the best available estimate, flagged by the wide
+        # uncertainty band below).
+        i, j = len(x) - 2, len(x) - 1
+    else:
+        i, j = crossing_index
+
+    if i == j or diff[j] == diff[i]:
+        threshold = float(x[i])
+    else:
+        fraction = -diff[i] / (diff[j] - diff[i])
+        threshold = float(x[i] + fraction * (x[j] - x[i]))
+
+    # Uncertainty: shift the difference curve by the combined statistical error
+    # at the bracketing points and see how far the crossing moves.
+    combined_error = float(np.sqrt(err_a[i] ** 2 + err_b[i] ** 2 + err_a[j] ** 2 + err_b[j] ** 2))
+    slope = abs((diff[j] - diff[i]) / (x[j] - x[i])) if x[j] != x[i] else 0.0
+    if slope > 0.0 and combined_error > 0.0:
+        shift = combined_error / slope
+    else:
+        shift = abs(x[j] - x[i])
+    lower = max(0.0, threshold - shift)
+    upper = threshold + shift
+    return ThresholdEstimate(
+        threshold=threshold, lower=lower, upper=upper, level_a=level_a, level_b=level_b
+    )

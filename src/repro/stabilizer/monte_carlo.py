@@ -1,0 +1,92 @@
+"""Monte-Carlo estimation of logical failure rates.
+
+The paper's empirical threshold study (Figure 7) estimates the failure
+probability of a logical gate followed by error correction by repeatedly
+simulating the noisy circuit and counting trials in which the decoded logical
+state is wrong.  This module provides the generic shot-loop used by those
+experiments: a caller supplies a ``trial`` callable returning True on failure,
+and receives a failure-rate estimate with a binomial standard error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Result of a Monte-Carlo failure-rate estimate.
+
+    Attributes
+    ----------
+    failures:
+        Number of trials that failed.
+    trials:
+        Total number of trials run.
+    failure_rate:
+        ``failures / trials``.
+    standard_error:
+        Binomial standard error of the failure-rate estimate.
+    """
+
+    failures: int
+    trials: int
+
+    @property
+    def failure_rate(self) -> float:
+        """Fraction of failing trials."""
+        if self.trials == 0:
+            return 0.0
+        return self.failures / self.trials
+
+    @property
+    def standard_error(self) -> float:
+        """Binomial standard error sqrt(p (1 - p) / n)."""
+        if self.trials == 0:
+            return 0.0
+        p = self.failure_rate
+        return float(np.sqrt(p * (1.0 - p) / self.trials))
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """A normal-approximation confidence interval (default 95%)."""
+        half_width = z * self.standard_error
+        return (max(0.0, self.failure_rate - half_width), min(1.0, self.failure_rate + half_width))
+
+
+def estimate_failure_rate(
+    trial: Callable[[np.random.Generator], bool],
+    trials: int,
+    rng: np.random.Generator | None = None,
+    max_failures: int | None = None,
+) -> MonteCarloResult:
+    """Estimate a failure probability by repeated independent trials.
+
+    Parameters
+    ----------
+    trial:
+        Callable run once per shot.  It receives a random generator and must
+        return True if the shot counts as a failure.
+    trials:
+        Maximum number of shots to run.
+    rng:
+        Source of randomness; a fresh default generator is used if omitted.
+    max_failures:
+        Optional early stop: once this many failures have been observed the
+        loop terminates (useful when sweeping into the high-error regime where
+        failures are plentiful and extra shots add no information).
+    """
+    if trials <= 0:
+        return MonteCarloResult(failures=0, trials=0)
+    generator = rng if rng is not None else np.random.default_rng()
+    failures = 0
+    completed = 0
+    for _ in range(trials):
+        if trial(generator):
+            failures += 1
+        completed += 1
+        if max_failures is not None and failures >= max_failures:
+            break
+    return MonteCarloResult(failures=failures, trials=completed)

@@ -1,0 +1,359 @@
+"""Aaronson-Gottesman (CHP) stabilizer tableau simulator.
+
+The tableau tracks ``n`` destabilizer rows, ``n`` stabilizer rows and one
+scratch row.  Each row is a Pauli operator stored as binary X/Z vectors plus a
+sign bit.  Clifford gates act by column updates, measurement by the standard
+CHP procedure; both are O(n) / O(n^2) respectively, which keeps the simulation
+of hundred-qubit error-correction circuits tractable -- the property the paper
+relies on when it introduces ARQ.
+
+Supported operations: H, S, S_DAG, X, Y, Z, CNOT (CX), CZ, SWAP, Z-basis and
+X-basis measurement, qubit reset, and injection of arbitrary Pauli errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.pauli import PauliString
+
+
+@dataclass(frozen=True)
+class MeasurementResult:
+    """Outcome of a single-qubit measurement.
+
+    Attributes
+    ----------
+    value:
+        The measured bit (0 or 1).
+    deterministic:
+        True if the pre-measurement state already fixed the outcome, False if
+        the outcome was sampled uniformly at random.
+    """
+
+    value: int
+    deterministic: bool
+
+
+class StabilizerTableau:
+    """A CHP-style stabilizer state on ``num_qubits`` qubits.
+
+    The state is initialised to the all-|0> computational basis state.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of qubits in the register.
+    rng:
+        Optional random generator used for random measurement outcomes.  If
+        omitted a fresh default generator is created, which makes independent
+        simulations independent by default.
+    """
+
+    def __init__(self, num_qubits: int, rng: np.random.Generator | None = None) -> None:
+        if num_qubits <= 0:
+            raise SimulationError("a stabilizer tableau needs at least one qubit")
+        self._n = num_qubits
+        self._rng = rng if rng is not None else np.random.default_rng()
+        size = 2 * num_qubits + 1
+        # X part, Z part and sign bit for each of the 2n+1 rows.
+        self._x = np.zeros((size, num_qubits), dtype=np.uint8)
+        self._z = np.zeros((size, num_qubits), dtype=np.uint8)
+        self._r = np.zeros(size, dtype=np.uint8)
+        # Destabilizers start as X_i, stabilizers as Z_i.
+        for i in range(num_qubits):
+            self._x[i, i] = 1
+            self._z[num_qubits + i, i] = 1
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits in the register."""
+        return self._n
+
+    def copy(self) -> "StabilizerTableau":
+        """An independent deep copy sharing the same random generator."""
+        clone = StabilizerTableau.__new__(StabilizerTableau)
+        clone._n = self._n
+        clone._rng = self._rng
+        clone._x = self._x.copy()
+        clone._z = self._z.copy()
+        clone._r = self._r.copy()
+        return clone
+
+    def stabilizer_generators(self) -> list[PauliString]:
+        """The current stabilizer generators as :class:`PauliString` objects."""
+        n = self._n
+        gens = []
+        for i in range(n, 2 * n):
+            gens.append(PauliString(self._x[i], self._z[i], phase=2 * int(self._r[i])))
+        return gens
+
+    def destabilizer_generators(self) -> list[PauliString]:
+        """The current destabilizer generators as :class:`PauliString` objects."""
+        n = self._n
+        return [
+            PauliString(self._x[i], self._z[i], phase=2 * int(self._r[i])) for i in range(n)
+        ]
+
+    # ------------------------------------------------------------------
+    # Clifford gates
+    # ------------------------------------------------------------------
+
+    def h(self, qubit: int) -> None:
+        """Apply a Hadamard gate."""
+        a = self._index(qubit)
+        self._r ^= self._x[:, a] & self._z[:, a]
+        self._x[:, a], self._z[:, a] = self._z[:, a].copy(), self._x[:, a].copy()
+
+    def s(self, qubit: int) -> None:
+        """Apply the phase gate S = diag(1, i)."""
+        a = self._index(qubit)
+        self._r ^= self._x[:, a] & self._z[:, a]
+        self._z[:, a] ^= self._x[:, a]
+
+    def s_dag(self, qubit: int) -> None:
+        """Apply the inverse phase gate (S applied three times)."""
+        self.s(qubit)
+        self.s(qubit)
+        self.s(qubit)
+
+    def x(self, qubit: int) -> None:
+        """Apply a Pauli X gate."""
+        a = self._index(qubit)
+        self._r ^= self._z[:, a]
+
+    def z(self, qubit: int) -> None:
+        """Apply a Pauli Z gate."""
+        a = self._index(qubit)
+        self._r ^= self._x[:, a]
+
+    def y(self, qubit: int) -> None:
+        """Apply a Pauli Y gate."""
+        a = self._index(qubit)
+        self._r ^= self._x[:, a] ^ self._z[:, a]
+
+    def cnot(self, control: int, target: int) -> None:
+        """Apply a controlled-NOT gate."""
+        a = self._index(control)
+        b = self._index(target)
+        if a == b:
+            raise SimulationError("CNOT control and target must differ")
+        self._r ^= self._x[:, a] & self._z[:, b] & (self._x[:, b] ^ self._z[:, a] ^ 1)
+        self._x[:, b] ^= self._x[:, a]
+        self._z[:, a] ^= self._z[:, b]
+
+    cx = cnot
+
+    def cz(self, qubit_a: int, qubit_b: int) -> None:
+        """Apply a controlled-Z gate (symmetric in its arguments)."""
+        self.h(qubit_b)
+        self.cnot(qubit_a, qubit_b)
+        self.h(qubit_b)
+
+    def swap(self, qubit_a: int, qubit_b: int) -> None:
+        """Swap two qubits."""
+        self.cnot(qubit_a, qubit_b)
+        self.cnot(qubit_b, qubit_a)
+        self.cnot(qubit_a, qubit_b)
+
+    def apply_pauli(self, pauli: PauliString) -> None:
+        """Apply (conjugate the state by) an n-qubit Pauli error."""
+        if pauli.num_qubits != self._n:
+            raise SimulationError(
+                f"Pauli acts on {pauli.num_qubits} qubits but register has {self._n}"
+            )
+        for qubit in pauli.support():
+            letter = pauli.letter(qubit)
+            if letter == "X":
+                self.x(qubit)
+            elif letter == "Y":
+                self.y(qubit)
+            elif letter == "Z":
+                self.z(qubit)
+
+    def apply_gate(self, name: str, qubits: tuple[int, ...]) -> None:
+        """Apply a gate by name; used by the circuit executor.
+
+        Recognised names: ``H, S, SDG, X, Y, Z, CNOT/CX, CZ, SWAP, I``.
+        """
+        name = name.upper()
+        if name == "I":
+            return
+        if name == "H":
+            self.h(*qubits)
+        elif name == "S":
+            self.s(*qubits)
+        elif name in ("SDG", "S_DAG"):
+            self.s_dag(*qubits)
+        elif name == "X":
+            self.x(*qubits)
+        elif name == "Y":
+            self.y(*qubits)
+        elif name == "Z":
+            self.z(*qubits)
+        elif name in ("CNOT", "CX"):
+            self.cnot(*qubits)
+        elif name == "CZ":
+            self.cz(*qubits)
+        elif name == "SWAP":
+            self.swap(*qubits)
+        else:
+            raise SimulationError(f"gate {name!r} is not a supported Clifford operation")
+
+    # ------------------------------------------------------------------
+    # Measurement and reset
+    # ------------------------------------------------------------------
+
+    def measure(self, qubit: int) -> MeasurementResult:
+        """Measure a qubit in the Z (computational) basis."""
+        a = self._index(qubit)
+        n = self._n
+        # Does any stabilizer anticommute with Z_a (i.e. has x bit set)?
+        stab_rows = np.flatnonzero(self._x[n : 2 * n, a]) + n
+        if stab_rows.size > 0:
+            p = int(stab_rows[0])
+            outcome = int(self._rng.integers(0, 2))
+            self._random_measure_update(a, p, outcome)
+            return MeasurementResult(value=outcome, deterministic=False)
+        outcome = self._deterministic_outcome(a)
+        return MeasurementResult(value=outcome, deterministic=True)
+
+    def measure_x(self, qubit: int) -> MeasurementResult:
+        """Measure a qubit in the X basis (implemented as H, measure, H)."""
+        self.h(qubit)
+        result = self.measure(qubit)
+        self.h(qubit)
+        return result
+
+    def reset(self, qubit: int) -> None:
+        """Reset a qubit to |0> by measuring and flipping if necessary."""
+        result = self.measure(qubit)
+        if result.value == 1:
+            self.x(qubit)
+
+    def expectation(self, pauli: PauliString) -> int:
+        """Expectation value of a Pauli observable: +1, -1 or 0 (random).
+
+        The observable must carry a real phase (i**0 or i**2); imaginary
+        Paulis are not Hermitian and are rejected.
+        """
+        if pauli.num_qubits != self._n:
+            raise SimulationError(
+                f"Pauli acts on {pauli.num_qubits} qubits but register has {self._n}"
+            )
+        if pauli.phase % 2 != 0:
+            raise SimulationError("expectation requires a Hermitian (real-phase) Pauli")
+        n = self._n
+        # If the observable anticommutes with any stabilizer the outcome is random.
+        for i in range(n, 2 * n):
+            anti = (
+                int(np.dot(pauli.x, self._z[i]) + np.dot(pauli.z, self._x[i])) % 2
+            )
+            if anti:
+                return 0
+        # Otherwise the observable is (up to sign) a product of stabilizers.  The
+        # relevant subset is indexed by the destabilizers it anticommutes with.
+        acc_x = np.zeros(n, dtype=np.uint8)
+        acc_z = np.zeros(n, dtype=np.uint8)
+        acc_phase = 0  # exponent of i
+        for i in range(n):
+            anti = (
+                int(np.dot(pauli.x, self._z[i]) + np.dot(pauli.z, self._x[i])) % 2
+            )
+            if anti:
+                row = n + i
+                acc_phase += 2 * int(self._r[row])
+                acc_phase += _product_phase(acc_x, acc_z, self._x[row], self._z[row])
+                acc_x ^= self._x[row]
+                acc_z ^= self._z[row]
+        if not (np.array_equal(acc_x, pauli.x) and np.array_equal(acc_z, pauli.z)):
+            raise SimulationError(
+                "internal error: accumulated stabilizer product does not match observable"
+            )
+        sign_exponent = (acc_phase - pauli.phase) % 4
+        if sign_exponent == 0:
+            return 1
+        if sign_exponent == 2:
+            return -1
+        raise SimulationError("internal error: non-real relative phase in expectation")
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+
+    def _index(self, qubit: int) -> int:
+        if not 0 <= qubit < self._n:
+            raise SimulationError(f"qubit index {qubit} outside register of size {self._n}")
+        return qubit
+
+    def _rowsum(self, h: int, i: int) -> None:
+        """Multiply row ``h`` by row ``i`` (CHP rowsum), tracking the sign."""
+        phase = 2 * int(self._r[h]) + 2 * int(self._r[i])
+        phase += _product_phase(self._x[h], self._z[h], self._x[i], self._z[i])
+        self._r[h] = 1 if phase % 4 == 2 else 0
+        self._x[h] ^= self._x[i]
+        self._z[h] ^= self._z[i]
+
+    def _random_measure_update(self, a: int, p: int, outcome: int) -> None:
+        """CHP update for a random-outcome measurement of qubit ``a``.
+
+        ``p`` is the index of a stabilizer row anticommuting with Z_a.
+        """
+        n = self._n
+        rows = np.flatnonzero(self._x[:, a])
+        for h in rows:
+            h = int(h)
+            if h != p and h != p - n:
+                self._rowsum(h, p)
+        # The old stabilizer row p becomes the destabilizer p-n.
+        self._x[p - n] = self._x[p]
+        self._z[p - n] = self._z[p]
+        self._r[p - n] = self._r[p]
+        # The new stabilizer is +/- Z_a depending on the outcome.
+        self._x[p] = 0
+        self._z[p] = 0
+        self._z[p, a] = 1
+        self._r[p] = outcome
+
+    def _deterministic_outcome(self, a: int) -> int:
+        """CHP computation of a deterministic Z_a measurement outcome."""
+        n = self._n
+        scratch = 2 * n
+        self._x[scratch] = 0
+        self._z[scratch] = 0
+        self._r[scratch] = 0
+        for i in range(n):
+            if self._x[i, a]:
+                self._rowsum(scratch, i + n)
+        return int(self._r[scratch])
+
+
+def _product_phase(x1: np.ndarray, z1: np.ndarray, x2: np.ndarray, z2: np.ndarray) -> int:
+    """Sum over qubits of the CHP ``g`` function (exponent of i from products).
+
+    ``g(x1, z1, x2, z2)`` gives the power of i picked up when the single-qubit
+    Pauli ``(x1, z1)`` is multiplied by ``(x2, z2)`` in the X-before-Z
+    convention.  The vectorised form below matches Aaronson & Gottesman.
+    """
+    x1 = x1.astype(np.int64)
+    z1 = z1.astype(np.int64)
+    x2 = x2.astype(np.int64)
+    z2 = z2.astype(np.int64)
+    g = np.zeros_like(x1)
+    # Case x1=1, z1=1 (Y): g = z2 - x2
+    mask_y = (x1 == 1) & (z1 == 1)
+    g[mask_y] = (z2 - x2)[mask_y]
+    # Case x1=1, z1=0 (X): g = z2 * (2*x2 - 1)
+    mask_x = (x1 == 1) & (z1 == 0)
+    g[mask_x] = (z2 * (2 * x2 - 1))[mask_x]
+    # Case x1=0, z1=1 (Z): g = x2 * (1 - 2*z2)
+    mask_z = (x1 == 0) & (z1 == 1)
+    g[mask_z] = (x2 * (1 - 2 * z2))[mask_z]
+    return int(g.sum())

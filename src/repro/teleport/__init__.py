@@ -1,0 +1,49 @@
+"""Teleportation-based long-range communication: EPR pairs, purification,
+repeaters and the island-separation design study.
+
+Section 4.2 of the paper replaces long ballistic ion movement with quantum
+teleportation: EPR pairs are created in the middle of inter-island channels,
+purified by entanglement pumping between adjacent teleportation islands, and
+extended over the full source-destination distance by a logarithmic sequence
+of entanglement-swapping steps.  This package models each of those stages and
+reproduces the Figure 9 design study (optimal island separation as a function
+of communication distance).
+"""
+
+from repro.teleport.epr import EPRPair, werner_fidelity_after_depolarizing
+from repro.teleport.purification import (
+    bennett_purification_map,
+    deutsch_purification_map,
+    purification_rounds_needed,
+    pumping_fixpoint_fidelity,
+)
+from repro.teleport.teleportation import TeleportationCost, teleportation_cost
+from repro.teleport.repeater import RepeaterChain, ConnectionTimeModel, ConnectionEstimate
+from repro.teleport.ballistic_baseline import (
+    BallisticBaselineModel,
+    BallisticTransportEstimate,
+)
+from repro.teleport.channel_design import (
+    IslandSeparationStudy,
+    optimal_island_separation,
+    connection_time_curves,
+)
+
+__all__ = [
+    "EPRPair",
+    "werner_fidelity_after_depolarizing",
+    "bennett_purification_map",
+    "deutsch_purification_map",
+    "purification_rounds_needed",
+    "pumping_fixpoint_fidelity",
+    "TeleportationCost",
+    "teleportation_cost",
+    "RepeaterChain",
+    "ConnectionTimeModel",
+    "ConnectionEstimate",
+    "BallisticBaselineModel",
+    "BallisticTransportEstimate",
+    "IslandSeparationStudy",
+    "optimal_island_separation",
+    "connection_time_curves",
+]

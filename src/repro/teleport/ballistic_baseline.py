@@ -1,0 +1,162 @@
+"""Ballistic-only long-range communication: the baseline teleportation replaces.
+
+The paper's second contribution is showing why a naive approach to long-range
+quantum data movement does not scale and how the repeater-based teleportation
+interconnect overcomes it.  This module models the two baselines:
+
+* **Direct ballistic transport** -- physically shuttling the data ion across
+  the chip.  Latency is linear in distance and, far more importantly, the
+  accumulated movement error grows with every cell traversed, blowing through
+  the fault-tolerance error budget after a few thousand cells.
+* **Swap/error-corrected channels** -- repeatedly error-correcting along the
+  channel keeps the error bounded but costs a full logical ECC cycle every few
+  tiles, making the latency proportional to distance at tens of milliseconds
+  per stop.
+
+Comparing these against :class:`repro.teleport.repeater.ConnectionTimeModel`
+(whose cost is essentially flat in distance) reproduces the paper's argument
+for the teleportation interconnect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ParameterError
+from repro.iontrap.parameters import IonTrapParameters, EXPECTED_PARAMETERS
+from repro.qecc.latency import EccLatencyModel
+
+
+@dataclass(frozen=True)
+class BallisticTransportEstimate:
+    """Cost of moving quantum data over a distance without teleportation.
+
+    Attributes
+    ----------
+    distance_cells:
+        Distance travelled in cells.
+    latency_seconds:
+        Wall-clock transport time.
+    error_probability:
+        Probability the transported qubit acquires an error en route
+        (before any error correction).
+    ecc_stops:
+        Number of en-route error-correction stops (zero for direct transport).
+    exceeds_error_budget:
+        True when the accumulated error probability exceeds the budget the
+        fault-tolerant layer can absorb per logical operation.
+    """
+
+    distance_cells: int
+    latency_seconds: float
+    error_probability: float
+    ecc_stops: int
+    exceeds_error_budget: bool
+
+
+@dataclass(frozen=True)
+class BallisticBaselineModel:
+    """Direct and error-corrected ballistic transport baselines.
+
+    Parameters
+    ----------
+    parameters:
+        Technology parameters (movement speed and failure rate).
+    error_budget:
+        Maximum tolerable per-transfer error probability; the empirical
+        threshold of the QLA tile (~2.1e-3) is the natural budget, since any
+        communication error beyond it would dominate the logical error rate.
+    corner_turns:
+        Corner turns on a typical cross-chip route.
+    ecc_stop_interval_cells:
+        For the error-corrected channel variant, how many cells are traversed
+        between en-route error-correction stops.
+    ecc_latency:
+        Latency model supplying the per-stop error-correction time.
+    ecc_stop_level:
+        Recursion level of the en-route error correction (level 1: each stop
+        corrects within a level-1 block).
+    """
+
+    parameters: IonTrapParameters = EXPECTED_PARAMETERS
+    error_budget: float = 2.1e-3
+    corner_turns: int = 2
+    ecc_stop_interval_cells: int = 500
+    ecc_latency: EccLatencyModel = field(default_factory=EccLatencyModel)
+    ecc_stop_level: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.error_budget < 1.0:
+            raise ParameterError("error budget must be in (0, 1)")
+        if self.ecc_stop_interval_cells <= 0:
+            raise ParameterError("ECC stop interval must be positive")
+        if self.corner_turns < 0:
+            raise ParameterError("corner turns cannot be negative")
+
+    # ------------------------------------------------------------------
+    # Direct transport
+    # ------------------------------------------------------------------
+
+    def direct_transport(self, distance_cells: int) -> BallisticTransportEstimate:
+        """Shuttle the data ion the whole way with no intermediate correction."""
+        if distance_cells <= 0:
+            raise ParameterError("distance must be positive")
+        p = self.parameters
+        latency = (
+            p.split_time
+            + distance_cells * p.movement_time_per_cell
+            + self.corner_turns * p.corner_turn_time
+            + p.cooling_time
+        )
+        exposure = distance_cells + self.corner_turns + 1
+        error = 1.0 - (1.0 - p.movement_failure_per_cell) ** exposure
+        return BallisticTransportEstimate(
+            distance_cells=distance_cells,
+            latency_seconds=latency,
+            error_probability=error,
+            ecc_stops=0,
+            exceeds_error_budget=error > self.error_budget,
+        )
+
+    # ------------------------------------------------------------------
+    # Error-corrected channel
+    # ------------------------------------------------------------------
+
+    def corrected_transport(self, distance_cells: int) -> BallisticTransportEstimate:
+        """Shuttle the data with an error-correction stop every few hundred cells."""
+        if distance_cells <= 0:
+            raise ParameterError("distance must be positive")
+        p = self.parameters
+        stops = max(0, distance_cells // self.ecc_stop_interval_cells)
+        stop_time = self.ecc_latency.ecc_time(self.ecc_stop_level)
+        movement = self.direct_transport(distance_cells)
+        latency = movement.latency_seconds + stops * stop_time
+        # Between stops the accumulated error is reduced to second order by the
+        # correction; the residual per segment is conservatively the square of
+        # the segment error over the code's tolerance.
+        segment_exposure = min(distance_cells, self.ecc_stop_interval_cells) + self.corner_turns
+        segment_error = 1.0 - (1.0 - p.movement_failure_per_cell) ** segment_exposure
+        residual_per_segment = min(segment_error, segment_error**2 / self.error_budget)
+        segments = max(1, stops + 1)
+        error = min(1.0, residual_per_segment * segments)
+        return BallisticTransportEstimate(
+            distance_cells=distance_cells,
+            latency_seconds=latency,
+            error_probability=error,
+            ecc_stops=stops,
+            exceeds_error_budget=error > self.error_budget,
+        )
+
+    # ------------------------------------------------------------------
+    # Break-even analysis
+    # ------------------------------------------------------------------
+
+    def maximum_safe_direct_distance(self) -> int:
+        """Longest direct shuttle whose error stays within the budget."""
+        p = self.parameters.movement_failure_per_cell
+        if p <= 0.0:
+            return 10**9
+        import math
+
+        cells = math.log(1.0 - self.error_budget) / math.log(1.0 - p)
+        return max(0, int(cells) - self.corner_turns - 1)

@@ -1,0 +1,134 @@
+"""Island-separation design study (Figure 9).
+
+Figure 9 of the paper plots the total connection time against the
+source-destination distance for island separations of 35, 70, 100, 350, 500,
+750 and 1000 cells, and concludes that a 100-cell separation is most efficient
+below roughly 6000 cells (about 140 logical qubits in the x direction) while
+350 cells is preferable at larger distances.  The QLA therefore places a
+teleportation island at every third logical qubit in the x direction and at
+every logical qubit in the y direction.
+
+This module sweeps the :class:`~repro.teleport.repeater.ConnectionTimeModel`
+over the same design space and extracts the optimum separation and the
+crossover distance between any two candidate separations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.exceptions import ParameterError
+from repro.teleport.repeater import ConnectionEstimate, ConnectionTimeModel
+
+#: Island separations evaluated in Figure 9 (cells).
+PAPER_SEPARATIONS_CELLS: tuple[int, ...] = (35, 70, 100, 350, 500, 750, 1000)
+
+#: Distance range shown in Figure 9 (cells).
+PAPER_DISTANCE_RANGE_CELLS: tuple[int, int] = (1000, 30000)
+
+#: The crossover the paper reports: 100-cell separation wins below ~6000 cells.
+PAPER_CROSSOVER_CELLS: int = 6000
+
+
+@dataclass
+class IslandSeparationStudy:
+    """Sweep of connection time over distance and island separation.
+
+    Parameters
+    ----------
+    model:
+        Connection-time model to evaluate.
+    separations_cells:
+        Candidate island separations.
+    distances_cells:
+        Source-destination distances to evaluate.
+    """
+
+    model: ConnectionTimeModel = field(default_factory=ConnectionTimeModel)
+    separations_cells: tuple[int, ...] = PAPER_SEPARATIONS_CELLS
+    distances_cells: tuple[int, ...] = tuple(range(1000, 30001, 1000))
+
+    def __post_init__(self) -> None:
+        if not self.separations_cells:
+            raise ParameterError("at least one island separation is required")
+        if not self.distances_cells:
+            raise ParameterError("at least one distance is required")
+
+    def run(self) -> dict[int, list[ConnectionEstimate]]:
+        """Evaluate every (separation, distance) pair.
+
+        Returns a mapping from island separation to the list of estimates at
+        each distance (the curve family of Figure 9).
+        """
+        curves: dict[int, list[ConnectionEstimate]] = {}
+        for separation in self.separations_cells:
+            curves[separation] = [
+                self.model.estimate(distance, separation) for distance in self.distances_cells
+            ]
+        return curves
+
+    def best_separation_at(self, distance_cells: int) -> int:
+        """The separation with the lowest connection time at one distance."""
+        best = None
+        best_time = float("inf")
+        for separation in self.separations_cells:
+            time = self.model.connection_time(distance_cells, separation)
+            if time < best_time:
+                best_time = time
+                best = separation
+        if best is None:
+            raise ParameterError("no feasible separation at this distance")
+        return best
+
+    def crossover_distance(
+        self, separation_a: int, separation_b: int, resolution_cells: int = 250
+    ) -> int | None:
+        """Distance at which ``separation_b`` starts beating ``separation_a``.
+
+        Scans the study's distance range at the given resolution and returns
+        the first distance where the connection time with ``separation_b``
+        drops below that with ``separation_a``; None if that never happens.
+        """
+        if resolution_cells <= 0:
+            raise ParameterError("resolution must be positive")
+        start = min(self.distances_cells)
+        stop = max(self.distances_cells)
+        for distance in range(start, stop + 1, resolution_cells):
+            time_a = self.model.connection_time(distance, separation_a)
+            time_b = self.model.connection_time(distance, separation_b)
+            if time_b < time_a:
+                return distance
+        return None
+
+
+def connection_time_curves(
+    distances_cells: Sequence[int] | None = None,
+    separations_cells: Sequence[int] | None = None,
+    model: ConnectionTimeModel | None = None,
+) -> dict[int, list[tuple[int, float]]]:
+    """Figure 9 data: ``{separation: [(distance, time_seconds), ...]}``."""
+    study = IslandSeparationStudy(
+        model=model if model is not None else ConnectionTimeModel(),
+        separations_cells=tuple(separations_cells) if separations_cells else PAPER_SEPARATIONS_CELLS,
+        distances_cells=tuple(distances_cells) if distances_cells else tuple(range(1000, 30001, 1000)),
+    )
+    curves = study.run()
+    return {
+        separation: [(est.total_distance_cells, est.connection_time_seconds) for est in estimates]
+        for separation, estimates in curves.items()
+    }
+
+
+def optimal_island_separation(
+    distance_cells: int,
+    separations_cells: Sequence[int] | None = None,
+    model: ConnectionTimeModel | None = None,
+) -> int:
+    """The island separation minimising connection time at one distance."""
+    study = IslandSeparationStudy(
+        model=model if model is not None else ConnectionTimeModel(),
+        separations_cells=tuple(separations_cells) if separations_cells else PAPER_SEPARATIONS_CELLS,
+        distances_cells=(distance_cells,),
+    )
+    return study.best_separation_at(distance_cells)

@@ -1,0 +1,100 @@
+"""EPR (Bell) pairs and their fidelity bookkeeping.
+
+EPR pairs are the consumable resource of the teleportation interconnect.  A
+pair is created in the middle of a channel segment (Figure 8), its halves are
+ballistically shuttled to the two neighbouring islands, and the transport
+noise is modelled as depolarization that lowers the pair's Werner fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import ParameterError
+
+
+def werner_fidelity_after_depolarizing(fidelity: float, error_probability: float) -> float:
+    """Fidelity of a Werner pair after one half passes a depolarizing channel.
+
+    With probability ``error_probability`` the transported qubit is replaced by
+    the maximally mixed state, in which case the pair's fidelity with the Bell
+    state drops to 1/4; otherwise the fidelity is unchanged.
+    """
+    if not 0.0 <= fidelity <= 1.0:
+        raise ParameterError(f"fidelity must be in [0, 1], got {fidelity}")
+    if not 0.0 <= error_probability <= 1.0:
+        raise ParameterError(f"error probability must be in [0, 1], got {error_probability}")
+    return (1.0 - error_probability) * fidelity + error_probability * 0.25
+
+
+@dataclass(frozen=True)
+class EPRPair:
+    """A shared Bell pair between two locations.
+
+    Attributes
+    ----------
+    endpoint_a, endpoint_b:
+        Identifiers of the two islands (or logical qubit sites) holding the
+        halves.  The identifiers are opaque to this module.
+    fidelity:
+        Werner fidelity with the ideal Bell state.
+    created_at:
+        Creation timestamp in seconds (model time), used by the scheduler to
+        decide whether a pair is fresh enough to use.
+    """
+
+    endpoint_a: int
+    endpoint_b: int
+    fidelity: float = 1.0
+    created_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fidelity <= 1.0:
+            raise ParameterError(f"fidelity must be in [0, 1], got {self.fidelity}")
+
+    @property
+    def infidelity(self) -> float:
+        """``1 - fidelity``."""
+        return 1.0 - self.fidelity
+
+    def after_transport(self, cells: int, error_per_cell: float) -> "EPRPair":
+        """The pair after one half is shuttled ``cells`` cells.
+
+        Each cell traversal exposes the moving half to a depolarizing error
+        with the given per-cell probability.
+        """
+        if cells < 0:
+            raise ParameterError("cells cannot be negative")
+        if not 0.0 <= error_per_cell <= 1.0:
+            raise ParameterError("error_per_cell must be a probability")
+        survive = (1.0 - error_per_cell) ** cells
+        new_fidelity = werner_fidelity_after_depolarizing(self.fidelity, 1.0 - survive)
+        return replace(self, fidelity=new_fidelity)
+
+    def swapped_with(self, other: "EPRPair") -> "EPRPair":
+        """The pair resulting from entanglement swapping with another pair.
+
+        The two pairs must share an endpoint; the result connects the two
+        outer endpoints.  For Werner pairs the composed fidelity is
+        ``F = F1*F2 + (1-F1)(1-F2)/3`` (the probability that either both or
+        neither teleportation picks up an error that cancels).
+        """
+        shared = {self.endpoint_a, self.endpoint_b} & {other.endpoint_a, other.endpoint_b}
+        if not shared:
+            raise ParameterError("entanglement swapping requires a shared endpoint")
+        shared_endpoint = shared.pop()
+        outer = (
+            {self.endpoint_a, self.endpoint_b, other.endpoint_a, other.endpoint_b}
+            - {shared_endpoint}
+        )
+        if len(outer) != 2:
+            raise ParameterError("degenerate swap: pairs span fewer than three endpoints")
+        f1, f2 = self.fidelity, other.fidelity
+        combined = f1 * f2 + (1.0 - f1) * (1.0 - f2) / 3.0
+        a, b = sorted(outer)
+        return EPRPair(
+            endpoint_a=a,
+            endpoint_b=b,
+            fidelity=combined,
+            created_at=max(self.created_at, other.created_at),
+        )

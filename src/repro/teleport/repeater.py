@@ -1,0 +1,305 @@
+"""Quantum-repeater chains and the connection-time model behind Figure 9.
+
+The interconnect establishes entanglement between two distant logical qubits
+in three stages (Section 4.2):
+
+1. *Segment setup* -- EPR pairs are created in the middle of every
+   inter-island channel segment and their halves shuttled to the two
+   neighbouring islands (Figure 8).
+2. *Purification* -- each segment's pair is purified with the Bennett protocol
+   using further elementary pairs streamed through the same channel, until its
+   infidelity is low enough that the full chain of entanglement swaps will
+   still meet the end-to-end error budget without a final purification.
+3. *Swapping* -- a logarithmic sequence of entanglement-swapping steps halves
+   the number of pairs each round until a single pair spans the connection;
+   the source qubit is then teleported.
+
+:class:`RepeaterChain` tracks fidelities exactly through those stages (useful
+for unit tests and for checking the "no final purification needed" condition);
+:class:`ConnectionTimeModel` converts the same structure into wall-clock time.
+Absolute times depend on scheduling constants the paper does not specify
+(per-segment classical configuration, per-round channel transport); the
+defaults below are calibrated so the resulting curve family reproduces the
+shape of Figure 9 -- connection times of a few tens to ~200 ms, with a
+100-cell island separation winning below roughly 6000 cells of distance and a
+350-cell separation winning above -- and the calibration is recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError
+from repro.teleport.epr import EPRPair
+from repro.teleport.purification import bennett_purification_map, purification_rounds_needed
+
+
+@dataclass(frozen=True)
+class ConnectionEstimate:
+    """Result of a connection-time evaluation.
+
+    Attributes
+    ----------
+    total_distance_cells:
+        Source-destination distance in cells.
+    island_separation_cells:
+        Distance between adjacent teleportation islands.
+    num_segments:
+        Number of channel segments (hops) in the chain.
+    purification_rounds:
+        Purification rounds applied to every segment pair.
+    swap_levels:
+        Entanglement-swapping levels (ceil(log2(num_segments))).
+    segment_fidelity:
+        Segment pair fidelity after purification.
+    final_fidelity:
+        End-to-end pair fidelity after all swaps.
+    connection_time_seconds:
+        Total wall-clock time to establish the end-to-end pair and teleport.
+    feasible:
+        False if the purification target cannot be reached for this geometry
+        (in which case the time is ``inf``).
+    """
+
+    total_distance_cells: int
+    island_separation_cells: int
+    num_segments: int
+    purification_rounds: int
+    swap_levels: int
+    segment_fidelity: float
+    final_fidelity: float
+    connection_time_seconds: float
+    feasible: bool
+
+
+class RepeaterChain:
+    """Exact fidelity tracking through purification and swapping.
+
+    Parameters
+    ----------
+    num_segments:
+        Number of channel segments between source and destination.
+    elementary_fidelity:
+        Fidelity of a freshly distributed segment pair.
+    """
+
+    def __init__(self, num_segments: int, elementary_fidelity: float) -> None:
+        if num_segments < 1:
+            raise ParameterError("a repeater chain needs at least one segment")
+        if not 0.25 <= elementary_fidelity <= 1.0:
+            raise ParameterError("elementary fidelity must be in [0.25, 1]")
+        self._num_segments = num_segments
+        self._elementary_fidelity = elementary_fidelity
+
+    @property
+    def num_segments(self) -> int:
+        """Number of segments in the chain."""
+        return self._num_segments
+
+    def purified_segment_fidelity(self, rounds: int) -> float:
+        """Segment fidelity after a number of Bennett recurrence rounds."""
+        fidelity = self._elementary_fidelity
+        for _ in range(rounds):
+            fidelity, _ = bennett_purification_map(fidelity)
+        return fidelity
+
+    def chain_fidelity(self, segment_fidelity: float) -> float:
+        """End-to-end fidelity after swapping all segments together.
+
+        Swapping is performed pairwise (the logarithmic doubling schedule); for
+        Werner pairs the result depends only on the multiset of fidelities, so
+        a simple left fold gives the same answer.
+        """
+        pairs = [
+            EPRPair(endpoint_a=i, endpoint_b=i + 1, fidelity=segment_fidelity)
+            for i in range(self._num_segments)
+        ]
+        while len(pairs) > 1:
+            next_round = []
+            for i in range(0, len(pairs) - 1, 2):
+                next_round.append(pairs[i].swapped_with(pairs[i + 1]))
+            if len(pairs) % 2 == 1:
+                next_round.append(pairs[-1])
+            pairs = next_round
+        return pairs[0].fidelity
+
+    def swap_levels(self) -> int:
+        """Number of swapping levels in the doubling schedule."""
+        return max(0, math.ceil(math.log2(self._num_segments))) if self._num_segments > 1 else 0
+
+
+@dataclass(frozen=True)
+class ConnectionTimeModel:
+    """Wall-clock model of establishing one long-range connection.
+
+    Time structure::
+
+        T(D, d) = N * segment_setup_time
+                + R * (purify_op_time + classical_sync_time + d * round_transport_per_cell)
+                + ceil(log2 N) * swap_op_time
+                + base_overhead_time
+
+    with ``N = ceil(D / d)`` segments and ``R`` the Bennett purification rounds
+    needed per segment so that the end-to-end error budget is met without a
+    final purification (the paper's stated criterion for Figure 9).
+
+    Parameters (all times in seconds)
+    ---------------------------------
+    epr_creation_infidelity:
+        Infidelity of a freshly created EPR pair, before transport.
+    channel_error_per_cell:
+        Depolarizing probability per cell of ballistic transport inside the
+        communication channels (conservative relative to the expected Table 1
+        movement rate: channel ions are not re-cooled mid-flight).
+    end_to_end_error_budget:
+        Maximum tolerable infidelity of the final source-destination pair;
+        residual communication errors below this are absorbed by the logical
+        qubits' own error correction.
+    segment_setup_time:
+        Per-segment serial cost (classical configuration of the island
+        electrodes/lasers and initial pair distribution); segments share the
+        classical control processor, so this term scales with the hop count.
+    purify_op_time:
+        Quantum cost of one purification round (two-qubit gate + measurement).
+    classical_sync_time:
+        Classical agreement between the two islands per purification round.
+    round_transport_per_cell:
+        Per-cell transport cost of streaming the fresh ancilla pair of each
+        purification round through the segment.
+    swap_op_time:
+        Cost of one entanglement-swapping level (Bell measurement + classical
+        relay + frame update).
+    base_overhead_time:
+        Fixed per-connection overhead: filling the channel pipeline and the
+        final teleportation of the (logical) source qubit, synchronised with
+        its error-correction cycle.
+    """
+
+    epr_creation_infidelity: float = 1.0e-3
+    channel_error_per_cell: float = 5.0e-5
+    end_to_end_error_budget: float = 1.0e-5
+    segment_setup_time: float = 0.5e-3
+    purify_op_time: float = 0.15e-3
+    classical_sync_time: float = 0.05e-3
+    round_transport_per_cell: float = 3.0e-6
+    swap_op_time: float = 0.2e-3
+    base_overhead_time: float = 20.0e-3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.epr_creation_infidelity < 0.75:
+            raise ParameterError("EPR creation infidelity must be in [0, 0.75)")
+        if not 0.0 <= self.channel_error_per_cell <= 1.0:
+            raise ParameterError("channel error per cell must be a probability")
+        if not 0.0 < self.end_to_end_error_budget < 1.0:
+            raise ParameterError("end-to-end error budget must be in (0, 1)")
+        for name in (
+            "segment_setup_time",
+            "purify_op_time",
+            "classical_sync_time",
+            "round_transport_per_cell",
+            "swap_op_time",
+            "base_overhead_time",
+        ):
+            if getattr(self, name) < 0.0:
+                raise ParameterError(f"{name} cannot be negative")
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+
+    def elementary_fidelity(self, island_separation_cells: int) -> float:
+        """Fidelity of a segment pair after creation and transport to the islands."""
+        if island_separation_cells <= 0:
+            raise ParameterError("island separation must be positive")
+        pair = EPRPair(endpoint_a=0, endpoint_b=1, fidelity=1.0 - self.epr_creation_infidelity)
+        # Both halves travel ~d/2 cells; the pair as a whole is exposed to d
+        # cells of channel error.
+        pair = pair.after_transport(island_separation_cells, self.channel_error_per_cell)
+        return pair.fidelity
+
+    def required_segment_fidelity(self, num_segments: int) -> float:
+        """Segment fidelity needed so the swapped chain meets the error budget.
+
+        Uses the small-infidelity composition rule (infidelities of swapped
+        Werner pairs add to first order): each segment may contribute at most
+        ``budget / N``.
+        """
+        if num_segments < 1:
+            raise ParameterError("need at least one segment")
+        return 1.0 - self.end_to_end_error_budget / num_segments
+
+    def purification_rounds(self, island_separation_cells: int, num_segments: int) -> int | None:
+        """Bennett recurrence rounds needed per segment (None if unreachable)."""
+        elementary = self.elementary_fidelity(island_separation_cells)
+        target = self.required_segment_fidelity(num_segments)
+        return purification_rounds_needed(
+            initial_fidelity=elementary,
+            target_fidelity=target,
+            elementary_fidelity=None,  # recurrence: purify pairs of equal fidelity
+            protocol="bennett",
+        )
+
+    def round_time(self, island_separation_cells: int) -> float:
+        """Wall-clock time of one purification round on one segment."""
+        return (
+            self.purify_op_time
+            + self.classical_sync_time
+            + island_separation_cells * self.round_transport_per_cell
+        )
+
+    # ------------------------------------------------------------------
+    # Full estimate
+    # ------------------------------------------------------------------
+
+    def estimate(
+        self, total_distance_cells: int, island_separation_cells: int
+    ) -> ConnectionEstimate:
+        """Connection time and fidelity for a distance and island separation."""
+        if total_distance_cells <= 0:
+            raise ParameterError("total distance must be positive")
+        if island_separation_cells <= 0:
+            raise ParameterError("island separation must be positive")
+        num_segments = max(1, math.ceil(total_distance_cells / island_separation_cells))
+        chain = RepeaterChain(
+            num_segments=num_segments,
+            elementary_fidelity=self.elementary_fidelity(island_separation_cells),
+        )
+        rounds = self.purification_rounds(island_separation_cells, num_segments)
+        swap_levels = chain.swap_levels()
+        if rounds is None:
+            return ConnectionEstimate(
+                total_distance_cells=total_distance_cells,
+                island_separation_cells=island_separation_cells,
+                num_segments=num_segments,
+                purification_rounds=0,
+                swap_levels=swap_levels,
+                segment_fidelity=chain.purified_segment_fidelity(0),
+                final_fidelity=chain.chain_fidelity(chain.purified_segment_fidelity(0)),
+                connection_time_seconds=math.inf,
+                feasible=False,
+            )
+        segment_fidelity = chain.purified_segment_fidelity(rounds)
+        final_fidelity = chain.chain_fidelity(segment_fidelity)
+        time = (
+            num_segments * self.segment_setup_time
+            + rounds * self.round_time(island_separation_cells)
+            + swap_levels * self.swap_op_time
+            + self.base_overhead_time
+        )
+        return ConnectionEstimate(
+            total_distance_cells=total_distance_cells,
+            island_separation_cells=island_separation_cells,
+            num_segments=num_segments,
+            purification_rounds=rounds,
+            swap_levels=swap_levels,
+            segment_fidelity=segment_fidelity,
+            final_fidelity=final_fidelity,
+            connection_time_seconds=time,
+            feasible=True,
+        )
+
+    def connection_time(self, total_distance_cells: int, island_separation_cells: int) -> float:
+        """Just the connection time in seconds (``inf`` if infeasible)."""
+        return self.estimate(total_distance_cells, island_separation_cells).connection_time_seconds

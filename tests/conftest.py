@@ -1,0 +1,27 @@
+"""Shared fixtures for the QLA reproduction test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.qecc.steane import steane_code
+from repro.stabilizer import StabilizerTableau
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def steane():
+    """The Steane [[7,1,3]] code instance."""
+    return steane_code()
+
+
+@pytest.fixture
+def fresh_tableau(rng) -> StabilizerTableau:
+    """A 7-qubit stabilizer tableau in the all-|0> state."""
+    return StabilizerTableau(7, rng=rng)

@@ -1,0 +1,152 @@
+"""Tests for the Shor resource model (Table 2) and classical factoring comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import (
+    ModularExponentiationModel,
+    PAPER_TABLE2,
+    ShorResourceModel,
+    classical_factoring_time_years,
+    classical_nfs_operations,
+    quantum_speedup_factor,
+    table2_rows,
+)
+from repro.circuits.arithmetic import ripple_carry_adder_cost
+from repro.exceptions import ParameterError
+
+
+class TestModularExponentiation:
+    def test_multiplier_calls_are_two_per_bit(self):
+        model = ModularExponentiationModel()
+        assert model.multiplier_calls(128) == 256
+        assert model.multiplier_calls(1024) == 2048
+
+    def test_adder_stages_logarithmic(self):
+        model = ModularExponentiationModel()
+        assert model.adder_stages_per_multiplication(128) == 8
+        assert model.adder_stages_per_multiplication(2048) == 12
+
+    def test_cost_structure(self):
+        cost = ModularExponentiationModel().cost(128)
+        assert cost.toffoli_depth == (
+            cost.multiplier_calls
+            * cost.adder_stages_per_multiplication
+            * (cost.adder_toffoli_depth + cost.argset_depth)
+            + 3 * 2 * cost.adder_toffoli_depth
+        )
+        assert cost.total_gate_work > cost.toffoli_depth
+
+    def test_ripple_adder_gives_much_deeper_modexp(self):
+        qcla_model = ModularExponentiationModel()
+        ripple_model = ModularExponentiationModel(adder=ripple_carry_adder_cost)
+        assert ripple_model.cost(256).toffoli_depth > 3 * qcla_model.cost(256).toffoli_depth
+
+    def test_small_modulus_rejected(self):
+        with pytest.raises(ParameterError):
+            ModularExponentiationModel().cost(1)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ParameterError):
+            ModularExponentiationModel(argset_depth=-1)
+
+
+class TestShorTable2:
+    @pytest.mark.parametrize("bits", [128, 512, 1024, 2048])
+    def test_toffoli_count_matches_paper(self, bits):
+        estimate = ShorResourceModel().estimate(bits)
+        assert estimate.toffoli_gates == pytest.approx(
+            PAPER_TABLE2[bits]["toffoli_gates"], rel=0.02
+        )
+
+    @pytest.mark.parametrize("bits", [128, 512, 1024, 2048])
+    def test_logical_qubits_match_paper(self, bits):
+        estimate = ShorResourceModel().estimate(bits)
+        assert estimate.logical_qubits == pytest.approx(
+            PAPER_TABLE2[bits]["logical_qubits"], rel=0.02
+        )
+
+    @pytest.mark.parametrize("bits", [128, 512, 1024, 2048])
+    def test_total_gates_match_paper(self, bits):
+        estimate = ShorResourceModel().estimate(bits)
+        assert estimate.total_gates == pytest.approx(
+            PAPER_TABLE2[bits]["total_gates"], rel=0.02
+        )
+
+    @pytest.mark.parametrize("bits", [128, 512, 1024, 2048])
+    def test_area_matches_paper(self, bits):
+        estimate = ShorResourceModel().estimate(bits)
+        assert estimate.area_square_metres == pytest.approx(
+            PAPER_TABLE2[bits]["area_m2"], rel=0.05
+        )
+
+    @pytest.mark.parametrize("bits", [128, 512, 1024, 2048])
+    def test_time_matches_paper_with_paper_ecc_step(self, bits):
+        model = ShorResourceModel(ecc_time_override_seconds=0.043)
+        estimate = model.estimate(bits)
+        assert estimate.expected_time_days == pytest.approx(
+            PAPER_TABLE2[bits]["time_days"], rel=0.10
+        )
+
+    def test_shor128_headline_chain(self):
+        # ~1.34e6 ECC steps, ~16 hours per run, ~21 hours expected.
+        model = ShorResourceModel(ecc_time_override_seconds=0.043)
+        estimate = model.estimate(128)
+        assert estimate.ecc_steps == pytest.approx(1.34e6, rel=0.02)
+        assert estimate.execution_time_hours == pytest.approx(16.0, rel=0.05)
+        assert estimate.expected_time_seconds / 3600 == pytest.approx(21.0, rel=0.05)
+
+    def test_time_scales_with_modulus(self):
+        model = ShorResourceModel()
+        times = [model.estimate(bits).expected_time_days for bits in (128, 512, 1024, 2048)]
+        assert all(t2 > t1 for t1, t2 in zip(times, times[1:]))
+
+    def test_model_derived_ecc_time_gives_similar_days(self):
+        # The latency model's own level-2 step time keeps Shor-128 within
+        # "tens of hours".
+        estimate = ShorResourceModel().estimate(128)
+        assert 0.4 < estimate.expected_time_days < 2.0
+
+    def test_table2_rows_carry_paper_reference(self):
+        rows = table2_rows()
+        assert len(rows) == 4
+        assert all("paper_logical_qubits" in row for row in rows)
+
+    def test_computation_size_within_level2_budget(self):
+        # Shor-1024 needs S ~ 4.4e12 <= the level-2 budget of ~1e16.
+        estimate = ShorResourceModel().estimate(1024)
+        assert 1e12 < estimate.computation_size < 1e14
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ParameterError):
+            ShorResourceModel(concurrent_adder_units=0)
+        with pytest.raises(ParameterError):
+            ShorResourceModel(algorithm_repetitions=0.5)
+        with pytest.raises(ParameterError):
+            ShorResourceModel().estimate(2)
+
+
+class TestClassicalComparison:
+    def test_nfs_complexity_grows_with_bits(self):
+        assert classical_nfs_operations(1024) > classical_nfs_operations(512)
+
+    def test_rsa512_anchor(self):
+        # At the anchor size, the estimate reproduces the 8400 MIPS-years figure.
+        years = classical_factoring_time_years(512, mips=1.0)
+        assert years == pytest.approx(8400.0)
+
+    def test_classical_time_explodes_for_2048_bits(self):
+        assert classical_factoring_time_years(2048) > 1e6 * classical_factoring_time_years(512)
+
+    def test_quantum_speedup_for_large_moduli(self):
+        quantum_seconds = ShorResourceModel().estimate(1024).expected_time_seconds
+        assert quantum_speedup_factor(1024, quantum_seconds) > 1e3
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ParameterError):
+            classical_nfs_operations(4)
+        with pytest.raises(ParameterError):
+            classical_factoring_time_years(512, mips=0)
+        with pytest.raises(ParameterError):
+            quantum_speedup_factor(512, 0.0)

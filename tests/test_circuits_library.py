@@ -1,0 +1,187 @@
+"""Tests for the standard-circuit library, Toffoli constructions, adders and QFT."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    bell_pair_circuit,
+    cat_state_circuit,
+    fault_tolerant_toffoli_cost,
+    ghz_circuit,
+    qcla_adder_cost,
+    qft_circuit,
+    qft_cost,
+    ripple_carry_adder_circuit,
+    ripple_carry_adder_cost,
+    teleportation_circuit,
+    toffoli_clifford_t_circuit,
+)
+from repro.circuits.classical import bits_from_int, int_from_bits, simulate_classical
+from repro.circuits.gate import OpKind
+from repro.circuits.qft import controlled_rotation_count
+from repro.exceptions import CircuitError
+from repro.stabilizer import StabilizerTableau
+from repro.pauli import PauliString
+
+
+def _run_clifford(circuit: Circuit, rng):
+    sim = StabilizerTableau(circuit.num_qubits, rng=rng)
+    outcomes = {}
+    for index, op in enumerate(circuit):
+        if op.kind is OpKind.PREPARE:
+            sim.reset(op.qubits[0])
+        elif op.kind is OpKind.MEASURE:
+            outcomes[op.label or f"m{index}"] = sim.measure(op.qubits[0]).value
+        elif op.kind is OpKind.MEASURE_X:
+            outcomes[op.label or f"m{index}"] = sim.measure_x(op.qubits[0]).value
+        else:
+            sim.apply_gate(op.name, op.qubits)
+    return sim, outcomes
+
+
+class TestLibraryCircuits:
+    def test_bell_pair_produces_epr_state(self, rng):
+        sim, _ = _run_clifford(bell_pair_circuit(), rng)
+        assert sim.expectation(PauliString.from_label("XX")) == 1
+        assert sim.expectation(PauliString.from_label("ZZ")) == 1
+
+    def test_bell_pair_rejects_same_qubit(self):
+        with pytest.raises(CircuitError):
+            bell_pair_circuit(0, 0)
+
+    def test_ghz_state_stabilizers(self, rng):
+        sim, _ = _run_clifford(ghz_circuit(4), rng)
+        assert sim.expectation(PauliString.from_label("XXXX")) == 1
+        assert sim.expectation(PauliString.from_label("ZZII")) == 1
+
+    def test_ghz_needs_two_qubits(self):
+        with pytest.raises(CircuitError):
+            ghz_circuit(1)
+
+    def test_cat_state_verification_measures_zero(self, rng):
+        circuit = cat_state_circuit(4, verify=True)
+        _, outcomes = _run_clifford(circuit, rng)
+        assert outcomes["cat_verify"] == 0
+
+    def test_cat_state_without_verification_has_no_measurement(self):
+        circuit = cat_state_circuit(4, verify=False)
+        assert circuit.measurement_count() == 0
+
+    def test_teleportation_transfers_computational_state(self):
+        # Teleport |1>: after the circuit plus conditional corrections the
+        # destination qubit must measure 1.
+        import numpy as np
+
+        for seed in range(20):
+            rng = np.random.default_rng(seed)
+            circuit = Circuit(3, name="teleport_one")
+            circuit.x(0)
+            circuit.compose(teleportation_circuit(0, 1, 2))
+            sim, outcomes = _run_clifford(circuit, rng)
+            if outcomes["teleport_mz"]:
+                sim.x(2)
+            if outcomes["teleport_mx"]:
+                sim.z(2)
+            assert sim.measure(2).value == 1
+
+    def test_teleportation_requires_distinct_qubits(self):
+        with pytest.raises(CircuitError):
+            teleportation_circuit(0, 0, 1)
+
+
+class TestToffoli:
+    def test_clifford_t_decomposition_counts(self):
+        circuit = toffoli_clifford_t_circuit()
+        counts = circuit.count_ops()
+        assert counts["T"] + counts["TDG"] == 7
+        assert counts["CNOT"] == 6
+        assert counts["H"] == 2
+
+    def test_clifford_t_requires_distinct_qubits(self):
+        with pytest.raises(CircuitError):
+            toffoli_clifford_t_circuit(0, 0, 1)
+
+    def test_fault_tolerant_cost_matches_paper(self):
+        cost = fault_tolerant_toffoli_cost()
+        assert cost.ecc_steps == 21
+        assert cost.preparation_steps == 15
+        assert cost.completion_steps == 6
+        assert cost.ancilla_qubits == 6
+
+    def test_unpipelined_cost_charges_all_repetitions(self):
+        cost = fault_tolerant_toffoli_cost(pipelined=False)
+        assert cost.preparation_steps == 45
+        assert cost.ecc_steps == 51
+
+    def test_total_preparation_work(self):
+        cost = fault_tolerant_toffoli_cost()
+        assert cost.total_preparation_work == 45
+
+
+class TestAdders:
+    def test_qcla_depth_is_logarithmic(self):
+        assert qcla_adder_cost(128).toffoli_depth == 4 * 7 + 2
+        assert qcla_adder_cost(1024).toffoli_depth == 4 * 10 + 2
+
+    def test_qcla_beats_ripple_in_depth_for_large_n(self):
+        for bits in (32, 128, 1024):
+            assert qcla_adder_cost(bits).toffoli_depth < ripple_carry_adder_cost(bits).toffoli_depth
+
+    def test_ripple_beats_qcla_in_width(self):
+        for bits in (32, 128):
+            assert ripple_carry_adder_cost(bits).width < qcla_adder_cost(bits).width
+
+    def test_adder_rejects_zero_width(self):
+        with pytest.raises(CircuitError):
+            qcla_adder_cost(0)
+        with pytest.raises(CircuitError):
+            ripple_carry_adder_cost(0)
+
+    def test_total_gates_positive(self):
+        cost = qcla_adder_cost(64)
+        assert cost.total_gates == cost.toffoli_count + cost.cnot_count + cost.not_count
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 1), (3, 5), (7, 7), (12, 9), (15, 15)])
+    def test_ripple_adder_circuit_adds_correctly(self, a, b):
+        bits = 4
+        circuit = ripple_carry_adder_circuit(bits)
+        state = bits_from_int(a, bits) + bits_from_int(b, bits) + [0] * (bits + 1)
+        final = simulate_classical(circuit, state)
+        total = int_from_bits(final[bits : 2 * bits]) + (final[3 * bits] << bits)
+        assert total == a + b
+        # Operand a and the carry ancillae are restored.
+        assert int_from_bits(final[:bits]) == a
+        assert all(bit == 0 for bit in final[2 * bits : 3 * bits])
+
+    def test_ripple_adder_circuit_width(self):
+        circuit = ripple_carry_adder_circuit(5)
+        assert circuit.num_qubits == 16
+
+
+class TestQft:
+    def test_rotation_count_quadratic(self):
+        assert qft_cost(8).rotation_count == 8 * 7 // 2 + 8
+
+    def test_semiclassical_depth_linear(self):
+        assert qft_cost(64, semiclassical=True).depth == 128
+
+    def test_full_circuit_rotation_count(self):
+        circuit = qft_circuit(6)
+        assert controlled_rotation_count(circuit) == 6 * 5 // 2
+
+    def test_approximate_qft_has_fewer_rotations(self):
+        full = controlled_rotation_count(qft_circuit(10))
+        approx = controlled_rotation_count(qft_circuit(10, approximation_degree=3))
+        assert approx < full
+
+    def test_qft_has_bit_reversal_swaps(self):
+        circuit = qft_circuit(5)
+        assert circuit.count_ops()["SWAP"] == 2
+
+    def test_qft_rejects_zero_width(self):
+        with pytest.raises(CircuitError):
+            qft_circuit(0)
+        with pytest.raises(CircuitError):
+            qft_cost(0)

@@ -1,0 +1,188 @@
+"""Tests for the QLAMachine public API and its supporting core models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ApplicationProfile,
+    MachineConfiguration,
+    QLAMachine,
+    TeleportationInterconnect,
+    estimate_application,
+    format_shor_table,
+    format_table,
+    format_technology_table,
+)
+from repro.core.logical_qubit import LogicalQubitModel
+from repro.exceptions import ParameterError
+from repro.layout.qla_array import build_qla_array
+
+
+class TestLogicalQubitModel:
+    def test_level2_defaults(self):
+        qubit = LogicalQubitModel()
+        assert qubit.recursion_level == 2
+        assert qubit.data_ions == 49
+        assert qubit.tile.rows == 36 and qubit.tile.columns == 147
+
+    def test_level1_uses_block_geometry(self):
+        qubit = LogicalQubitModel(recursion_level=1)
+        assert qubit.data_ions == 7
+        assert qubit.tile.rows == 12
+
+    def test_ecc_time_and_gate_time(self):
+        qubit = LogicalQubitModel()
+        assert 0.01 < qubit.ecc_step_time() < 0.1
+        assert qubit.logical_gate_time() > qubit.ecc_step_time()
+
+    def test_reliability_quantities(self):
+        qubit = LogicalQubitModel()
+        assert qubit.failure_rate() == pytest.approx(1e-16, rel=0.2)
+        assert qubit.supported_computation_size() > 1e15
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ParameterError):
+            LogicalQubitModel(recursion_level=0)
+
+
+class TestInterconnectView:
+    def test_connection_time_positive_and_grows_with_distance(self):
+        interconnect = TeleportationInterconnect(array=build_qla_array(100))
+        near = interconnect.connection_time(0, 1)
+        far = interconnect.connection_time(0, 99)
+        assert 0 < near < far
+
+    def test_colocated_qubits_rejected(self):
+        interconnect = TeleportationInterconnect(array=build_qla_array(4))
+        with pytest.raises(ParameterError):
+            interconnect.connection(1, 1)
+
+    def test_overlap_with_toffoli_window(self):
+        interconnect = TeleportationInterconnect(array=build_qla_array(100))
+        # A 21-step level-2 ECC window (~1 s at 46 ms/step) dwarfs any
+        # on-chip connection time.
+        assert interconnect.overlaps_error_correction(0, 99, ecc_step_time=0.046)
+
+    def test_overlap_fails_for_tiny_window(self):
+        interconnect = TeleportationInterconnect(array=build_qla_array(100))
+        assert not interconnect.overlaps_error_correction(
+            0, 99, ecc_step_time=1e-4, ecc_steps_available=1
+        )
+
+    def test_best_island_separation_for_short_hop(self):
+        interconnect = TeleportationInterconnect(array=build_qla_array(100))
+        assert interconnect.best_island_separation(0, 1) in (35, 70, 100)
+
+    def test_worst_case_connection_is_finite(self):
+        interconnect = TeleportationInterconnect(array=build_qla_array(64))
+        assert interconnect.worst_case_connection_time() < 1.0
+
+
+class TestApplicationEstimation:
+    def test_profile_validation(self):
+        with pytest.raises(ParameterError):
+            ApplicationProfile(name="bad", logical_qubits=0, toffoli_count=10)
+        with pytest.raises(ParameterError):
+            ApplicationProfile(name="bad", logical_qubits=10, toffoli_count=-1)
+
+    def test_estimate_scales_with_toffoli_count(self):
+        qubit = LogicalQubitModel()
+        small = estimate_application(
+            ApplicationProfile(name="small", logical_qubits=10, toffoli_count=100), qubit
+        )
+        large = estimate_application(
+            ApplicationProfile(name="large", logical_qubits=10, toffoli_count=10_000), qubit
+        )
+        assert large.execution_time_seconds > 50 * small.execution_time_seconds
+
+    def test_feasibility_margin(self):
+        qubit = LogicalQubitModel()
+        modest = estimate_application(
+            ApplicationProfile(name="modest", logical_qubits=1000, toffoli_count=10_000), qubit
+        )
+        assert modest.is_feasible
+        assert modest.reliability_margin > 1.0
+
+    def test_repetitions_scale_expected_time(self):
+        qubit = LogicalQubitModel()
+        profile = ApplicationProfile(
+            name="rep", logical_qubits=10, toffoli_count=100, repetitions=2.0
+        )
+        performance = estimate_application(profile, qubit)
+        assert performance.expected_time_seconds == pytest.approx(
+            2 * performance.execution_time_seconds
+        )
+
+
+class TestQLAMachine:
+    def test_default_machine(self):
+        machine = QLAMachine()
+        assert machine.num_logical_qubits == 1024
+        assert machine.ecc_step_time() > 0
+        assert machine.chip_area_square_metres() > 0
+        assert machine.total_physical_ions() == 1024 * machine.logical_qubit.tile.total_ions
+
+    def test_configuration_validation(self):
+        with pytest.raises(ParameterError):
+            MachineConfiguration(num_logical_qubits=0)
+        with pytest.raises(ParameterError):
+            MachineConfiguration(channel_bandwidth=0)
+
+    def test_reliability_matches_equation2(self):
+        machine = QLAMachine(MachineConfiguration(num_logical_qubits=16))
+        assert machine.logical_failure_rate() == pytest.approx(1e-16, rel=0.2)
+        assert machine.supported_computation_size() == pytest.approx(9.9e15, rel=0.2)
+
+    def test_shor_estimate_from_machine(self):
+        machine = QLAMachine(MachineConfiguration(num_logical_qubits=64))
+        estimate = machine.estimate_shor(128, use_paper_ecc_time=True)
+        assert estimate.expected_time_days == pytest.approx(0.9, rel=0.1)
+
+    def test_application_estimate_from_machine(self):
+        machine = QLAMachine(MachineConfiguration(num_logical_qubits=64))
+        profile = ApplicationProfile(name="toy", logical_qubits=32, toffoli_count=1000)
+        performance = machine.estimate_application(profile)
+        assert performance.ecc_steps == 1000 * 21
+        assert performance.is_feasible
+
+    def test_communication_overlaps_across_the_chip(self):
+        machine = QLAMachine(MachineConfiguration(num_logical_qubits=256))
+        assert machine.communication_overlaps(0, 255)
+
+    def test_scheduling_study_bandwidth_sensitivity(self):
+        overlapped = {}
+        for bandwidth in (1, 2):
+            machine = QLAMachine(
+                MachineConfiguration(num_logical_qubits=64, channel_bandwidth=bandwidth)
+            )
+            metrics = machine.run_scheduling_study(windows=10)
+            overlapped[bandwidth] = metrics.fully_overlapped
+        assert overlapped[2] and not overlapped[1]
+
+    def test_level1_machine_has_smaller_tiles(self):
+        level1 = QLAMachine(MachineConfiguration(num_logical_qubits=16, recursion_level=1))
+        level2 = QLAMachine(MachineConfiguration(num_logical_qubits=16, recursion_level=2))
+        assert level1.chip_area_square_metres() < level2.chip_area_square_metres()
+        assert level1.ecc_step_time() < level2.ecc_step_time()
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 30, "b": 0.001}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "b" in lines[0]
+
+    def test_format_empty_table(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_format_technology_table_contains_rows(self):
+        text = format_technology_table()
+        assert "Single Gate" in text
+        assert "Measure" in text
+
+    def test_format_shor_table_contains_paper_columns(self):
+        text = format_shor_table(bit_sizes=(128,))
+        assert "paper_logical_qubits" in text
+        assert "128" in text

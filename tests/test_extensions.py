@@ -1,0 +1,255 @@
+"""Tests for the extension modules: explicit concatenated circuits, the
+ballistic-transport baseline, multi-chip / yield models and circuit
+serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.gate import OpKind
+from repro.circuits.serialization import circuit_from_text, circuit_to_text
+from repro.exceptions import CircuitError, CodeError, ParameterError
+from repro.layout.multichip import MultiChipPartition, YieldModel
+from repro.pauli import PauliString
+from repro.qecc.concatenated import (
+    concatenated_block_size,
+    concatenated_encode_zero_circuit,
+    concatenated_logical_x,
+    concatenated_logical_z,
+    concatenated_stabilizers,
+    transversal_logical_cnot_circuit,
+    transversal_logical_gate_circuit,
+)
+from repro.stabilizer import StabilizerTableau
+from repro.teleport.ballistic_baseline import BallisticBaselineModel
+
+
+def _run(circuit: Circuit, sim: StabilizerTableau) -> None:
+    for op in circuit:
+        if op.kind is OpKind.PREPARE:
+            sim.reset(op.qubits[0])
+        elif op.kind is OpKind.GATE:
+            sim.apply_gate(op.name, op.qubits)
+
+
+class TestConcatenatedCircuits:
+    def test_block_sizes(self):
+        assert concatenated_block_size(0) == 1
+        assert concatenated_block_size(1) == 7
+        assert concatenated_block_size(2) == 49
+
+    def test_level2_stabilizer_count(self):
+        generators = concatenated_stabilizers(2)
+        # 7 blocks x 6 level-1 generators + 6 top-level generators = 48 on 49 qubits.
+        assert len(generators) == 48
+        assert all(g.num_qubits == 49 for g in generators)
+
+    def test_level2_stabilizers_commute(self):
+        generators = concatenated_stabilizers(2)
+        rng = np.random.default_rng(0)
+        # Pairwise commutation on a random sample (the full 48x48 check is slow).
+        for _ in range(200):
+            i, j = rng.integers(0, len(generators), size=2)
+            assert generators[i].commutes_with(generators[j])
+
+    def test_level1_encoder_matches_plain_steane(self, rng):
+        circuit = concatenated_encode_zero_circuit(1)
+        sim = StabilizerTableau(7, rng=rng)
+        _run(circuit, sim)
+        from repro.qecc import steane_code
+
+        assert all(sim.expectation(g) == 1 for g in steane_code().stabilizers())
+
+    def test_level2_encoded_zero_is_stabilized(self, rng):
+        circuit = concatenated_encode_zero_circuit(2)
+        assert circuit.num_qubits == 49
+        sim = StabilizerTableau(49, rng=rng)
+        _run(circuit, sim)
+        for generator in concatenated_stabilizers(2):
+            assert sim.expectation(generator) == 1
+        assert sim.expectation(concatenated_logical_z(2)) == 1
+        assert sim.expectation(concatenated_logical_x(2)) == 0
+
+    def test_level2_transversal_x_flips_logical_z(self, rng):
+        sim = StabilizerTableau(49, rng=rng)
+        _run(concatenated_encode_zero_circuit(2), sim)
+        _run(transversal_logical_gate_circuit(2, "X"), sim)
+        assert sim.expectation(concatenated_logical_z(2)) == -1
+        for generator in concatenated_stabilizers(2):
+            assert sim.expectation(generator) == 1
+
+    def test_level2_transversal_h_maps_zero_to_plus(self, rng):
+        sim = StabilizerTableau(49, rng=rng)
+        _run(concatenated_encode_zero_circuit(2), sim)
+        _run(transversal_logical_gate_circuit(2, "H"), sim)
+        assert sim.expectation(concatenated_logical_x(2)) == 1
+        assert sim.expectation(concatenated_logical_z(2)) == 0
+
+    def test_level1_transversal_cnot_copies_logical_value(self, rng):
+        # Two level-1 blocks: flip the first, CNOT into the second, check both.
+        sim = StabilizerTableau(14, rng=rng)
+        _run(concatenated_encode_zero_circuit(1, qubit_offset=0, num_qubits=14), sim)
+        _run(concatenated_encode_zero_circuit(1, qubit_offset=7, num_qubits=14), sim)
+        _run(transversal_logical_gate_circuit(1, "X", qubit_offset=0, num_qubits=14), sim)
+        _run(transversal_logical_cnot_circuit(1, control_offset=0, target_offset=7), sim)
+        logical_z_block0 = PauliString.from_label("Z" * 7 + "I" * 7)
+        logical_z_block1 = PauliString.from_label("I" * 7 + "Z" * 7)
+        assert sim.expectation(logical_z_block0) == -1
+        assert sim.expectation(logical_z_block1) == -1
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(CodeError):
+            concatenated_encode_zero_circuit(0)
+        with pytest.raises(CodeError):
+            concatenated_stabilizers(0)
+        with pytest.raises(CodeError):
+            transversal_logical_gate_circuit(1, "T")
+        with pytest.raises(CodeError):
+            concatenated_block_size(-1)
+
+
+class TestBallisticBaseline:
+    def test_direct_transport_error_grows_with_distance(self):
+        model = BallisticBaselineModel()
+        short = model.direct_transport(100)
+        long = model.direct_transport(10000)
+        assert long.error_probability > short.error_probability
+        assert long.latency_seconds > short.latency_seconds
+
+    def test_direct_transport_blows_budget_at_chip_scale(self):
+        model = BallisticBaselineModel()
+        cross_chip = model.direct_transport(30000)
+        assert cross_chip.exceeds_error_budget
+
+    def test_short_hops_stay_within_budget(self):
+        model = BallisticBaselineModel()
+        assert not model.direct_transport(100).exceeds_error_budget
+
+    def test_maximum_safe_distance_consistent(self):
+        model = BallisticBaselineModel()
+        safe = model.maximum_safe_direct_distance()
+        assert not model.direct_transport(max(1, safe)).exceeds_error_budget
+        assert model.direct_transport(safe + 1000).exceeds_error_budget
+
+    def test_corrected_transport_controls_error_but_costs_latency(self):
+        model = BallisticBaselineModel()
+        direct = model.direct_transport(20000)
+        corrected = model.corrected_transport(20000)
+        assert corrected.error_probability < direct.error_probability
+        assert corrected.latency_seconds > direct.latency_seconds
+        assert corrected.ecc_stops > 10
+
+    def test_teleportation_beats_corrected_channel_at_long_range(self):
+        from repro.teleport.repeater import ConnectionTimeModel
+
+        baseline = BallisticBaselineModel()
+        teleport = ConnectionTimeModel()
+        distance = 30000
+        corrected = baseline.corrected_transport(distance)
+        connection = teleport.connection_time(distance, 350)
+        assert connection < corrected.latency_seconds
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ParameterError):
+            BallisticBaselineModel(error_budget=0.0)
+        with pytest.raises(ParameterError):
+            BallisticBaselineModel().direct_transport(0)
+
+
+class TestYieldAndMultiChip:
+    def test_tile_yield_decreases_with_defect_density(self):
+        clean = YieldModel(defect_density_per_square_metre=1.0)
+        dirty = YieldModel(defect_density_per_square_metre=1000.0)
+        assert clean.tile_yield > dirty.tile_yield
+        assert 0.0 < dirty.tile_yield < 1.0
+
+    def test_tiles_to_fabricate_includes_spares(self):
+        model = YieldModel(defect_density_per_square_metre=200.0)
+        required = 10_000
+        fabricated = model.tiles_to_fabricate(required)
+        assert fabricated > required
+        assert model.machine_yield(fabricated, required) > 0.99
+
+    def test_machine_yield_zero_without_enough_tiles(self):
+        model = YieldModel()
+        assert model.machine_yield(10, 20) == 0.0
+
+    def test_partition_covers_all_qubits(self):
+        partition = MultiChipPartition(max_chip_area_square_metres=0.12)
+        chips = partition.partition(150_771)  # Shor-512 machine
+        assert sum(chip.logical_qubits for chip in chips) == 150_771
+        assert all(chip.area_square_metres <= 0.12 + 1e-9 for chip in chips)
+        assert partition.num_chips(150_771) == len(chips) > 1
+
+    def test_small_machine_fits_one_chip(self):
+        partition = MultiChipPartition()
+        assert partition.num_chips(1000) == 1
+        assert partition.communication_penalty(1000) == 0.0
+
+    def test_communication_penalty_for_multichip_machine(self):
+        partition = MultiChipPartition()
+        penalty = partition.communication_penalty(301_251, interchip_traffic_fraction=0.1)
+        assert penalty == pytest.approx(0.05)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ParameterError):
+            YieldModel(defect_density_per_square_metre=-1.0)
+        with pytest.raises(ParameterError):
+            MultiChipPartition(max_chip_area_square_metres=0.0)
+        with pytest.raises(ParameterError):
+            MultiChipPartition().partition(0)
+
+
+class TestCircuitSerialization:
+    def test_round_trip_preserves_operations(self):
+        circuit = Circuit(3, name="demo")
+        circuit.prepare(0).h(0).cnot(0, 1).toffoli(0, 1, 2).measure(2, label="out")
+        text = circuit_to_text(circuit)
+        parsed = circuit_from_text(text)
+        assert parsed.num_qubits == 3
+        assert parsed.name == "demo"
+        assert [op.name for op in parsed] == [op.name for op in circuit]
+        assert [op.qubits for op in parsed] == [op.qubits for op in circuit]
+        assert parsed.operations[-1].label == "out"
+
+    def test_parse_ignores_comments_and_blank_lines(self):
+        text = """
+        # a comment
+
+        qubits 2
+        h 0
+        # another comment
+        cnot 0 1
+        """
+        circuit = circuit_from_text(text)
+        assert len(circuit) == 2
+
+    def test_parse_errors_are_informative(self):
+        with pytest.raises(CircuitError):
+            circuit_from_text("h 0\n")  # missing qubits header
+        with pytest.raises(CircuitError):
+            circuit_from_text("qubits 2\nfoo 0\n")
+        with pytest.raises(CircuitError):
+            circuit_from_text("qubits 2\nqubits 3\n")
+        with pytest.raises(CircuitError):
+            circuit_from_text("qubits 2\ncnot 0\n")
+        with pytest.raises(CircuitError):
+            circuit_from_text("qubits two\n")
+
+    def test_serialized_text_is_line_oriented(self):
+        circuit = Circuit(2).h(0).cnot(0, 1)
+        text = circuit_to_text(circuit)
+        lines = [line for line in text.splitlines() if line and not line.startswith("#")]
+        assert lines[0] == "qubits 2"
+        assert lines[1] == "h 0"
+        assert lines[2] == "cnot 0 1"
+
+    def test_round_trip_of_ecc_circuit(self):
+        from repro.qecc.syndrome import full_error_correction_circuit
+
+        circuit, _, _ = full_error_correction_circuit()
+        parsed = circuit_from_text(circuit_to_text(circuit))
+        assert len(parsed) == len(circuit)
+        assert parsed.count_ops() == circuit.count_ops()

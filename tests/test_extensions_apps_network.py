@@ -1,0 +1,110 @@
+"""Tests for the circuit-driven traffic generator and the Grover resource model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.grover import GroverResourceModel
+from repro.circuits import Circuit
+from repro.circuits.arithmetic import ripple_carry_adder_circuit
+from repro.core import QLAMachine, MachineConfiguration, estimate_application
+from repro.core.logical_qubit import LogicalQubitModel
+from repro.exceptions import ParameterError, SchedulingError
+from repro.network import GreedyEprScheduler, InterconnectTopology, compute_metrics
+from repro.network.circuit_traffic import CircuitTrafficGenerator
+
+
+class TestCircuitTraffic:
+    def test_single_qubit_gates_generate_no_traffic(self):
+        topology = InterconnectTopology(rows=4, columns=4)
+        circuit = Circuit(4).h(0).x(1).z(2).measure(3)
+        demands = CircuitTrafficGenerator(topology, circuit).generate()
+        assert demands == []
+
+    def test_two_qubit_gate_between_remote_tiles(self):
+        topology = InterconnectTopology(rows=4, columns=4)
+        circuit = Circuit(16).cnot(0, 5)
+        demands = CircuitTrafficGenerator(topology, circuit).generate()
+        assert len(demands) == 1
+        assert demands[0].source == (1, 1)
+        assert demands[0].destination == (0, 0)
+        assert demands[0].window == 0
+
+    def test_colocated_operands_need_no_delivery(self):
+        topology = InterconnectTopology(rows=4, columns=4)
+        circuit = Circuit(16).cnot(0, 1)
+        placement = {0: (0, 0), 1: (0, 0)}
+        demands = CircuitTrafficGenerator(topology, circuit, placement=placement).generate()
+        assert demands == []
+
+    def test_windows_follow_circuit_depth(self):
+        topology = InterconnectTopology(rows=4, columns=4)
+        circuit = Circuit(16)
+        circuit.cnot(0, 1)
+        circuit.cnot(1, 2)  # depends on the first gate -> next window
+        circuit.cnot(3, 4)  # independent -> first window
+        generator = CircuitTrafficGenerator(topology, circuit)
+        demands = generator.generate()
+        windows = sorted(d.window for d in demands)
+        assert windows == [0, 0, 1]
+        assert generator.num_windows() == 2
+
+    def test_toffoli_generates_two_demands(self):
+        topology = InterconnectTopology(rows=4, columns=4)
+        circuit = Circuit(16).toffoli(0, 6, 11)
+        demands = CircuitTrafficGenerator(topology, circuit).generate()
+        assert len(demands) == 2
+        assert all(d.destination == (0, 0) for d in demands)
+
+    def test_missing_placement_rejected(self):
+        topology = InterconnectTopology(rows=4, columns=4)
+        circuit = Circuit(16).cnot(0, 5)
+        generator = CircuitTrafficGenerator(topology, circuit, placement={0: (0, 0)})
+        with pytest.raises(SchedulingError):
+            generator.generate()
+
+    def test_adder_circuit_traffic_schedules_fully_at_bandwidth_two(self):
+        # A real arithmetic circuit placed row-major on a small array produces
+        # a schedulable communication pattern at bandwidth 2.
+        topology = InterconnectTopology(rows=4, columns=4, bandwidth=2)
+        circuit = ripple_carry_adder_circuit(5)  # 16 qubits
+        demands = CircuitTrafficGenerator(topology, circuit).generate()
+        assert demands, "an adder must generate communication"
+        result = GreedyEprScheduler(topology).schedule(demands)
+        metrics = compute_metrics(result, topology)
+        assert metrics.unserved == 0
+        assert metrics.total_demands == len(demands)
+
+
+class TestGroverModel:
+    def test_iteration_count_scales_as_sqrt(self):
+        model = GroverResourceModel()
+        assert model.iterations(10) == pytest.approx((3.1415 / 4) * 2**5, rel=0.05)
+        assert model.iterations(20) > 30 * model.iterations(10)
+
+    def test_profile_feeds_generic_estimator(self):
+        model = GroverResourceModel()
+        profile = model.profile(20)
+        performance = estimate_application(profile, LogicalQubitModel())
+        assert performance.ecc_steps > 0
+        assert performance.is_feasible
+        assert performance.execution_time_seconds > 0
+
+    def test_grover_on_machine(self):
+        machine = QLAMachine(MachineConfiguration(num_logical_qubits=64))
+        profile = GroverResourceModel().profile(16)
+        performance = machine.estimate_application(profile)
+        # A 16-bit search is a small workload: minutes-to-hours, not days.
+        assert performance.expected_time_days < 2.0
+
+    def test_larger_search_costs_more(self):
+        model = GroverResourceModel()
+        small = estimate_application(model.profile(12), LogicalQubitModel())
+        large = estimate_application(model.profile(24), LogicalQubitModel())
+        assert large.execution_time_seconds > 10 * small.execution_time_seconds
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ParameterError):
+            GroverResourceModel(oracle_toffoli_per_bit=0)
+        with pytest.raises(ParameterError):
+            GroverResourceModel().profile(1)

@@ -1,0 +1,154 @@
+"""Cross-module integration tests: the full chains the paper's evaluation uses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ApplicationProfile,
+    MachineConfiguration,
+    QLAMachine,
+    ShorResourceModel,
+    estimate_application,
+)
+from repro.arq import LayoutMapper, NoisyCircuitExecutor
+from repro.arq.experiments import Level1EccExperiment, _noise_from_parameters
+from repro.circuits import Circuit
+from repro.iontrap.parameters import EXPECTED_PARAMETERS
+from repro.pauli import PauliString, PauliTerm
+from repro.qecc import LookupDecoder, steane_code, steane_encode_zero_circuit
+from repro.qecc.syndrome import full_error_correction_circuit, syndrome_from_ancilla_bits
+from repro.stabilizer import NoiselessModel, OperationNoise, StabilizerTableau
+
+
+class TestEncodeCorruptCorrectChain:
+    """Encode -> inject error -> extract syndrome -> decode -> verify, end to end."""
+
+    @pytest.mark.parametrize("letter", ["X", "Z", "Y"])
+    @pytest.mark.parametrize("qubit", [0, 3, 6])
+    def test_single_error_round_trip(self, letter, qubit, rng):
+        register = 21
+        tableau = StabilizerTableau(register, rng=rng)
+        executor = NoisyCircuitExecutor(noise=NoiselessModel())
+        executor.run(steane_encode_zero_circuit(num_qubits=register), rng, tableau=tableau)
+
+        tableau.apply_pauli(PauliString.from_terms([PauliTerm(qubit, letter)], register))
+
+        circuit, x_ext, z_ext = full_error_correction_circuit(num_qubits=register)
+        result = executor.run(circuit, rng, tableau=tableau)
+
+        decoder = LookupDecoder()
+        x_syndrome = syndrome_from_ancilla_bits(
+            result.bits(x_ext.ancilla_measurement_labels), "X"
+        )
+        z_syndrome = syndrome_from_ancilla_bits(
+            result.bits(z_ext.ancilla_measurement_labels), "Z"
+        )
+        for correction in (
+            decoder.correction_for_syndrome(x_syndrome, "X", strict=False),
+            decoder.correction_for_syndrome(z_syndrome, "Z", strict=False),
+        ):
+            if not correction.is_identity():
+                x = np.zeros(register, dtype=np.uint8)
+                z = np.zeros(register, dtype=np.uint8)
+                x[:7] = correction.x
+                z[:7] = correction.z
+                tableau.apply_pauli(PauliString(x, z))
+
+        code = steane_code()
+        logical_z = PauliString.from_label(code.logical_z().to_label() + "I" * 14)
+        assert tableau.expectation(logical_z) == 1
+        for generator in code.stabilizers():
+            embedded = PauliString.from_label(generator.to_label() + "I" * 14)
+            assert tableau.expectation(embedded) == 1
+
+
+class TestNoisyEccStatistics:
+    def test_expected_parameters_give_tiny_logical_failure_rate(self):
+        """At the roadmap parameters the level-1 logical failure rate over a few
+        hundred shots should be zero -- the regime where the paper 'observed no
+        failure at level 2 recursion'."""
+        experiment = Level1EccExperiment(noise=_noise_from_parameters(EXPECTED_PARAMETERS))
+        rng = np.random.default_rng(17)
+        failures = sum(experiment.run_trial(rng) for _ in range(200))
+        assert failures == 0
+
+    def test_movement_only_noise_produces_nontrivial_syndromes(self):
+        """With only movement noise (at an exaggerated rate) syndromes fire but
+        are almost always corrected -- communication noise is absorbed by ECC."""
+        noise = OperationNoise(p_move_per_cell=2e-3)
+        experiment = Level1EccExperiment(noise=noise, mapper=LayoutMapper())
+        rng = np.random.default_rng(23)
+        outcomes = [experiment.run_trial_detailed(rng) for _ in range(120)]
+        nontrivial = sum(o["nontrivial_syndrome"] for o in outcomes)
+        failures = sum(o["failure"] for o in outcomes)
+        assert nontrivial > 5
+        assert failures < nontrivial
+
+
+class TestMachineLevelChains:
+    def test_machine_supports_shor_1024_at_level2(self):
+        machine = QLAMachine(MachineConfiguration(num_logical_qubits=128))
+        shor = machine.estimate_shor(1024)
+        assert machine.supported_computation_size() > shor.computation_size
+
+    def test_shor_profile_through_generic_estimator_matches_shor_model(self):
+        model = ShorResourceModel()
+        shor = model.estimate(128)
+        machine = QLAMachine(MachineConfiguration(num_logical_qubits=64))
+        profile = ApplicationProfile(
+            name="shor-128",
+            logical_qubits=shor.logical_qubits,
+            toffoli_count=shor.toffoli_gates,
+            extra_logical_steps=model.qft_ecc_steps(128),
+            repetitions=1.3,
+        )
+        generic = estimate_application(profile, machine.logical_qubit)
+        assert generic.ecc_steps == shor.ecc_steps
+        assert generic.expected_time_seconds == pytest.approx(
+            shor.expected_time_seconds, rel=1e-6
+        )
+
+    def test_full_machine_story_for_128_bit_factoring(self):
+        """The paper's headline: a ~40k logical-qubit machine, ~0.1 m^2, factoring
+        a 128-bit number in tens of hours with communication fully overlapped."""
+        shor = ShorResourceModel().estimate(128)
+        machine = QLAMachine(
+            MachineConfiguration(num_logical_qubits=shor.logical_qubits, channel_bandwidth=2)
+        )
+        assert machine.chip_area_square_metres() == pytest.approx(0.11, rel=0.1)
+        assert 10 < shor.execution_time_hours < 40
+        metrics = machine.run_scheduling_study(windows=5)
+        assert metrics.fully_overlapped
+        assert machine.communication_overlaps(0, machine.num_logical_qubits - 1)
+
+    def test_noisy_executor_runs_machine_scale_block_circuit(self, rng):
+        """A 21-qubit noisy ECC circuit runs end-to-end through the executor with
+        technology-derived noise and produces a full measurement record."""
+        circuit, x_ext, z_ext = full_error_correction_circuit()
+        executor = NoisyCircuitExecutor(
+            noise=_noise_from_parameters(EXPECTED_PARAMETERS), mapper=LayoutMapper()
+        )
+        prep = NoisyCircuitExecutor(noise=NoiselessModel())
+        tableau = StabilizerTableau(21, rng=rng)
+        prep.run(steane_encode_zero_circuit(num_qubits=21), rng, tableau=tableau)
+        result = executor.run(circuit, rng, tableau=tableau)
+        assert len(result.measurements) == 28  # 2 x (7 ancilla + 7 verification)
+
+
+class TestCircuitToPulseChain:
+    def test_logical_circuit_to_physical_schedule(self):
+        """Circuit -> layout mapping -> pulse schedule, with consistent totals."""
+        from repro.arq.pulse import build_pulse_schedule
+
+        circuit = Circuit(4)
+        circuit.prepare(0).prepare(1).prepare(2).prepare(3)
+        circuit.h(0).cnot(0, 1).cnot(1, 2).cnot(2, 3).measure(3, label="parity")
+        mapper = LayoutMapper()
+        mapped = mapper.map_circuit(circuit)
+        schedule = build_pulse_schedule(mapped)
+        moves = [e for e in schedule.events if e.operation.kind.value == "move"]
+        assert len(moves) == mapped.movement_operations() == 3
+        assert schedule.makespan_seconds > EXPECTED_PARAMETERS.measure_time
+        assert schedule.expected_error_count() < 1e-3

@@ -1,0 +1,213 @@
+"""Tests for the trapped-ion substrate model: parameters, operations, grid, movement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import MICROSECOND
+from repro.exceptions import LayoutError, ParameterError
+from repro.iontrap import (
+    BallisticChannel,
+    CellType,
+    CURRENT_PARAMETERS,
+    EXPECTED_PARAMETERS,
+    Ion,
+    IonRole,
+    IonTrapParameters,
+    MovementPlan,
+    OperationCatalog,
+    PhysicalOperation,
+    PhysicalOperationType,
+    QCCDGrid,
+    movement_failure_probability,
+    movement_time,
+    technology_table,
+)
+
+
+class TestParameters:
+    def test_expected_failure_rates_match_table1(self):
+        p = EXPECTED_PARAMETERS
+        assert p.single_gate_failure == 1e-8
+        assert p.double_gate_failure == 1e-7
+        assert p.measure_failure == 1e-8
+        assert p.movement_failure_per_cell == 1e-6
+
+    def test_expected_operation_times_match_table1(self):
+        p = EXPECTED_PARAMETERS
+        assert p.single_gate_time == pytest.approx(1 * MICROSECOND)
+        assert p.double_gate_time == pytest.approx(10 * MICROSECOND)
+        assert p.measure_time == pytest.approx(100 * MICROSECOND)
+        assert p.split_time == pytest.approx(10 * MICROSECOND)
+
+    def test_current_rates_are_worse_than_expected(self):
+        assert CURRENT_PARAMETERS.double_gate_failure > EXPECTED_PARAMETERS.double_gate_failure
+        assert (
+            CURRENT_PARAMETERS.movement_failure_per_cell
+            > EXPECTED_PARAMETERS.movement_failure_per_cell
+        )
+
+    def test_movement_time_per_cell(self):
+        # 10 ns/um over a 20 um cell.
+        assert EXPECTED_PARAMETERS.movement_time_per_cell == pytest.approx(0.2 * MICROSECOND)
+
+    def test_average_component_failure_matches_eq2_input(self):
+        assert EXPECTED_PARAMETERS.average_component_failure == pytest.approx(
+            (1e-8 + 1e-7 + 1e-8 + 1e-6) / 4
+        )
+
+    def test_memory_failure_rate(self):
+        assert EXPECTED_PARAMETERS.memory_failure_per_second == pytest.approx(0.1)
+
+    def test_with_uniform_failure_keeps_movement_by_default(self):
+        modified = EXPECTED_PARAMETERS.with_uniform_failure(1e-3)
+        assert modified.single_gate_failure == 1e-3
+        assert modified.movement_failure_per_cell == 1e-6
+        scaled = EXPECTED_PARAMETERS.with_uniform_failure(1e-3, keep_movement=False)
+        assert scaled.movement_failure_per_cell == 1e-3
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ParameterError):
+            IonTrapParameters(single_gate_failure=1.5)
+        with pytest.raises(ParameterError):
+            IonTrapParameters(measure_time=-1.0)
+
+    def test_technology_table_has_all_rows(self):
+        table = technology_table()
+        operations = {row["operation"] for row in table}
+        assert {"Single Gate", "Double Gate", "Measure", "Split", "Cooling"} <= operations
+        assert len(table) == 7
+
+
+class TestOperationCatalog:
+    def test_gate_durations(self):
+        catalog = OperationCatalog()
+        single = PhysicalOperation(PhysicalOperationType.SINGLE_GATE, ions=(0,))
+        double = PhysicalOperation(PhysicalOperationType.DOUBLE_GATE, ions=(0, 1))
+        assert catalog.duration(single) == pytest.approx(1e-6)
+        assert catalog.duration(double) == pytest.approx(10e-6)
+
+    def test_movement_duration_scales_with_cells(self):
+        catalog = OperationCatalog()
+        move = PhysicalOperation(PhysicalOperationType.MOVE, ions=(0,), cells=10)
+        assert catalog.duration(move) == pytest.approx(10 * 0.2e-6)
+
+    def test_movement_failure_compounds(self):
+        catalog = OperationCatalog()
+        move = PhysicalOperation(PhysicalOperationType.MOVE, ions=(0,), cells=100)
+        expected = 1 - (1 - 1e-6) ** 100
+        assert catalog.failure_probability(move) == pytest.approx(expected)
+
+    def test_idle_failure_uses_memory_rate(self):
+        catalog = OperationCatalog()
+        idle = PhysicalOperation(PhysicalOperationType.IDLE, ions=(0,), duration_seconds=1.0)
+        assert catalog.failure_probability(idle) == pytest.approx(0.1, rel=0.01)
+
+    def test_operation_requires_ions(self):
+        with pytest.raises(ParameterError):
+            PhysicalOperation(PhysicalOperationType.COOL, ions=())
+
+    def test_negative_movement_rejected(self):
+        with pytest.raises(ParameterError):
+            PhysicalOperation(PhysicalOperationType.MOVE, ions=(0,), cells=-1)
+
+
+class TestMovementModel:
+    def test_movement_time_structure(self):
+        plan = MovementPlan(cells=10, corner_turns=1, splits=1, recool=False)
+        p = EXPECTED_PARAMETERS
+        expected = p.split_time + 10 * p.movement_time_per_cell + p.corner_turn_time
+        assert movement_time(plan) == pytest.approx(expected)
+
+    def test_recooling_adds_time(self):
+        with_cooling = movement_time(MovementPlan(cells=5, recool=True))
+        without = movement_time(MovementPlan(cells=5, recool=False))
+        assert with_cooling - without == pytest.approx(EXPECTED_PARAMETERS.cooling_time)
+
+    def test_failure_probability_counts_all_exposure(self):
+        plan = MovementPlan(cells=10, corner_turns=2, splits=1)
+        expected = 1 - (1 - 1e-6) ** 13
+        assert movement_failure_probability(plan) == pytest.approx(expected)
+
+    def test_zero_distance_plan_is_error_free(self):
+        plan = MovementPlan(cells=0, corner_turns=0, splits=0)
+        assert movement_failure_probability(plan) == 0.0
+
+    def test_negative_plan_rejected(self):
+        with pytest.raises(ParameterError):
+            MovementPlan(cells=-1)
+
+    def test_channel_latency_and_bandwidth(self):
+        channel = BallisticChannel(length_cells=1000)
+        # tau + T * D with tau = 10 us and T = 0.01 us.
+        assert channel.latency() == pytest.approx(10e-6 + 1000 * 0.01e-6)
+        assert channel.bandwidth_qubits_per_second() == pytest.approx(1e8)
+
+    def test_channel_pipelined_transfer(self):
+        channel = BallisticChannel(length_cells=100)
+        one = channel.transfer_time(1)
+        many = channel.transfer_time(50)
+        assert many == pytest.approx(one + 49 * 0.01e-6)
+
+    def test_channel_requires_positive_length(self):
+        with pytest.raises(ParameterError):
+            BallisticChannel(length_cells=0)
+
+
+class TestGridAndIons:
+    def test_grid_dimensions(self):
+        grid = QCCDGrid(4, 6)
+        assert grid.num_cells == 24
+        assert grid.in_bounds((3, 5))
+        assert not grid.in_bounds((4, 0))
+
+    def test_cell_type_marking(self):
+        grid = QCCDGrid(5, 5, default_type=CellType.TRAP)
+        grid.mark_region((0, 0), (0, 4), CellType.CHANNEL)
+        assert grid.count_cells(CellType.CHANNEL) == 5
+        assert grid.cell_type((0, 2)) is CellType.CHANNEL
+        assert grid.cell_type((1, 2)) is CellType.TRAP
+
+    def test_invalid_region_rejected(self):
+        grid = QCCDGrid(3, 3)
+        with pytest.raises(LayoutError):
+            grid.mark_region((2, 2), (0, 0), CellType.CHANNEL)
+
+    def test_ion_placement_and_lookup(self):
+        grid = QCCDGrid(3, 3)
+        ion = Ion(ion_id=1, role=IonRole.DATA)
+        grid.place_ion(ion, (1, 1))
+        assert grid.ion_at((1, 1)) is ion
+        assert grid.num_ions == 1
+
+    def test_double_occupancy_rejected(self):
+        grid = QCCDGrid(3, 3)
+        grid.place_ion(Ion(ion_id=1), (0, 0))
+        with pytest.raises(LayoutError):
+            grid.place_ion(Ion(ion_id=2), (0, 0))
+
+    def test_move_ion_updates_position_and_heating(self):
+        grid = QCCDGrid(5, 5)
+        ion = Ion(ion_id=3)
+        grid.place_ion(ion, (0, 0))
+        distance = grid.move_ion(3, (2, 3))
+        assert distance == 5
+        assert ion.position == (2, 3)
+        assert ion.heating_quanta > 0
+        ion.cool()
+        assert ion.heating_quanta == 0.0
+
+    def test_move_to_occupied_cell_rejected(self):
+        grid = QCCDGrid(3, 3)
+        grid.place_ion(Ion(ion_id=1), (0, 0))
+        grid.place_ion(Ion(ion_id=2), (1, 1))
+        with pytest.raises(LayoutError):
+            grid.move_ion(1, (1, 1))
+
+    def test_corner_turns(self):
+        assert QCCDGrid.corner_turns((0, 0), (0, 5)) == 0
+        assert QCCDGrid.corner_turns((0, 0), (3, 5)) == 1
+
+    def test_ion_roles(self):
+        assert Ion(0, role=IonRole.COOLING).is_data is False
+        assert Ion(0, role=IonRole.ANCILLA).is_data is True

@@ -1,0 +1,159 @@
+"""Tests for the tile geometry, placement, QLA array and chip-area model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import LayoutError, ParameterError
+from repro.layout import (
+    ChipAreaModel,
+    LogicalQubitTile,
+    QLAArray,
+    chip_area_square_metres,
+    grid_placement,
+    level1_block_geometry,
+    level2_tile_geometry,
+)
+from repro.layout.qla_array import build_qla_array
+
+
+class TestTileGeometry:
+    def test_level2_tile_dimensions_match_paper(self):
+        tile = level2_tile_geometry()
+        assert (tile.rows, tile.columns) == (36, 147)
+
+    def test_level2_tile_area_is_2_11_mm2(self):
+        tile = level2_tile_geometry()
+        assert tile.area_square_metres * 1e6 == pytest.approx(2.11, rel=0.01)
+
+    def test_footprint_includes_channels(self):
+        tile = level2_tile_geometry()
+        assert tile.pitch_rows == 36 + 11
+        assert tile.pitch_columns == 147 + 12
+        assert tile.footprint_cells == 47 * 159
+
+    def test_side_lengths(self):
+        rows_mm, cols_mm = level2_tile_geometry().side_lengths_millimetres()
+        assert rows_mm == pytest.approx(0.72)
+        assert cols_mm == pytest.approx(2.94)
+
+    def test_level1_block_alignment_distance(self):
+        block = level1_block_geometry()
+        assert block.rows == 12  # the r = 12 cell alignment of Equation 2
+
+    def test_total_ions(self):
+        tile = level2_tile_geometry()
+        assert tile.total_ions == tile.data_ions + tile.ancilla_ions + tile.cooling_ions
+        assert tile.data_ions == 49
+
+    def test_invalid_tile_rejected(self):
+        with pytest.raises(LayoutError):
+            LogicalQubitTile(rows=0, columns=10)
+        with pytest.raises(LayoutError):
+            LogicalQubitTile(rows=10, columns=10, channel_rows=-1)
+
+
+class TestPlacement:
+    def test_grid_placement_is_near_square(self):
+        placement = grid_placement(100)
+        assert placement.array_rows == 10
+        assert placement.array_columns == 10
+        assert placement.num_logical_qubits == 100
+
+    def test_fixed_columns(self):
+        placement = grid_placement(10, array_columns=2)
+        assert placement.array_columns == 2
+        assert placement.array_rows == 5
+
+    def test_positions_are_row_major(self):
+        placement = grid_placement(6, array_columns=3)
+        assert placement.position_of(0) == (0, 0)
+        assert placement.position_of(4) == (1, 1)
+
+    def test_distance_in_cells_uses_tile_pitch(self):
+        placement = grid_placement(4, array_columns=2)
+        tile = placement.tile
+        assert placement.distance_cells(0, 1) == tile.pitch_columns
+        assert placement.distance_cells(0, 2) == tile.pitch_rows
+        assert placement.distance_cells(0, 3) == tile.pitch_rows + tile.pitch_columns
+
+    def test_distance_in_tiles(self):
+        placement = grid_placement(9, array_columns=3)
+        assert placement.distance_tiles(0, 8) == 4
+
+    def test_unplaced_qubit_rejected(self):
+        placement = grid_placement(4)
+        with pytest.raises(LayoutError):
+            placement.position_of(99)
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(LayoutError):
+            grid_placement(0)
+
+
+class TestQLAArray:
+    def test_array_dimensions_and_ions(self):
+        array = build_qla_array(64)
+        assert array.num_logical_qubits == 64
+        assert array.array_rows == 8 and array.array_columns == 8
+        assert array.total_physical_ions() == 64 * array.tile.total_ions
+
+    def test_island_spacing_matches_paper_prescription(self):
+        # Every third tile in the x (row) direction (~100 cells / 47-cell pitch),
+        # every tile in the y (column) direction (159-cell pitch > 100 cells).
+        array = build_qla_array(64, island_spacing_cells=100)
+        x_tiles, y_tiles = array.island_spacing_tiles()
+        assert x_tiles == 2
+        assert y_tiles == 1
+
+    def test_islands_cover_the_array(self):
+        array = build_qla_array(36)
+        islands = array.islands()
+        assert islands.count >= array.array_rows * array.array_columns / 4
+
+    def test_nearest_island_is_close(self):
+        array = build_qla_array(36)
+        qubit = 20
+        row, col = array.placement.position_of(qubit)
+        island = array.nearest_island(qubit)
+        assert abs(island[0] - row) + abs(island[1] - col) <= 3
+
+    def test_invalid_island_spacing_rejected(self):
+        with pytest.raises(LayoutError):
+            QLAArray(placement=grid_placement(4), island_spacing_cells=0)
+
+    def test_width_and_height_cells(self):
+        array = build_qla_array(16)
+        assert array.width_cells == 4 * array.tile.pitch_columns
+        assert array.height_cells == 4 * array.tile.pitch_rows
+
+
+class TestChipArea:
+    def test_area_per_logical_qubit(self):
+        model = ChipAreaModel()
+        assert model.area_per_logical_qubit() == pytest.approx(2.99e-6, rel=0.01)
+
+    @pytest.mark.parametrize(
+        "qubits,paper_area",
+        [(37_971, 0.11), (150_771, 0.45), (301_251, 0.90), (602_259, 1.80)],
+    )
+    def test_table2_area_column(self, qubits, paper_area):
+        assert chip_area_square_metres(qubits) == pytest.approx(paper_area, rel=0.05)
+
+    def test_chip_edge_length(self):
+        model = ChipAreaModel()
+        # ~0.45 m^2 for Shor-512 -> roughly 2/3 m on a side.
+        edge = model.chip_edge_length(150_771)
+        assert edge == pytest.approx(math.sqrt(0.45), rel=0.05)
+
+    def test_logical_qubits_per_pentium4_near_100(self):
+        assert ChipAreaModel().logical_qubits_per_pentium4() == pytest.approx(100, rel=0.15)
+
+    def test_invalid_inputs_rejected(self):
+        model = ChipAreaModel()
+        with pytest.raises(ParameterError):
+            model.chip_area(0)
+        with pytest.raises(ParameterError):
+            model.logical_qubits_per_area(0.0)

@@ -1,0 +1,137 @@
+"""Tests for the Pauli-string algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.pauli import PauliString, PauliTerm, commutes, random_pauli
+
+
+class TestConstruction:
+    def test_identity_has_zero_weight(self):
+        pauli = PauliString.identity(5)
+        assert pauli.weight == 0
+        assert pauli.is_identity()
+        assert pauli.num_qubits == 5
+
+    def test_from_label_round_trips(self):
+        pauli = PauliString.from_label("XIZZY")
+        assert pauli.to_label() == "XIZZY"
+        assert pauli.weight == 4
+
+    def test_from_label_rejects_unknown_letters(self):
+        with pytest.raises(CircuitError):
+            PauliString.from_label("XQZ")
+
+    def test_from_terms_builds_sparse_operator(self):
+        pauli = PauliString.from_terms(
+            [PauliTerm(qubit=0, letter="X"), PauliTerm(qubit=3, letter="Z")], num_qubits=5
+        )
+        assert pauli.to_label() == "XIIZI"
+
+    def test_from_terms_rejects_out_of_range_qubit(self):
+        with pytest.raises(CircuitError):
+            PauliString.from_terms([PauliTerm(qubit=9, letter="X")], num_qubits=4)
+
+    def test_terms_combine_by_multiplication(self):
+        # X then Z on the same qubit gives Y (up to phase); the letter must be Y.
+        pauli = PauliString.from_terms(
+            [PauliTerm(qubit=1, letter="X"), PauliTerm(qubit=1, letter="Z")], num_qubits=2
+        )
+        assert pauli.letter(1) == "Y"
+
+    def test_mismatched_xz_lengths_rejected(self):
+        with pytest.raises(CircuitError):
+            PauliString([1, 0], [1])
+
+    def test_term_rejects_negative_qubit(self):
+        with pytest.raises(CircuitError):
+            PauliTerm(qubit=-1, letter="X")
+
+    def test_term_rejects_bad_letter(self):
+        with pytest.raises(CircuitError):
+            PauliTerm(qubit=0, letter="W")
+
+
+class TestProperties:
+    def test_support_lists_nontrivial_qubits(self):
+        pauli = PauliString.from_label("IXIYZ")
+        assert pauli.support() == [1, 3, 4]
+
+    def test_letter_per_qubit(self):
+        pauli = PauliString.from_label("IXYZ")
+        assert [pauli.letter(q) for q in range(4)] == ["I", "X", "Y", "Z"]
+
+    def test_equality_includes_phase(self):
+        a = PauliString.from_label("XX", phase=0)
+        b = PauliString.from_label("XX", phase=2)
+        assert a != b
+        assert a.equals_up_to_phase(b)
+
+    def test_hashable_and_usable_in_sets(self):
+        elements = {PauliString.from_label("XZ"), PauliString.from_label("XZ")}
+        assert len(elements) == 1
+
+    def test_x_and_z_views_are_read_only(self):
+        pauli = PauliString.from_label("XZ")
+        with pytest.raises(ValueError):
+            pauli.x[0] = 0
+
+
+class TestAlgebra:
+    def test_commuting_pair(self):
+        assert commutes(PauliString.from_label("XX"), PauliString.from_label("ZZ"))
+
+    def test_anticommuting_pair(self):
+        assert not commutes(PauliString.from_label("XI"), PauliString.from_label("ZI"))
+
+    def test_identity_commutes_with_everything(self):
+        identity = PauliString.identity(3)
+        assert identity.commutes_with(PauliString.from_label("XYZ"))
+
+    def test_product_xors_supports(self):
+        product = PauliString.from_label("XXI") * PauliString.from_label("IXX")
+        assert product.to_label() == "XIX"
+
+    def test_product_of_x_and_z_gives_y_letter(self):
+        product = PauliString.from_label("X") * PauliString.from_label("Z")
+        assert product.to_label() == "Y"
+
+    def test_self_product_is_identity_up_to_phase(self):
+        pauli = PauliString.from_label("XYZ")
+        assert (pauli * pauli).equals_up_to_phase(PauliString.identity(3))
+
+    def test_product_rejects_size_mismatch(self):
+        with pytest.raises(CircuitError):
+            PauliString.from_label("X") * PauliString.from_label("XX")
+
+    def test_anticommutation_flips_product_order_phase(self):
+        x = PauliString.from_label("X")
+        z = PauliString.from_label("Z")
+        xz = x * z
+        zx = z * x
+        assert xz.equals_up_to_phase(zx)
+        assert (xz.phase - zx.phase) % 4 == 2
+
+
+class TestRandomPauli:
+    def test_fixed_weight(self, rng):
+        pauli = random_pauli(10, rng, weight=4)
+        assert pauli.weight == 4
+
+    def test_weight_out_of_range_rejected(self, rng):
+        with pytest.raises(CircuitError):
+            random_pauli(3, rng, weight=5)
+
+    def test_excludes_identity_by_default(self, rng):
+        for _ in range(20):
+            assert not random_pauli(2, rng).is_identity()
+
+    def test_distribution_covers_all_letters(self, rng):
+        letters = set()
+        for _ in range(200):
+            pauli = random_pauli(1, rng, weight=1)
+            letters.add(pauli.to_label())
+        assert letters == {"X", "Y", "Z"}

@@ -1,0 +1,212 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import Circuit, schedule_asap
+from repro.circuits.arithmetic import qcla_adder_cost, ripple_carry_adder_circuit
+from repro.circuits.classical import bits_from_int, int_from_bits, simulate_classical
+from repro.pauli import PauliString
+from repro.qecc import LookupDecoder, steane_code
+from repro.qecc.concatenation import failure_rate_at_level
+from repro.stabilizer import StabilizerTableau
+from repro.teleport.epr import EPRPair
+from repro.teleport.purification import bennett_purification_map, deutsch_purification_map
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+pauli_labels = st.text(alphabet="IXYZ", min_size=1, max_size=8)
+small_ints = st.integers(min_value=0, max_value=2**6 - 1)
+fidelities = st.floats(min_value=0.51, max_value=1.0, allow_nan=False)
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+# ---------------------------------------------------------------------------
+# Pauli algebra
+# ---------------------------------------------------------------------------
+
+
+class TestPauliProperties:
+    @given(pauli_labels)
+    def test_label_round_trip(self, label):
+        assert PauliString.from_label(label).to_label() == label
+
+    @given(pauli_labels)
+    def test_square_is_identity_up_to_phase(self, label):
+        pauli = PauliString.from_label(label)
+        assert (pauli * pauli).equals_up_to_phase(PauliString.identity(len(label)))
+
+    @given(pauli_labels, pauli_labels)
+    def test_commutation_is_symmetric(self, label_a, label_b):
+        size = max(len(label_a), len(label_b))
+        a = PauliString.from_label(label_a.ljust(size, "I"))
+        b = PauliString.from_label(label_b.ljust(size, "I"))
+        assert a.commutes_with(b) == b.commutes_with(a)
+
+    @given(pauli_labels, pauli_labels)
+    def test_product_support_is_symmetric_difference_or_less(self, label_a, label_b):
+        size = max(len(label_a), len(label_b))
+        a = PauliString.from_label(label_a.ljust(size, "I"))
+        b = PauliString.from_label(label_b.ljust(size, "I"))
+        product = a * b
+        assert set(product.support()) <= set(a.support()) | set(b.support())
+
+    @given(pauli_labels)
+    def test_weight_equals_support_size(self, label):
+        pauli = PauliString.from_label(label)
+        assert pauli.weight == len(pauli.support())
+
+
+# ---------------------------------------------------------------------------
+# Stabilizer simulator invariants
+# ---------------------------------------------------------------------------
+
+
+class TestTableauProperties:
+    @given(st.integers(min_value=1, max_value=6), st.randoms(use_true_random=False))
+    @settings(max_examples=25, deadline=None)
+    def test_random_clifford_circuit_keeps_generators_independent(self, num_qubits, pyrandom):
+        """After any Clifford circuit the stabilizer group still has n independent
+        commuting generators (the defining invariant of the tableau)."""
+        rng = np.random.default_rng(pyrandom.randint(0, 2**31))
+        sim = StabilizerTableau(num_qubits, rng=rng)
+        gates = ["H", "S", "X", "Z", "CNOT", "CZ", "SWAP"]
+        for _ in range(30):
+            name = gates[rng.integers(0, len(gates))]
+            if name in ("CNOT", "CZ", "SWAP") and num_qubits >= 2:
+                a, b = rng.choice(num_qubits, size=2, replace=False)
+                sim.apply_gate(name, (int(a), int(b)))
+            else:
+                sim.apply_gate(name if name not in ("CNOT", "CZ", "SWAP") else "H",
+                               (int(rng.integers(0, num_qubits)),))
+        generators = sim.stabilizer_generators()
+        assert len(generators) == num_qubits
+        for i, a in enumerate(generators):
+            assert not a.is_identity()
+            for b in generators[i + 1 :]:
+                assert a.commutes_with(b)
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_measurement_is_repeatable(self, num_qubits, seed):
+        rng = np.random.default_rng(seed)
+        sim = StabilizerTableau(num_qubits, rng=rng)
+        for q in range(num_qubits):
+            sim.h(q)
+        for q in range(num_qubits - 1):
+            sim.cnot(q, q + 1)
+        first = [sim.measure(q).value for q in range(num_qubits)]
+        second = [sim.measure(q).value for q in range(num_qubits)]
+        assert first == second
+
+
+# ---------------------------------------------------------------------------
+# Error correction invariants
+# ---------------------------------------------------------------------------
+
+
+class TestSteaneProperties:
+    @given(st.integers(min_value=0, max_value=6), st.sampled_from(["X", "Y", "Z"]))
+    def test_all_single_errors_corrected(self, qubit, letter):
+        from repro.pauli import PauliTerm
+
+        decoder = LookupDecoder(steane_code())
+        error = PauliString.from_terms([PauliTerm(qubit, letter)], 7)
+        _, success = decoder.decode_residual(error)
+        assert success
+
+    @given(st.integers(min_value=0, max_value=6), st.integers(min_value=0, max_value=6))
+    def test_syndromes_are_linear(self, qubit_a, qubit_b):
+        """The syndrome of a product of X errors is the XOR of the syndromes."""
+        from repro.pauli import PauliTerm
+
+        code = steane_code()
+        error_a = PauliString.from_terms([PauliTerm(qubit_a, "X")], 7)
+        error_b = PauliString.from_terms([PauliTerm(qubit_b, "X")], 7)
+        _, syn_a = code.syndrome_of(error_a)
+        _, syn_b = code.syndrome_of(error_b)
+        _, syn_ab = code.syndrome_of(error_a * error_b)
+        assert np.array_equal(syn_ab, (syn_a + syn_b) % 2)
+
+    @given(probabilities.filter(lambda p: p < 7.4e-5), st.integers(min_value=1, max_value=3))
+    def test_recursion_below_threshold_always_helps(self, p0, level):
+        assert failure_rate_at_level(p0, level + 1) <= failure_rate_at_level(p0, level)
+
+
+# ---------------------------------------------------------------------------
+# Purification and EPR invariants
+# ---------------------------------------------------------------------------
+
+
+class TestTeleportProperties:
+    @given(fidelities)
+    def test_bennett_output_is_valid_fidelity(self, fidelity):
+        new_fidelity, success = bennett_purification_map(fidelity)
+        assert 0.0 <= new_fidelity <= 1.0
+        assert 0.0 < success <= 1.0
+
+    @given(fidelities)
+    def test_bennett_never_hurts_above_half(self, fidelity):
+        new_fidelity, _ = bennett_purification_map(fidelity)
+        assert new_fidelity >= fidelity - 1e-12
+
+    @given(fidelities)
+    def test_deutsch_at_least_as_good_as_bennett(self, fidelity):
+        assert deutsch_purification_map(fidelity)[0] >= bennett_purification_map(fidelity)[0] - 1e-12
+
+    @given(fidelities, fidelities)
+    def test_swapping_never_improves_fidelity(self, f1, f2):
+        swapped = EPRPair(0, 1, fidelity=f1).swapped_with(EPRPair(1, 2, fidelity=f2))
+        assert swapped.fidelity <= max(f1, f2) + 1e-12
+
+    @given(fidelities, st.integers(min_value=0, max_value=500), probabilities)
+    def test_transport_fidelity_stays_in_range(self, fidelity, cells, error):
+        pair = EPRPair(0, 1, fidelity=fidelity).after_transport(cells, min(error, 1.0))
+        assert 0.25 - 1e-12 <= pair.fidelity <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic and scheduling invariants
+# ---------------------------------------------------------------------------
+
+
+class TestCircuitProperties:
+    @given(small_ints, small_ints)
+    @settings(max_examples=40, deadline=None)
+    def test_ripple_adder_is_correct_for_all_inputs(self, a, b):
+        bits = 6
+        circuit = ripple_carry_adder_circuit(bits)
+        state = bits_from_int(a, bits) + bits_from_int(b, bits) + [0] * (bits + 1)
+        final = simulate_classical(circuit, state)
+        total = int_from_bits(final[bits : 2 * bits]) + (final[3 * bits] << bits)
+        assert total == a + b
+        assert int_from_bits(final[:bits]) == a
+
+    @given(st.integers(min_value=2, max_value=4096))
+    def test_qcla_depth_grows_logarithmically(self, bits):
+        cost = qcla_adder_cost(bits)
+        assert cost.toffoli_depth <= 4 * np.ceil(np.log2(bits)) + 2
+        assert cost.width >= 2 * bits
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_asap_schedule_preserves_operation_count_and_order(self, pairs):
+        circuit = Circuit(6)
+        for a, b in pairs:
+            if a == b:
+                circuit.h(a)
+            else:
+                circuit.cnot(a, b)
+        layers = schedule_asap(circuit)
+        assert sum(len(layer) for layer in layers) == len(circuit)
+        # No layer contains two operations sharing a qubit.
+        for layer in layers:
+            seen: set[int] = set()
+            for op in layer:
+                assert not (seen & set(op.qubits))
+                seen.update(op.qubits)

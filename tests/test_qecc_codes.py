@@ -1,0 +1,219 @@
+"""Tests for the CSS framework, the Steane code, encoder and decoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.gate import OpKind
+from repro.exceptions import CodeError, DecodingError
+from repro.pauli import PauliString
+from repro.qecc import (
+    CSSCode,
+    LookupDecoder,
+    steane_code,
+    steane_encode_plus_circuit,
+    steane_encode_zero_circuit,
+)
+from repro.qecc.css import gf2_nullspace, gf2_rank
+from repro.stabilizer import StabilizerTableau
+
+
+def run_encoding(circuit, rng, num_qubits=None):
+    sim = StabilizerTableau(num_qubits or circuit.num_qubits, rng=rng)
+    for op in circuit:
+        if op.kind is OpKind.PREPARE:
+            sim.reset(op.qubits[0])
+        elif op.kind is OpKind.GATE:
+            sim.apply_gate(op.name, op.qubits)
+    return sim
+
+
+class TestGF2:
+    def test_rank_of_identity(self):
+        assert gf2_rank(np.eye(4, dtype=np.uint8)) == 4
+
+    def test_rank_of_dependent_rows(self):
+        matrix = np.array([[1, 0, 1], [0, 1, 1], [1, 1, 0]], dtype=np.uint8)
+        assert gf2_rank(matrix) == 2
+
+    def test_nullspace_is_orthogonal_to_rows(self):
+        matrix = np.array([[1, 1, 0, 0], [0, 0, 1, 1]], dtype=np.uint8)
+        null = gf2_nullspace(matrix)
+        assert null.shape[0] == 2
+        assert not np.any((matrix @ null.T) % 2)
+
+    def test_nullspace_of_full_rank_square_matrix_is_empty(self):
+        assert gf2_nullspace(np.eye(3, dtype=np.uint8)).shape[0] == 0
+
+
+class TestCSSCode:
+    def test_steane_parameters(self, steane):
+        assert steane.num_physical_qubits == 7
+        assert steane.num_logical_qubits == 1
+        assert steane.distance == 3
+        assert steane.correctable_errors == 1
+
+    def test_stabilizers_commute_pairwise(self, steane):
+        generators = steane.stabilizers()
+        for i, a in enumerate(generators):
+            for b in generators[i + 1 :]:
+                assert a.commutes_with(b)
+
+    def test_non_commuting_checks_rejected(self):
+        with pytest.raises(CodeError):
+            CSSCode(hx=[[1, 0, 0]], hz=[[1, 1, 0]])
+
+    def test_mismatched_block_lengths_rejected(self):
+        with pytest.raises(CodeError):
+            CSSCode(hx=[[1, 1, 0]], hz=[[1, 1, 0, 0]])
+
+    def test_logical_operators_commute_with_stabilizers(self, steane):
+        logical_x = steane.logical_x_operators()[0]
+        logical_z = steane.logical_z_operators()[0]
+        for generator in steane.stabilizers():
+            assert logical_x.commutes_with(generator)
+            assert logical_z.commutes_with(generator)
+
+    def test_logical_x_anticommutes_with_logical_z(self, steane):
+        logical_x = steane.logical_x_operators()[0]
+        logical_z = steane.logical_z_operators()[0]
+        assert not logical_x.commutes_with(logical_z)
+
+    def test_logical_operators_are_not_stabilizers(self, steane):
+        assert not steane.is_stabilizer_element(steane.logical_x_operators()[0])
+        assert steane.is_stabilizer_element(PauliString.identity(7))
+
+    def test_stabilizer_product_is_stabilizer_element(self, steane):
+        gens = steane.stabilizers()
+        assert steane.is_stabilizer_element(gens[0] * gens[1])
+
+    def test_syndrome_of_single_x_error(self, steane):
+        error = PauliString.from_label("XIIIIII")
+        x_syn, z_syn = steane.syndrome_of(error)
+        assert not np.any(x_syn)  # X checks see only Z errors
+        assert np.any(z_syn)
+
+    def test_syndrome_of_single_z_error(self, steane):
+        error = PauliString.from_label("IIIZIII")
+        x_syn, z_syn = steane.syndrome_of(error)
+        assert np.any(x_syn)
+        assert not np.any(z_syn)
+
+    def test_syndrome_size_mismatch_rejected(self, steane):
+        with pytest.raises(CodeError):
+            steane.syndrome_of(PauliString.from_label("X"))
+
+    def test_distinct_single_errors_have_distinct_syndromes(self, steane):
+        seen = set()
+        for qubit in range(7):
+            error = PauliString.from_terms(
+                [__import__("repro.pauli", fromlist=["PauliTerm"]).PauliTerm(qubit, "X")], 7
+            )
+            _, z_syn = steane.syndrome_of(error)
+            seen.add(tuple(int(b) for b in z_syn))
+        assert len(seen) == 7
+
+
+class TestSteaneSpecifics:
+    def test_transversal_logical_operators(self, steane):
+        assert steane.logical_x().to_label() == "XXXXXXX"
+        assert steane.logical_z().to_label() == "ZZZZZZZ"
+
+    def test_qubit_from_syndrome_points_to_binary_position(self, steane):
+        # Column of qubit q is the binary representation of q+1.
+        assert steane.qubit_from_syndrome([0, 0, 0]) is None
+        assert steane.qubit_from_syndrome([0, 0, 1]) == 0
+        assert steane.qubit_from_syndrome([1, 1, 1]) == 6
+
+    def test_qubit_from_syndrome_wrong_size(self, steane):
+        with pytest.raises(CodeError):
+            steane.qubit_from_syndrome([1, 0])
+
+    def test_correction_for_syndrome(self, steane):
+        correction = steane.correction_for([0, 1, 0], "X")
+        assert correction.weight == 1
+        assert correction.letter(1) == "X"
+
+    def test_correction_for_invalid_type(self, steane):
+        with pytest.raises(CodeError):
+            steane.correction_for([0, 1, 0], "Y")
+
+
+class TestEncoder:
+    def test_encoded_zero_is_stabilized(self, steane, rng):
+        sim = run_encoding(steane_encode_zero_circuit(), rng)
+        for generator in steane.stabilizers():
+            assert sim.expectation(generator) == 1
+        assert sim.expectation(steane.logical_z()) == 1
+
+    def test_encoded_plus_is_stabilized_with_logical_x(self, steane, rng):
+        sim = run_encoding(steane_encode_plus_circuit(), rng)
+        for generator in steane.stabilizers():
+            assert sim.expectation(generator) == 1
+        assert sim.expectation(steane.logical_x()) == 1
+        assert sim.expectation(steane.logical_z()) == 0
+
+    def test_encoder_with_offset(self, steane, rng):
+        circuit = steane_encode_zero_circuit(qubit_offset=3, num_qubits=10)
+        sim = run_encoding(circuit, rng, num_qubits=10)
+        embedded = PauliString.from_label("III" + steane.logical_z().to_label())
+        assert sim.expectation(embedded) == 1
+
+    def test_encoder_gate_counts(self):
+        circuit = steane_encode_zero_circuit()
+        counts = circuit.count_ops()
+        assert counts["H"] == 3
+        assert counts["CNOT"] == 9
+        assert counts["PREPARE"] == 7
+
+
+class TestDecoder:
+    def test_trivial_syndrome_gives_identity(self, steane):
+        decoder = LookupDecoder(steane)
+        assert decoder.correction_for_syndrome([0, 0, 0], "X").is_identity()
+
+    def test_every_single_qubit_error_is_corrected(self, steane):
+        decoder = LookupDecoder(steane)
+        from repro.pauli import PauliTerm
+
+        for qubit in range(7):
+            for letter in ("X", "Y", "Z"):
+                error = PauliString.from_terms([PauliTerm(qubit, letter)], 7)
+                _, success = decoder.decode_residual(error)
+                assert success, f"failed to correct {letter} on qubit {qubit}"
+
+    def test_some_two_qubit_errors_cause_logical_faults(self, steane):
+        decoder = LookupDecoder(steane)
+        from repro.pauli import PauliTerm
+
+        failures = 0
+        for q1 in range(7):
+            for q2 in range(q1 + 1, 7):
+                error = PauliString.from_terms(
+                    [PauliTerm(q1, "X"), PauliTerm(q2, "X")], 7
+                )
+                _, success = decoder.decode_residual(error)
+                failures += not success
+        assert failures > 0  # weight-2 errors exceed the code distance guarantee
+
+    def test_unknown_syndrome_strict_raises(self, steane):
+        # Every three-bit syndrome is used by the Steane code, so exercise the
+        # strict path with a small code where the (1, 1) syndrome cannot be
+        # produced by any single-qubit error.
+        small = CSSCode(
+            hx=[[1, 1, 0, 0], [0, 0, 1, 1]],
+            hz=[[1, 1, 0, 0], [0, 0, 1, 1]],
+            distance=2,
+            name="small",
+        )
+        small_decoder = LookupDecoder(small)
+        with pytest.raises(DecodingError):
+            small_decoder.correction_for_syndrome([1, 1], "X")
+        # Non-strict mode returns the identity instead.
+        assert small_decoder.correction_for_syndrome([1, 1], "X", strict=False).is_identity()
+
+    def test_invalid_error_type_rejected(self, steane):
+        decoder = LookupDecoder(steane)
+        with pytest.raises(DecodingError):
+            decoder.correction_for_syndrome([0, 0, 1], "Q")

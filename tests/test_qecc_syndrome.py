@@ -1,0 +1,162 @@
+"""Tests for Steane-style syndrome extraction (the Figure 6 circuit)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.gate import OpKind
+from repro.exceptions import CodeError
+from repro.pauli import PauliString, PauliTerm
+from repro.qecc import steane_code, steane_encode_zero_circuit
+from repro.qecc.decoder import LookupDecoder
+from repro.qecc.syndrome import (
+    full_error_correction_circuit,
+    steane_syndrome_circuit,
+    syndrome_from_ancilla_bits,
+)
+from repro.stabilizer import StabilizerTableau
+
+
+def run_circuit(circuit, sim):
+    outcomes = {}
+    for index, op in enumerate(circuit):
+        if op.kind is OpKind.PREPARE:
+            sim.reset(op.qubits[0])
+        elif op.kind is OpKind.MEASURE:
+            outcomes[op.label or f"m{index}"] = sim.measure(op.qubits[0]).value
+        elif op.kind is OpKind.MEASURE_X:
+            outcomes[op.label or f"m{index}"] = sim.measure_x(op.qubits[0]).value
+        else:
+            sim.apply_gate(op.name, op.qubits)
+    return outcomes
+
+
+def prepare_logical_zero(sim, register_size):
+    run_circuit(steane_encode_zero_circuit(num_qubits=register_size), sim)
+
+
+def embed(pauli, register_size):
+    x = np.zeros(register_size, dtype=np.uint8)
+    z = np.zeros(register_size, dtype=np.uint8)
+    x[:7] = pauli.x
+    z[:7] = pauli.z
+    return PauliString(x, z)
+
+
+class TestCircuitStructure:
+    def test_x_extraction_labels_and_blocks(self):
+        extraction = steane_syndrome_circuit("X", verification_offset=14)
+        assert extraction.data_qubits == tuple(range(7))
+        assert extraction.ancilla_qubits == tuple(range(7, 14))
+        assert extraction.verification_qubits == tuple(range(14, 21))
+        assert len(extraction.ancilla_measurement_labels) == 7
+        assert len(extraction.verification_measurement_labels) == 7
+
+    def test_unverified_extraction_has_no_verification(self):
+        extraction = steane_syndrome_circuit("Z")
+        assert extraction.verification_qubits == ()
+        assert extraction.verification_measurement_labels == ()
+
+    def test_invalid_error_type_rejected(self):
+        with pytest.raises(CodeError):
+            steane_syndrome_circuit("Y")
+
+    def test_full_cycle_composes_both_types(self):
+        circuit, x_ext, z_ext = full_error_correction_circuit()
+        assert x_ext.error_type == "X"
+        assert z_ext.error_type == "Z"
+        assert len(circuit) == len(x_ext.circuit) + len(z_ext.circuit)
+        assert circuit.num_qubits == 21
+
+    def test_syndrome_from_bits_size_check(self):
+        with pytest.raises(CodeError):
+            syndrome_from_ancilla_bits([0, 1], "X")
+
+
+class TestNoiselessExtraction:
+    @pytest.mark.parametrize("error_type", ["X", "Z"])
+    def test_clean_state_gives_trivial_syndrome(self, error_type, rng):
+        extraction = steane_syndrome_circuit(error_type, verification_offset=14)
+        sim = StabilizerTableau(21, rng=rng)
+        prepare_logical_zero(sim, 21)
+        outcomes = run_circuit(extraction.circuit, sim)
+        bits = [outcomes[label] for label in extraction.ancilla_measurement_labels]
+        syndrome = syndrome_from_ancilla_bits(bits, error_type)
+        assert not np.any(syndrome)
+        verify_bits = [outcomes[label] for label in extraction.verification_measurement_labels]
+        assert not np.any(syndrome_from_ancilla_bits(verify_bits, error_type))
+
+    @pytest.mark.parametrize("error_type", ["X", "Z"])
+    def test_extraction_preserves_logical_zero(self, error_type, rng):
+        extraction = steane_syndrome_circuit(error_type, verification_offset=14)
+        sim = StabilizerTableau(21, rng=rng)
+        prepare_logical_zero(sim, 21)
+        run_circuit(extraction.circuit, sim)
+        code = steane_code()
+        assert sim.expectation(embed(code.logical_z(), 21)) == 1
+        for generator in code.stabilizers():
+            assert sim.expectation(embed(generator, 21)) == 1
+
+    def test_extraction_preserves_logical_superposition(self, rng):
+        # Prepare |+>_L and check the X-error extraction leaves logical X intact.
+        from repro.qecc import steane_encode_plus_circuit
+
+        extraction = steane_syndrome_circuit("X", verification_offset=14)
+        sim = StabilizerTableau(21, rng=rng)
+        run_circuit(steane_encode_plus_circuit(num_qubits=21), sim)
+        run_circuit(extraction.circuit, sim)
+        code = steane_code()
+        assert sim.expectation(embed(code.logical_x(), 21)) == 1
+
+
+class TestErrorDetection:
+    @pytest.mark.parametrize("qubit", range(7))
+    def test_single_x_error_located(self, qubit, rng):
+        extraction = steane_syndrome_circuit("X", verification_offset=14)
+        sim = StabilizerTableau(21, rng=rng)
+        prepare_logical_zero(sim, 21)
+        sim.apply_pauli(PauliString.from_terms([PauliTerm(qubit, "X")], 21))
+        outcomes = run_circuit(extraction.circuit, sim)
+        bits = [outcomes[label] for label in extraction.ancilla_measurement_labels]
+        syndrome = syndrome_from_ancilla_bits(bits, "X")
+        assert steane_code().qubit_from_syndrome(syndrome) == qubit
+
+    @pytest.mark.parametrize("qubit", range(7))
+    def test_single_z_error_located(self, qubit, rng):
+        extraction = steane_syndrome_circuit("Z", verification_offset=14)
+        sim = StabilizerTableau(21, rng=rng)
+        prepare_logical_zero(sim, 21)
+        sim.apply_pauli(PauliString.from_terms([PauliTerm(qubit, "Z")], 21))
+        outcomes = run_circuit(extraction.circuit, sim)
+        bits = [outcomes[label] for label in extraction.ancilla_measurement_labels]
+        syndrome = syndrome_from_ancilla_bits(bits, "Z")
+        assert steane_code().qubit_from_syndrome(syndrome) == qubit
+
+    def test_full_cycle_corrects_y_error(self, rng):
+        # A Y error is an X and a Z on the same qubit; the full cycle catches both.
+        circuit, x_ext, z_ext = full_error_correction_circuit()
+        sim = StabilizerTableau(21, rng=rng)
+        prepare_logical_zero(sim, 21)
+        sim.apply_pauli(PauliString.from_terms([PauliTerm(3, "Y")], 21))
+        outcomes = run_circuit(circuit, sim)
+        decoder = LookupDecoder()
+        x_bits = [outcomes[label] for label in x_ext.ancilla_measurement_labels]
+        z_bits = [outcomes[label] for label in z_ext.ancilla_measurement_labels]
+        x_corr = decoder.correction_for_syndrome(syndrome_from_ancilla_bits(x_bits, "X"), "X")
+        z_corr = decoder.correction_for_syndrome(syndrome_from_ancilla_bits(z_bits, "Z"), "Z")
+        sim.apply_pauli(embed(x_corr, 21))
+        sim.apply_pauli(embed(z_corr, 21))
+        code = steane_code()
+        assert sim.expectation(embed(code.logical_z(), 21)) == 1
+        for generator in code.stabilizers():
+            assert sim.expectation(embed(generator, 21)) == 1
+
+    def test_x_error_invisible_to_z_extraction(self, rng):
+        extraction = steane_syndrome_circuit("Z", verification_offset=14)
+        sim = StabilizerTableau(21, rng=rng)
+        prepare_logical_zero(sim, 21)
+        sim.apply_pauli(PauliString.from_terms([PauliTerm(2, "X")], 21))
+        outcomes = run_circuit(extraction.circuit, sim)
+        bits = [outcomes[label] for label in extraction.ancilla_measurement_labels]
+        assert not np.any(syndrome_from_ancilla_bits(bits, "Z"))

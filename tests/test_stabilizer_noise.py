@@ -1,0 +1,146 @@
+"""Tests for the Pauli noise models and the Monte-Carlo harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.stabilizer import (
+    DepolarizingNoise,
+    MonteCarloResult,
+    NoiselessModel,
+    OperationNoise,
+    estimate_failure_rate,
+)
+
+
+class TestNoiselessModel:
+    def test_never_produces_errors(self, rng):
+        model = NoiselessModel()
+        assert model.sample_gate_error("CNOT", (0, 1), rng) == []
+        assert model.sample_preparation_error(0, rng) == []
+        assert model.sample_movement_error(0, 100, rng) == []
+        assert model.sample_idle_error(0, 10.0, rng) == []
+        assert model.measurement_flip(rng) is False
+
+
+class TestOperationNoise:
+    def test_probability_validation(self):
+        with pytest.raises(ParameterError):
+            OperationNoise(p_single=1.5)
+        with pytest.raises(ParameterError):
+            OperationNoise(p_measure=-0.1)
+
+    def test_zero_rates_produce_no_errors(self, rng):
+        model = OperationNoise()
+        for _ in range(50):
+            assert model.sample_gate_error("H", (0,), rng) == []
+            assert model.sample_gate_error("CNOT", (0, 1), rng) == []
+
+    def test_certain_single_qubit_error(self, rng):
+        model = OperationNoise(p_single=1.0)
+        terms = model.sample_gate_error("H", (3,), rng)
+        assert len(terms) == 1
+        assert terms[0].qubit == 3
+        assert terms[0].letter in ("X", "Y", "Z")
+
+    def test_certain_two_qubit_error_touches_operands_only(self, rng):
+        model = OperationNoise(p_double=1.0)
+        for _ in range(30):
+            terms = model.sample_gate_error("CNOT", (2, 5), rng)
+            assert 1 <= len(terms) <= 2
+            assert {t.qubit for t in terms} <= {2, 5}
+
+    def test_two_qubit_error_covers_all_15_paulis(self, rng):
+        model = OperationNoise(p_double=1.0)
+        seen = set()
+        for _ in range(600):
+            terms = model.sample_gate_error("CNOT", (0, 1), rng)
+            letters = {0: "I", 1: "I"}
+            for t in terms:
+                letters[t.qubit] = t.letter
+            seen.add((letters[0], letters[1]))
+        assert len(seen) == 15
+
+    def test_measurement_flip_rate(self, rng):
+        model = OperationNoise(p_measure=1.0)
+        assert model.measurement_flip(rng) is True
+
+    def test_preparation_error_is_x(self, rng):
+        model = OperationNoise(p_prepare=1.0)
+        terms = model.sample_preparation_error(4, rng)
+        assert terms[0].letter == "X"
+
+    def test_movement_error_accumulates_with_distance(self, rng):
+        model = OperationNoise(p_move_per_cell=0.01)
+        short = sum(bool(model.sample_movement_error(0, 1, rng)) for _ in range(2000))
+        long = sum(bool(model.sample_movement_error(0, 50, rng)) for _ in range(2000))
+        assert long > short
+
+    def test_movement_error_zero_cells(self, rng):
+        model = OperationNoise(p_move_per_cell=1.0)
+        assert model.sample_movement_error(0, 0, rng) == []
+
+    def test_idle_error_scales_with_duration(self, rng):
+        model = OperationNoise(p_memory_per_second=0.1)
+        short = sum(bool(model.sample_idle_error(0, 0.01, rng)) for _ in range(2000))
+        long = sum(bool(model.sample_idle_error(0, 5.0, rng)) for _ in range(2000))
+        assert long > short
+
+    def test_empirical_single_qubit_rate(self):
+        model = OperationNoise(p_single=0.3)
+        rng = np.random.default_rng(0)
+        hits = sum(bool(model.sample_gate_error("H", (0,), rng)) for _ in range(5000))
+        assert 0.25 < hits / 5000 < 0.35
+
+
+class TestDepolarizingNoise:
+    def test_sets_all_rates(self):
+        model = DepolarizingNoise(0.01)
+        assert model.p_single == model.p_double == model.p_measure == 0.01
+        assert model.p_move_per_cell == 0.01
+
+    def test_movement_override(self):
+        model = DepolarizingNoise(0.01, p_move_per_cell=1e-6)
+        assert model.p_move_per_cell == 1e-6
+        assert model.p_single == 0.01
+
+    def test_rejects_invalid_probability(self):
+        with pytest.raises(ParameterError):
+            DepolarizingNoise(2.0)
+
+
+class TestMonteCarlo:
+    def test_failure_rate_and_error(self):
+        result = MonteCarloResult(failures=10, trials=100)
+        assert result.failure_rate == pytest.approx(0.1)
+        assert result.standard_error == pytest.approx(np.sqrt(0.1 * 0.9 / 100))
+
+    def test_zero_trials(self):
+        result = MonteCarloResult(failures=0, trials=0)
+        assert result.failure_rate == 0.0
+        assert result.standard_error == 0.0
+
+    def test_confidence_interval_clipped_to_unit_range(self):
+        result = MonteCarloResult(failures=0, trials=10)
+        low, high = result.confidence_interval()
+        assert low == 0.0 and high <= 1.0
+
+    def test_estimate_failure_rate_counts_correctly(self, rng):
+        result = estimate_failure_rate(lambda g: g.random() < 0.5, trials=2000, rng=rng)
+        assert result.trials == 2000
+        assert 0.45 < result.failure_rate < 0.55
+
+    def test_estimate_with_always_failing_trial(self, rng):
+        result = estimate_failure_rate(lambda g: True, trials=50, rng=rng)
+        assert result.failure_rate == 1.0
+
+    def test_early_stop_on_max_failures(self, rng):
+        result = estimate_failure_rate(lambda g: True, trials=1000, rng=rng, max_failures=10)
+        assert result.failures == 10
+        assert result.trials == 10
+
+    def test_zero_trials_requested(self, rng):
+        result = estimate_failure_rate(lambda g: True, trials=0, rng=rng)
+        assert result.trials == 0

@@ -1,0 +1,229 @@
+"""Tests for the CHP stabilizer tableau simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.pauli import PauliString
+from repro.stabilizer import StabilizerTableau
+
+
+class TestInitialState:
+    def test_all_zero_state_measures_zero(self, rng):
+        sim = StabilizerTableau(4, rng=rng)
+        for qubit in range(4):
+            result = sim.measure(qubit)
+            assert result.value == 0
+            assert result.deterministic
+
+    def test_stabilizers_of_initial_state_are_single_z(self, rng):
+        sim = StabilizerTableau(3, rng=rng)
+        labels = {g.to_label() for g in sim.stabilizer_generators()}
+        assert labels == {"ZII", "IZI", "IIZ"}
+
+    def test_rejects_zero_qubits(self):
+        with pytest.raises(SimulationError):
+            StabilizerTableau(0)
+
+
+class TestSingleQubitGates:
+    def test_x_flips_measurement(self, rng):
+        sim = StabilizerTableau(1, rng=rng)
+        sim.x(0)
+        assert sim.measure(0).value == 1
+
+    def test_double_x_is_identity(self, rng):
+        sim = StabilizerTableau(1, rng=rng)
+        sim.x(0)
+        sim.x(0)
+        assert sim.measure(0).value == 0
+
+    def test_h_creates_random_outcome(self, rng):
+        values = set()
+        for seed in range(20):
+            sim = StabilizerTableau(1, rng=np.random.default_rng(seed))
+            sim.h(0)
+            result = sim.measure(0)
+            assert not result.deterministic
+            values.add(result.value)
+        assert values == {0, 1}
+
+    def test_hh_is_identity(self, rng):
+        sim = StabilizerTableau(1, rng=rng)
+        sim.h(0)
+        sim.h(0)
+        result = sim.measure(0)
+        assert result.deterministic and result.value == 0
+
+    def test_s_squared_equals_z(self, rng):
+        # On |+>, Z flips to |->: X expectation goes from +1 to -1.
+        sim = StabilizerTableau(1, rng=rng)
+        sim.h(0)
+        assert sim.expectation(PauliString.from_label("X")) == 1
+        sim.s(0)
+        sim.s(0)
+        assert sim.expectation(PauliString.from_label("X")) == -1
+
+    def test_s_dag_inverts_s(self, rng):
+        sim = StabilizerTableau(1, rng=rng)
+        sim.h(0)
+        sim.s(0)
+        sim.s_dag(0)
+        assert sim.expectation(PauliString.from_label("X")) == 1
+
+    def test_y_flips_both_bases(self, rng):
+        sim = StabilizerTableau(1, rng=rng)
+        sim.y(0)
+        assert sim.measure(0).value == 1
+
+    def test_gate_on_invalid_qubit_rejected(self, rng):
+        sim = StabilizerTableau(2, rng=rng)
+        with pytest.raises(SimulationError):
+            sim.h(5)
+
+
+class TestTwoQubitGates:
+    def test_cnot_copies_classical_bit(self, rng):
+        sim = StabilizerTableau(2, rng=rng)
+        sim.x(0)
+        sim.cnot(0, 1)
+        assert sim.measure(1).value == 1
+
+    def test_cnot_without_control_set_does_nothing(self, rng):
+        sim = StabilizerTableau(2, rng=rng)
+        sim.cnot(0, 1)
+        assert sim.measure(1).value == 0
+
+    def test_cnot_same_qubit_rejected(self, rng):
+        sim = StabilizerTableau(2, rng=rng)
+        with pytest.raises(SimulationError):
+            sim.cnot(1, 1)
+
+    def test_bell_pair_correlations(self):
+        matches = 0
+        for seed in range(30):
+            sim = StabilizerTableau(2, rng=np.random.default_rng(seed))
+            sim.h(0)
+            sim.cnot(0, 1)
+            a = sim.measure(0).value
+            b = sim.measure(1).value
+            if a == b:
+                matches += 1
+        assert matches == 30
+
+    def test_bell_pair_stabilizers(self, rng):
+        sim = StabilizerTableau(2, rng=rng)
+        sim.h(0)
+        sim.cnot(0, 1)
+        assert sim.expectation(PauliString.from_label("XX")) == 1
+        assert sim.expectation(PauliString.from_label("ZZ")) == 1
+        assert sim.expectation(PauliString.from_label("ZI")) == 0
+
+    def test_cz_symmetric(self, rng):
+        sim_a = StabilizerTableau(2, rng=np.random.default_rng(0))
+        sim_b = StabilizerTableau(2, rng=np.random.default_rng(0))
+        sim_a.h(0), sim_a.h(1), sim_a.cz(0, 1)
+        sim_b.h(0), sim_b.h(1), sim_b.cz(1, 0)
+        for pauli in ("XZ", "ZX"):
+            assert sim_a.expectation(PauliString.from_label(pauli)) == sim_b.expectation(
+                PauliString.from_label(pauli)
+            )
+
+    def test_swap_exchanges_states(self, rng):
+        sim = StabilizerTableau(2, rng=rng)
+        sim.x(0)
+        sim.swap(0, 1)
+        assert sim.measure(0).value == 0
+        assert sim.measure(1).value == 1
+
+    def test_apply_gate_by_name(self, rng):
+        sim = StabilizerTableau(2, rng=rng)
+        sim.apply_gate("X", (0,))
+        sim.apply_gate("CNOT", (0, 1))
+        assert sim.measure(1).value == 1
+
+    def test_apply_gate_rejects_non_clifford(self, rng):
+        sim = StabilizerTableau(1, rng=rng)
+        with pytest.raises(SimulationError):
+            sim.apply_gate("T", (0,))
+
+
+class TestMeasurementAndReset:
+    def test_measurement_collapses_state(self, rng):
+        sim = StabilizerTableau(1, rng=rng)
+        sim.h(0)
+        first = sim.measure(0).value
+        second = sim.measure(0)
+        assert second.deterministic
+        assert second.value == first
+
+    def test_measure_x_basis_of_plus_state(self, rng):
+        sim = StabilizerTableau(1, rng=rng)
+        sim.h(0)
+        result = sim.measure_x(0)
+        assert result.deterministic
+        assert result.value == 0
+
+    def test_measure_x_basis_of_minus_state(self, rng):
+        sim = StabilizerTableau(1, rng=rng)
+        sim.x(0)
+        sim.h(0)
+        result = sim.measure_x(0)
+        assert result.deterministic
+        assert result.value == 1
+
+    def test_reset_returns_qubit_to_zero(self, rng):
+        sim = StabilizerTableau(2, rng=rng)
+        sim.x(0)
+        sim.h(1)
+        sim.reset(0)
+        sim.reset(1)
+        assert sim.measure(0).value == 0
+        assert sim.measure(1).value == 0
+
+    def test_ghz_measurements_all_agree(self):
+        for seed in range(10):
+            sim = StabilizerTableau(4, rng=np.random.default_rng(seed))
+            sim.h(0)
+            for q in range(1, 4):
+                sim.cnot(q - 1, q)
+            values = {sim.measure(q).value for q in range(4)}
+            assert len(values) == 1
+
+
+class TestPauliAndExpectation:
+    def test_apply_pauli_error_changes_outcome(self, rng):
+        sim = StabilizerTableau(3, rng=rng)
+        sim.apply_pauli(PauliString.from_label("IXI"))
+        assert sim.measure(1).value == 1
+        assert sim.measure(0).value == 0
+
+    def test_expectation_of_z_on_zero_state(self, rng):
+        sim = StabilizerTableau(2, rng=rng)
+        assert sim.expectation(PauliString.from_label("ZI")) == 1
+        assert sim.expectation(PauliString.from_label("ZZ")) == 1
+        assert sim.expectation(PauliString.from_label("XI")) == 0
+
+    def test_expectation_after_x_flip(self, rng):
+        sim = StabilizerTableau(1, rng=rng)
+        sim.x(0)
+        assert sim.expectation(PauliString.from_label("Z")) == -1
+
+    def test_expectation_rejects_imaginary_phase(self, rng):
+        sim = StabilizerTableau(1, rng=rng)
+        with pytest.raises(SimulationError):
+            sim.expectation(PauliString.from_label("X", phase=1))
+
+    def test_expectation_rejects_wrong_size(self, rng):
+        sim = StabilizerTableau(2, rng=rng)
+        with pytest.raises(SimulationError):
+            sim.expectation(PauliString.from_label("X"))
+
+    def test_copy_is_independent(self, rng):
+        sim = StabilizerTableau(1, rng=rng)
+        clone = sim.copy()
+        sim.x(0)
+        assert sim.measure(0).value == 1
+        assert clone.measure(0).value == 0

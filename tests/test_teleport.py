@@ -1,0 +1,206 @@
+"""Tests for EPR pairs, purification, teleportation cost and repeater chains."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.teleport import (
+    ConnectionTimeModel,
+    EPRPair,
+    IslandSeparationStudy,
+    RepeaterChain,
+    bennett_purification_map,
+    connection_time_curves,
+    deutsch_purification_map,
+    optimal_island_separation,
+    pumping_fixpoint_fidelity,
+    purification_rounds_needed,
+    teleportation_cost,
+    werner_fidelity_after_depolarizing,
+)
+from repro.teleport.channel_design import PAPER_SEPARATIONS_CELLS
+
+
+class TestEPRPair:
+    def test_perfect_pair(self):
+        pair = EPRPair(0, 1)
+        assert pair.fidelity == 1.0
+        assert pair.infidelity == 0.0
+
+    def test_transport_degrades_fidelity(self):
+        pair = EPRPair(0, 1).after_transport(cells=1000, error_per_cell=1e-4)
+        assert 0.9 < pair.fidelity < 1.0
+
+    def test_transport_zero_cells_is_noop(self):
+        pair = EPRPair(0, 1, fidelity=0.9)
+        assert pair.after_transport(0, 0.1).fidelity == pytest.approx(0.9)
+
+    def test_depolarizing_limit_is_quarter(self):
+        assert werner_fidelity_after_depolarizing(1.0, 1.0) == pytest.approx(0.25)
+
+    def test_swap_requires_shared_endpoint(self):
+        with pytest.raises(ParameterError):
+            EPRPair(0, 1).swapped_with(EPRPair(2, 3))
+
+    def test_swap_connects_outer_endpoints(self):
+        swapped = EPRPair(0, 1, fidelity=0.95).swapped_with(EPRPair(1, 2, fidelity=0.95))
+        assert {swapped.endpoint_a, swapped.endpoint_b} == {0, 2}
+        assert swapped.fidelity < 0.95
+
+    def test_swap_of_perfect_pairs_is_perfect(self):
+        swapped = EPRPair(0, 1).swapped_with(EPRPair(1, 2))
+        assert swapped.fidelity == pytest.approx(1.0)
+
+    def test_invalid_fidelity_rejected(self):
+        with pytest.raises(ParameterError):
+            EPRPair(0, 1, fidelity=1.2)
+
+
+class TestPurification:
+    def test_bennett_improves_fidelity_above_half(self):
+        for fidelity in (0.6, 0.75, 0.9, 0.99):
+            improved, success = bennett_purification_map(fidelity)
+            assert improved > fidelity
+            assert 0.0 < success <= 1.0
+
+    def test_bennett_fixed_point_at_one(self):
+        improved, success = bennett_purification_map(1.0)
+        assert improved == pytest.approx(1.0)
+        assert success == pytest.approx(1.0)
+
+    def test_bennett_does_not_improve_below_half(self):
+        improved, _ = bennett_purification_map(0.45)
+        assert improved <= 0.45 + 1e-9
+
+    def test_deutsch_converges_faster_than_bennett(self):
+        f = 0.9
+        bennett, _ = bennett_purification_map(f)
+        deutsch, _ = deutsch_purification_map(f)
+        assert deutsch >= bennett
+
+    def test_pumping_fixpoint_below_one(self):
+        fixpoint = pumping_fixpoint_fidelity(0.99)
+        assert 0.99 < fixpoint < 1.0
+
+    def test_recurrence_rounds_decrease_with_looser_target(self):
+        tight = purification_rounds_needed(0.99, 1 - 1e-9)
+        loose = purification_rounds_needed(0.99, 1 - 1e-4)
+        assert tight is not None and loose is not None
+        assert tight > loose
+
+    def test_rounds_zero_when_already_good_enough(self):
+        assert purification_rounds_needed(0.999, 0.99) == 0
+
+    def test_pumping_cannot_beat_fixpoint(self):
+        rounds = purification_rounds_needed(
+            0.95, 0.999999, elementary_fidelity=0.95, protocol="bennett"
+        )
+        assert rounds is None
+
+    def test_invalid_fidelity_rejected(self):
+        with pytest.raises(ParameterError):
+            purification_rounds_needed(1.5, 0.9)
+
+
+class TestTeleportationCost:
+    def test_two_classical_bits(self):
+        assert teleportation_cost().classical_bits == 2
+
+    def test_latency_dominated_by_measurement(self):
+        cost = teleportation_cost()
+        assert cost.latency_seconds > 100e-6
+        assert cost.latency_seconds < 1e-3
+
+    def test_pauli_frame_correction_is_cheaper(self):
+        physical = teleportation_cost(include_correction=True)
+        frame = teleportation_cost(include_correction=False)
+        assert frame.latency_seconds < physical.latency_seconds
+        assert frame.error_probability < physical.error_probability
+
+    def test_negative_classical_latency_rejected(self):
+        with pytest.raises(ParameterError):
+            teleportation_cost(classical_latency_seconds=-1.0)
+
+
+class TestRepeaterChain:
+    def test_chain_fidelity_decreases_with_segments(self):
+        short = RepeaterChain(4, 0.999).chain_fidelity(0.999)
+        long = RepeaterChain(64, 0.999).chain_fidelity(0.999)
+        assert long < short
+
+    def test_purified_segments_give_better_chain(self):
+        chain = RepeaterChain(16, 0.99)
+        raw = chain.chain_fidelity(chain.purified_segment_fidelity(0))
+        purified = chain.chain_fidelity(chain.purified_segment_fidelity(5))
+        assert purified > raw
+
+    def test_swap_levels_logarithmic(self):
+        assert RepeaterChain(1, 0.99).swap_levels() == 0
+        assert RepeaterChain(2, 0.99).swap_levels() == 1
+        assert RepeaterChain(60, 0.99).swap_levels() == 6
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ParameterError):
+            RepeaterChain(0, 0.99)
+        with pytest.raises(ParameterError):
+            RepeaterChain(4, 0.1)
+
+
+class TestConnectionTimeModel:
+    def test_connection_time_increases_with_distance(self):
+        model = ConnectionTimeModel()
+        times = [model.connection_time(d, 100) for d in (1000, 5000, 10000, 30000)]
+        assert all(t2 > t1 for t1, t2 in zip(times, times[1:]))
+
+    def test_connection_times_in_paper_range(self):
+        # Figure 9 shows times between ~0.06 and ~0.16 s over 1000..30000 cells.
+        model = ConnectionTimeModel()
+        for distance in (2000, 6000, 15000, 30000):
+            for separation in (100, 350):
+                time = model.connection_time(distance, separation)
+                assert 0.02 < time < 0.35
+
+    def test_final_fidelity_meets_budget(self):
+        model = ConnectionTimeModel()
+        estimate = model.estimate(10000, 100)
+        assert estimate.feasible
+        assert estimate.final_fidelity >= 1 - model.end_to_end_error_budget * 1.5
+
+    def test_short_distance_favours_100_cell_separation(self):
+        assert optimal_island_separation(1500) == 100
+
+    def test_long_distance_favours_larger_separation(self):
+        assert optimal_island_separation(30000) >= 350
+
+    def test_crossover_between_100_and_350_near_6000_cells(self):
+        study = IslandSeparationStudy()
+        crossover = study.crossover_distance(100, 350)
+        assert crossover is not None
+        assert 3000 <= crossover <= 9000
+
+    def test_curves_cover_all_paper_separations(self):
+        curves = connection_time_curves(distances_cells=[2000, 10000])
+        assert set(curves.keys()) == set(PAPER_SEPARATIONS_CELLS)
+        assert all(len(points) == 2 for points in curves.values())
+
+    def test_infeasible_geometry_reports_infinite_time(self):
+        model = ConnectionTimeModel(
+            epr_creation_infidelity=0.5, end_to_end_error_budget=1e-9
+        )
+        estimate = model.estimate(10000, 1000)
+        assert not estimate.feasible
+        assert math.isinf(estimate.connection_time_seconds)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ParameterError):
+            ConnectionTimeModel(end_to_end_error_budget=0.0)
+        with pytest.raises(ParameterError):
+            ConnectionTimeModel(segment_setup_time=-1.0)
+        model = ConnectionTimeModel()
+        with pytest.raises(ParameterError):
+            model.estimate(0, 100)
+        with pytest.raises(ParameterError):
+            model.estimate(1000, 0)
