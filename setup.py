@@ -1,11 +1,30 @@
-"""Legacy setup entry point.
+"""Setup entry point and package metadata.
 
-Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
-environments without the ``wheel`` package (pip then falls back to the
-``setup.py develop`` editable-install path).  All metadata lives in
-``pyproject.toml``; this file only triggers setuptools.
+``pip install -e .`` works in environments without the ``wheel`` package (pip
+falls back to the ``setup.py develop`` editable-install path).  The long
+description is sourced from ``README.md`` so the published metadata documents
+the engine architecture alongside the install and test commands.
 """
 
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_README = Path(__file__).resolve().parent / "README.md"
+
+setup(
+    name="repro-qla-arq",
+    version="0.2.0",
+    description=(
+        "Reproduction of the QLA quantum architecture study: ion-trap model, "
+        "ARQ stabilizer simulator with batched execution engine, and the "
+        "paper's threshold/resource experiments"
+    ),
+    long_description=_README.read_text() if _README.exists() else "",
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={"test": ["pytest", "pytest-benchmark"]},
+)

@@ -19,7 +19,12 @@ reproduction of that tool-chain:
 
 from repro.arq.mapper import MappedCircuit, LayoutMapper
 from repro.arq.pulse import PulseSchedule, build_pulse_schedule
-from repro.arq.simulator import NoisyCircuitExecutor, ExecutionResult
+from repro.arq.simulator import (
+    BatchExecutionResult,
+    BatchedNoisyCircuitExecutor,
+    ExecutionResult,
+    NoisyCircuitExecutor,
+)
 from repro.arq.experiments import (
     Level1EccExperiment,
     ThresholdSweepResult,
@@ -34,6 +39,8 @@ __all__ = [
     "build_pulse_schedule",
     "NoisyCircuitExecutor",
     "ExecutionResult",
+    "BatchedNoisyCircuitExecutor",
+    "BatchExecutionResult",
     "Level1EccExperiment",
     "ThresholdSweepResult",
     "run_threshold_sweep",

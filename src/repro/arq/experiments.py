@@ -30,11 +30,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.arq.mapper import LayoutMapper
-from repro.arq.simulator import NoisyCircuitExecutor
+from repro.arq.simulator import BatchedNoisyCircuitExecutor, NoisyCircuitExecutor
 from repro.circuits import Circuit
 from repro.circuits.gate import OpKind
 from repro.exceptions import ParameterError
 from repro.iontrap.parameters import IonTrapParameters, EXPECTED_PARAMETERS
+from repro.pauli import PauliString
 from repro.qecc.decoder import LookupDecoder
 from repro.qecc.encoder import steane_encode_zero_circuit
 from repro.qecc.steane import SteaneCode, steane_code
@@ -45,12 +46,17 @@ from repro.qecc.threshold import (
     fit_concatenation_coefficient,
 )
 from repro.stabilizer import (
+    BatchTableau,
     MonteCarloResult,
     NoiselessModel,
     OperationNoise,
     StabilizerTableau,
     estimate_failure_rate,
+    estimate_failure_rate_batched,
 )
+
+#: Default number of Monte-Carlo lanes simulated at once by the batched path.
+DEFAULT_BATCH_SIZE = 1024
 
 
 def _noise_for_rate(
@@ -123,6 +129,27 @@ class Level1EccExperiment:
         self._z_extraction = z_extraction
         self._ideal_executor = NoisyCircuitExecutor(noise=NoiselessModel(), mapper=None)
         self._noisy_executor = NoisyCircuitExecutor(noise=self.noise, mapper=self.mapper)
+        self._ideal_batch_executor = BatchedNoisyCircuitExecutor(
+            noise=NoiselessModel(), mapper=None
+        )
+        self._noisy_batch_executor = BatchedNoisyCircuitExecutor(
+            noise=self.noise, mapper=self.mapper
+        )
+        # Vectorized decoding: dense syndrome-indexed correction tables plus
+        # the bit weights turning an (B, m) syndrome array into table indices
+        # (most-significant check first, matching the table layout).
+        checks = self.code.hz.shape[0]
+        self._syndrome_weights = (1 << np.arange(checks - 1, -1, -1)).astype(np.int64)
+        self._x_correction_table = self._decoder.correction_table("X")
+        self._z_correction_table = self._decoder.correction_table("Z")
+        self._data_qubits = tuple(range(n))
+        self._embedded_x_stabilizers = [
+            self._embedded(generator) for generator in self.code.x_stabilizers()
+        ]
+        self._embedded_z_stabilizers = [
+            self._embedded(generator) for generator in self.code.z_stabilizers()
+        ]
+        self._embedded_logical_z = self._embedded(self.code.logical_z())
 
     # ------------------------------------------------------------------
     # Trials
@@ -185,6 +212,115 @@ class Level1EccExperiment:
             "verification_passed": verification_passed,
         }
 
+    # ------------------------------------------------------------------
+    # Batched trials
+    # ------------------------------------------------------------------
+
+    def run_trial_batch(self, rng: np.random.Generator, batch_size: int) -> np.ndarray:
+        """Run ``batch_size`` independent shots at once; ``(B,)`` bool failures."""
+        return self.run_trial_batch_detailed(rng, batch_size)["failure"]
+
+    def run_trial_batch_detailed(
+        self, rng: np.random.Generator, batch_size: int
+    ) -> dict[str, np.ndarray]:
+        """Batched :meth:`run_trial_detailed`: per-lane outcome arrays.
+
+        Lanes whose ancilla verification fails are re-run as a (shrinking)
+        sub-batch up to :attr:`max_preparation_attempts` times -- the same
+        rejection sampling of the accepted-preparation ensemble as the
+        per-shot path, vectorized.
+        """
+        if batch_size <= 0:
+            raise ParameterError("batch_size must be positive")
+        failure = np.zeros(batch_size, dtype=bool)
+        nontrivial = np.zeros(batch_size, dtype=bool)
+        verification = np.zeros(batch_size, dtype=bool)
+        pending = np.arange(batch_size)
+        for _ in range(max(1, self.max_preparation_attempts)):
+            outcome = self._batch_attempt(rng, pending.size)
+            failure[pending] = outcome["failure"]
+            nontrivial[pending] = outcome["nontrivial_syndrome"]
+            verification[pending] = outcome["verification_passed"]
+            pending = pending[~outcome["verification_passed"]]
+            if pending.size == 0:
+                break
+        return {
+            "failure": failure,
+            "nontrivial_syndrome": nontrivial,
+            "verification_passed": verification,
+        }
+
+    def _batch_attempt(self, rng: np.random.Generator, batch_size: int) -> dict[str, np.ndarray]:
+        state = BatchTableau(self._register_size, batch_size, rng=rng)
+        # Ideal preparation of the logical |0>, then noisy gate + ECC cycle.
+        self._ideal_batch_executor.run(self._prep_circuit, batch_size, rng, tableau=state)
+        self._noisy_batch_executor.run(self._gate_circuit, batch_size, rng, tableau=state)
+        result = self._noisy_batch_executor.run(
+            self._ecc_circuit, batch_size, rng, tableau=state
+        )
+
+        verification_passed = np.ones(batch_size, dtype=bool)
+        if self.verified_ancilla:
+            for extraction in (self._x_extraction, self._z_extraction):
+                labels = extraction.verification_measurement_labels
+                if not labels:
+                    continue
+                syndromes = self._syndromes_from_bits(
+                    result.bits(labels), extraction.error_type
+                )
+                verification_passed &= ~syndromes.any(axis=1)
+
+        # Decode the extracted syndromes for every lane through the dense
+        # correction tables and apply the corrections in one injection.
+        x_syndromes = self._syndromes_from_bits(
+            result.bits(self._x_extraction.ancilla_measurement_labels), "X"
+        )
+        z_syndromes = self._syndromes_from_bits(
+            result.bits(self._z_extraction.ancilla_measurement_labels), "Z"
+        )
+        x_corrections = self._x_correction_table[x_syndromes @ self._syndrome_weights]
+        z_corrections = self._z_correction_table[z_syndromes @ self._syndrome_weights]
+        state.inject_pauli_terms(self._data_qubits, x_corrections, z_corrections)
+
+        failure = ~self._ideal_recovery_says_one_batch(state)
+        nontrivial = x_syndromes.any(axis=1) | z_syndromes.any(axis=1)
+        return {
+            "failure": failure,
+            "nontrivial_syndrome": nontrivial,
+            "verification_passed": verification_passed,
+        }
+
+    def _syndromes_from_bits(self, bits: np.ndarray, error_type: str) -> np.ndarray:
+        """Per-lane syndromes from ``(B, n)`` measured ancilla bits."""
+        check = self.code.hz if error_type == "X" else self.code.hx
+        return (bits.astype(np.int64) @ check.T.astype(np.int64)) % 2
+
+    def _ideal_recovery_says_one_batch(self, state: BatchTableau) -> np.ndarray:
+        """Batched ideal decode; ``(B,)`` bool, True where the logical value is 1.
+
+        Lanes where any stabilizer expectation is random (state outside the
+        code space) report False, matching the per-shot early return.
+        """
+        batch_size = state.batch_size
+        invalid = np.zeros(batch_size, dtype=bool)
+
+        def syndrome_bits(generators: list[PauliString]) -> np.ndarray:
+            columns = []
+            for generator in generators:
+                value = state.expectation(generator)
+                invalid_here = value == 0
+                invalid[:] |= invalid_here
+                columns.append((value == -1).astype(np.int64))
+            return np.stack(columns, axis=1)
+
+        x_syndromes = syndrome_bits(self._embedded_x_stabilizers)
+        z_syndromes = syndrome_bits(self._embedded_z_stabilizers)
+        x_corrections = self._x_correction_table[z_syndromes @ self._syndrome_weights]
+        z_corrections = self._z_correction_table[x_syndromes @ self._syndrome_weights]
+        state.inject_pauli_terms(self._data_qubits, x_corrections, z_corrections)
+        logical_value = state.expectation(self._embedded_logical_z)
+        return (logical_value == -1) & ~invalid
+
     def _verification_passed(self, result) -> bool:
         """True if both ancilla verification blocks report a trivial parity check."""
         for extraction in (self._x_extraction, self._z_extraction):
@@ -201,41 +337,32 @@ class Level1EccExperiment:
     # Helpers
     # ------------------------------------------------------------------
 
-    def _apply_data_pauli(self, tableau: StabilizerTableau, correction) -> None:
-        if correction.is_identity():
-            return
-        from repro.pauli import PauliString
-
+    def _embedded(self, pauli: PauliString) -> PauliString:
+        """Embed a code-block Pauli into the full register (data block first)."""
         n = self.code.num_physical_qubits
         x = np.zeros(self._register_size, dtype=np.uint8)
         z = np.zeros(self._register_size, dtype=np.uint8)
-        x[:n] = correction.x
-        z[:n] = correction.z
-        tableau.apply_pauli(PauliString(x, z))
+        x[:n] = pauli.x
+        z[:n] = pauli.z
+        return PauliString(x, z)
+
+    def _apply_data_pauli(self, tableau: StabilizerTableau, correction) -> None:
+        if correction.is_identity():
+            return
+        tableau.apply_pauli(self._embedded(correction))
 
     def _ideal_recovery_says_one(self, tableau: StabilizerTableau) -> bool:
         """Ideal decode: correct any residual single-qubit error, read logical Z."""
-        from repro.pauli import PauliString
-
-        n = self.code.num_physical_qubits
-
-        def embedded(pauli) -> PauliString:
-            x = np.zeros(self._register_size, dtype=np.uint8)
-            z = np.zeros(self._register_size, dtype=np.uint8)
-            x[:n] = pauli.x
-            z[:n] = pauli.z
-            return PauliString(x, z)
-
         # Measure all stabilizer generators ideally.
         x_syndrome = []
-        for generator in self.code.x_stabilizers():
-            value = tableau.expectation(embedded(generator))
+        for generator in self._embedded_x_stabilizers:
+            value = tableau.expectation(generator)
             if value == 0:
                 return False
             x_syndrome.append(0 if value == 1 else 1)
         z_syndrome = []
-        for generator in self.code.z_stabilizers():
-            value = tableau.expectation(embedded(generator))
+        for generator in self._embedded_z_stabilizers:
+            value = tableau.expectation(generator)
             if value == 0:
                 return False
             z_syndrome.append(0 if value == 1 else 1)
@@ -243,7 +370,7 @@ class Level1EccExperiment:
         z_correction = self._decoder.correction_for_syndrome(x_syndrome, "Z", strict=False)
         self._apply_data_pauli(tableau, x_correction)
         self._apply_data_pauli(tableau, z_correction)
-        logical_value = tableau.expectation(embedded(self.code.logical_z()))
+        logical_value = tableau.expectation(self._embedded_logical_z)
         return logical_value == -1
 
 
@@ -289,6 +416,8 @@ def run_threshold_sweep(
     rng: np.random.Generator | None = None,
     parameters: IonTrapParameters = EXPECTED_PARAMETERS,
     mapper: LayoutMapper | None = None,
+    use_batched: bool = True,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> ThresholdSweepResult:
     """Run the Figure 7 experiment.
 
@@ -305,6 +434,12 @@ def run_threshold_sweep(
         Technology parameters providing the pinned movement failure rate.
     mapper:
         Layout mapper (defaults to the QLA tile budget: 12 cells, 2 turns).
+    use_batched:
+        When True (the default) every sweep point runs on the vectorized
+        batched engine; pass False to fall back to the per-shot executor,
+        which serves as the slow cross-validation oracle for the batched path.
+    batch_size:
+        Lanes simulated at once on the batched path.
     """
     if not physical_rates:
         raise ParameterError("the threshold sweep needs at least one physical rate")
@@ -318,7 +453,19 @@ def run_threshold_sweep(
         experiment = Level1EccExperiment(
             noise=_noise_for_rate(rate, parameters), mapper=the_mapper
         )
-        level1_results.append(estimate_failure_rate(experiment.run_trial, trials, generator))
+        if use_batched:
+            level1_results.append(
+                estimate_failure_rate_batched(
+                    experiment.run_trial_batch,
+                    trials,
+                    generator,
+                    batch_size=batch_size,
+                )
+            )
+        else:
+            level1_results.append(
+                estimate_failure_rate(experiment.run_trial, trials, generator)
+            )
 
     level1_rates = [result.failure_rate for result in level1_results]
     # Fit the concatenation coefficient on slightly regularised rates (the
@@ -357,6 +504,8 @@ def syndrome_rate_estimate(
     mapper: LayoutMapper | None = None,
     monte_carlo_trials: int = 0,
     rng: np.random.Generator | None = None,
+    use_batched: bool = True,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> dict[str, float]:
     """Non-trivial-syndrome rate at the expected technology parameters.
 
@@ -390,10 +539,18 @@ def syndrome_rate_estimate(
             noise=_noise_from_parameters(parameters), mapper=the_mapper
         )
         nontrivial = 0
-        for _ in range(monte_carlo_trials):
-            outcome = experiment.run_trial_detailed(generator)
-            if outcome["nontrivial_syndrome"]:
-                nontrivial += 1
+        if use_batched:
+            remaining = monte_carlo_trials
+            while remaining > 0:
+                chunk = min(batch_size, remaining)
+                outcome = experiment.run_trial_batch_detailed(generator, chunk)
+                nontrivial += int(np.count_nonzero(outcome["nontrivial_syndrome"]))
+                remaining -= chunk
+        else:
+            for _ in range(monte_carlo_trials):
+                outcome = experiment.run_trial_detailed(generator)
+                if outcome["nontrivial_syndrome"]:
+                    nontrivial += 1
         result["measured"] = nontrivial / monte_carlo_trials
         result["trials"] = float(monte_carlo_trials)
     return result

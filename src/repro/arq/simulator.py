@@ -8,20 +8,38 @@ before two-qubit gates whose operands had to be shuttled together.
 Measurement outcomes are collected by label so that syndrome post-processing
 (decoding, verification checks) can run exactly as the classical control
 system would run it.
+
+Two executors share those semantics:
+
+* :class:`NoisyCircuitExecutor` runs one shot at a time on a scalar
+  :class:`~repro.stabilizer.tableau.StabilizerTableau`; circuits are mapped
+  once and the mapping cached, so repeated shots of the same circuit pay no
+  per-shot mapping cost.
+* :class:`BatchedNoisyCircuitExecutor` runs ``B`` independent noisy shots
+  simultaneously on a :class:`~repro.stabilizer.batch.BatchTableau`, driving a
+  compiled circuit IR (:mod:`repro.circuits.compiled`) with vectorized noise
+  sampling -- the engine behind the Monte-Carlo experiments.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.arq.mapper import LayoutMapper, MappedCircuit
 from repro.circuits import Circuit
+from repro.circuits.compiled import CompiledCircuit, Opcode, compile_circuit
 from repro.circuits.gate import OpKind
 from repro.exceptions import SimulationError
 from repro.pauli import PauliString, PauliTerm
-from repro.stabilizer import NoiseModel, NoiselessModel, StabilizerTableau
+from repro.stabilizer import (
+    BatchTableau,
+    NoiseModel,
+    NoiselessModel,
+    StabilizerTableau,
+)
 
 
 @dataclass
@@ -51,6 +69,34 @@ class ExecutionResult:
         return [self.measurements[label] for label in labels]
 
 
+@dataclass
+class BatchExecutionResult:
+    """Outcome of a batched noisy circuit execution (``B`` lanes at once).
+
+    Attributes
+    ----------
+    tableau:
+        Final batched stabilizer state.
+    measurements:
+        Measurement outcomes keyed by label; each value is a ``(B,)`` uint8
+        array of per-lane outcomes.  Unlabeled measurements are keyed
+        ``"m<index>"`` exactly like the per-shot executor.
+    error_count:
+        ``(B,)`` int64 array counting Pauli error events injected per lane.
+    """
+
+    tableau: BatchTableau
+    measurements: dict[str, np.ndarray] = field(default_factory=dict)
+    error_count: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    def bits(self, labels: list[str] | tuple[str, ...]) -> np.ndarray:
+        """Per-lane outcomes for a list of labels as a ``(B, len(labels))`` array."""
+        missing = [label for label in labels if label not in self.measurements]
+        if missing:
+            raise SimulationError(f"missing measurement labels: {missing}")
+        return np.stack([self.measurements[label] for label in labels], axis=1)
+
+
 class NoisyCircuitExecutor:
     """Execute circuits on a stabilizer tableau under a Pauli noise model.
 
@@ -70,6 +116,17 @@ class NoisyCircuitExecutor:
     ) -> None:
         self._noise = noise if noise is not None else NoiselessModel()
         self._mapper = mapper
+        # Cache of mapped circuits keyed (weakly) by circuit identity.
+        # Monte-Carlo loops run the same Circuit object for every shot;
+        # re-mapping it each time costs O(ops) per shot for an identical
+        # result.  Weak keys make entries die with their circuit, so a freed
+        # circuit's reused memory address can never resurrect a stale entry
+        # and the cache cannot grow without bound.  The operation count is
+        # stored alongside so a circuit mutated after mapping (the Circuit
+        # API allows appends) is transparently re-mapped.
+        self._mapped_cache: weakref.WeakKeyDictionary[Circuit, tuple[int, MappedCircuit]] = (
+            weakref.WeakKeyDictionary()
+        )
 
     # ------------------------------------------------------------------
     # Execution
@@ -99,7 +156,7 @@ class NoisyCircuitExecutor:
                 f"tableau has {state.num_qubits} qubits but the circuit needs "
                 f"{circuit.num_qubits}"
             )
-        mapped = self._mapper.map_circuit(circuit) if self._mapper is not None else None
+        mapped = self._mapped_circuit(circuit)
         result = ExecutionResult(tableau=state)
 
         operations = mapped.operations if mapped is not None else None
@@ -142,9 +199,24 @@ class NoisyCircuitExecutor:
     # Internals
     # ------------------------------------------------------------------
 
+    def _mapped_circuit(self, circuit: Circuit) -> MappedCircuit | None:
+        if self._mapper is None:
+            return None
+        cached = self._mapped_cache.get(circuit)
+        if cached is not None and cached[0] == len(circuit):
+            return cached[1]
+        mapped = self._mapper.map_circuit(circuit)
+        self._mapped_cache[circuit] = (len(circuit), mapped)
+        return mapped
+
     @staticmethod
     def _record(result: ExecutionResult, label: str, index: int, outcome: int) -> None:
         key = label if label else f"m{index}"
+        if key in result.measurements:
+            raise SimulationError(
+                f"duplicate measurement label {key!r}; labels must be unique so "
+                "syndrome bookkeeping cannot silently overwrite outcomes"
+            )
         result.measurements[key] = outcome
 
     def _maybe_flip(self, outcome: int, rng: np.random.Generator, result: ExecutionResult) -> int:
@@ -162,3 +234,185 @@ class NoisyCircuitExecutor:
         pauli = PauliString.from_terms(terms, num_qubits=state.num_qubits)
         state.apply_pauli(pauli)
         result.error_count += 1
+
+
+class BatchedNoisyCircuitExecutor:
+    """Execute ``B`` independent noisy shots of a circuit simultaneously.
+
+    The executor compiles each circuit once (movement exposure from the layout
+    mapper baked in, see :func:`repro.circuits.compiled.compile_circuit`) and
+    then drives a :class:`~repro.stabilizer.batch.BatchTableau` with one loop
+    over *operations* instead of one loop over *shots x operations*: every
+    gate, reset, measurement and noise draw acts on the whole batch through
+    vectorized numpy column operations.
+
+    Semantics match :class:`NoisyCircuitExecutor` lane for lane: movement
+    errors precede the operation that required the shuttle, gate/preparation
+    errors follow the ideal operation, measurement outcomes may be classically
+    flipped, and results are collected under the same labels.
+
+    Parameters
+    ----------
+    noise:
+        The noise model (defaults to noiseless execution).  Custom subclasses
+        of :class:`~repro.stabilizer.noise.NoiseModel` work unmodified via the
+        base class's scalar fallback; the built-in models sample all lanes of
+        an operation in one RNG call.
+    mapper:
+        Layout mapper supplying movement budgets; None disables movement noise.
+    """
+
+    def __init__(
+        self,
+        noise: NoiseModel | None = None,
+        mapper: LayoutMapper | None = None,
+    ) -> None:
+        self._noise = noise if noise is not None else NoiselessModel()
+        self._mapper = mapper
+        # Weak keys for the same reason as the per-shot mapped-circuit cache:
+        # entries die with their circuit, so id reuse cannot serve a stale
+        # compiled program and the cache stays bounded.
+        self._compiled_cache: weakref.WeakKeyDictionary[
+            Circuit, tuple[int, CompiledCircuit]
+        ] = weakref.WeakKeyDictionary()
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+
+    def compile(self, circuit: Circuit) -> CompiledCircuit:
+        """Compile (and cache) a circuit against this executor's mapper."""
+        cached = self._compiled_cache.get(circuit)
+        if cached is not None and cached[0] == len(circuit):
+            return cached[1]
+        compiled = compile_circuit(circuit, mapper=self._mapper)
+        self._compiled_cache[circuit] = (len(circuit), compiled)
+        return compiled
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        circuit: Circuit | CompiledCircuit,
+        batch_size: int,
+        rng: np.random.Generator,
+        tableau: BatchTableau | None = None,
+    ) -> BatchExecutionResult:
+        """Run ``batch_size`` independent noisy shots of a circuit.
+
+        Parameters
+        ----------
+        circuit:
+            The circuit to execute, either a :class:`Circuit` (compiled and
+            cached on first use) or an already-compiled program.
+        batch_size:
+            Number of independent lanes to simulate.
+        rng:
+            Random generator for measurement randomness and noise, shared by
+            all lanes (each draw produces one value per lane).
+        tableau:
+            Optional pre-initialised batched state; a fresh all-|0> batch is
+            created when omitted.  Its batch size must equal ``batch_size``.
+        """
+        program = circuit if isinstance(circuit, CompiledCircuit) else self.compile(circuit)
+        if batch_size <= 0:
+            raise SimulationError("batch_size must be positive")
+        state = (
+            tableau
+            if tableau is not None
+            else BatchTableau(program.num_qubits, batch_size, rng=rng)
+        )
+        if state.batch_size != batch_size:
+            raise SimulationError(
+                f"tableau batch size {state.batch_size} does not match requested "
+                f"batch size {batch_size}"
+            )
+        if state.num_qubits < program.num_qubits:
+            raise SimulationError(
+                f"tableau has {state.num_qubits} qubits but the circuit needs "
+                f"{program.num_qubits}"
+            )
+
+        noise = self._noise
+        noiseless = noise.is_noiseless
+        error_count = np.zeros(batch_size, dtype=np.int64)
+        outcomes = np.zeros((program.num_measurements, batch_size), dtype=np.uint8)
+
+        opcodes = program.opcodes
+        qubit0 = program.qubit0
+        qubit1 = program.qubit1
+        exposure = program.movement_exposure
+        moved = program.moved_qubit
+        slots = program.measurement_slot
+
+        for k in range(program.num_operations):
+            op = int(opcodes[k])
+            q0 = int(qubit0[k])
+
+            if not noiseless and exposure[k] > 0:
+                support, x_bits, z_bits, events = noise.sample_movement_error_batch(
+                    int(moved[k]), int(exposure[k]), batch_size, rng
+                )
+                if events.any():
+                    state.inject_pauli_terms(support, x_bits, z_bits)
+                    error_count += events
+
+            if op == Opcode.PREPARE:
+                state.reset(q0)
+                if not noiseless:
+                    support, x_bits, z_bits, events = noise.sample_preparation_error_batch(
+                        q0, batch_size, rng
+                    )
+                    if events.any():
+                        state.inject_pauli_terms(support, x_bits, z_bits)
+                        error_count += events
+            elif op == Opcode.MEASURE or op == Opcode.MEASURE_X:
+                measured = state.measure(q0) if op == Opcode.MEASURE else state.measure_x(q0)
+                if not noiseless:
+                    flips = noise.measurement_flip_batch(batch_size, rng)
+                    if flips.any():
+                        measured = measured ^ flips.astype(np.uint8)
+                        error_count += flips.astype(np.int64)
+                outcomes[int(slots[k])] = measured
+            else:
+                q1 = int(qubit1[k])
+                if op == Opcode.I:
+                    pass  # no state update, but gate noise still applies below
+                elif op == Opcode.H:
+                    state.h(q0)
+                elif op == Opcode.S:
+                    state.s(q0)
+                elif op == Opcode.SDG:
+                    state.s_dag(q0)
+                elif op == Opcode.X:
+                    state.x(q0)
+                elif op == Opcode.Y:
+                    state.y(q0)
+                elif op == Opcode.Z:
+                    state.z(q0)
+                elif op == Opcode.CNOT:
+                    state.cnot(q0, q1)
+                elif op == Opcode.CZ:
+                    state.cz(q0, q1)
+                elif op == Opcode.SWAP:
+                    state.swap(q0, q1)
+                else:  # pragma: no cover - compile_circuit rejects unknown ops
+                    raise SimulationError(f"unknown opcode {op}")
+                if not noiseless:
+                    operands = (q0,) if q1 < 0 else (q0, q1)
+                    name = Opcode(op).name
+                    support, x_bits, z_bits, events = noise.sample_gate_error_batch(
+                        name, operands, batch_size, rng
+                    )
+                    if events.any():
+                        state.inject_pauli_terms(support, x_bits, z_bits)
+                        error_count += events
+
+        measurements = {
+            label: outcomes[slot] for slot, label in enumerate(program.measurement_labels)
+        }
+        return BatchExecutionResult(
+            tableau=state, measurements=measurements, error_count=error_count
+        )

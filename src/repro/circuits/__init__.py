@@ -19,6 +19,7 @@ architecture layer then maps onto physical layouts.  This package provides
 
 from repro.circuits.gate import Gate, Operation, OpKind, CLIFFORD_GATES
 from repro.circuits.circuit import Circuit
+from repro.circuits.compiled import CompiledCircuit, Opcode, compile_circuit
 from repro.circuits.dag import CircuitDag, schedule_asap
 from repro.circuits.library import (
     bell_pair_circuit,
@@ -47,6 +48,9 @@ __all__ = [
     "OpKind",
     "CLIFFORD_GATES",
     "Circuit",
+    "CompiledCircuit",
+    "Opcode",
+    "compile_circuit",
     "CircuitDag",
     "schedule_asap",
     "bell_pair_circuit",

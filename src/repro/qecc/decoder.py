@@ -96,6 +96,32 @@ class LookupDecoder:
             z[qubit] = 1
         return PauliString(x, z)
 
+    def correction_table(self, error_type: str) -> np.ndarray:
+        """Dense syndrome-indexed correction table for vectorized decoding.
+
+        Returns a ``(2**m, n)`` uint8 array (``m`` = number of relevant parity
+        checks): row ``s`` holds the support of the correction for the
+        syndrome whose bits, read most-significant first, encode the integer
+        ``s``.  Unrecognised syndromes map to the all-zero (identity) row --
+        the non-strict behaviour of :meth:`correction_for_syndrome`, which is
+        what a real machine does when the syndrome is unrecognised.  Batched
+        experiments index this table with whole arrays of syndrome integers
+        instead of calling the scalar decoder per shot.
+        """
+        if error_type not in ("X", "Z"):
+            raise DecodingError("error_type must be 'X' or 'Z'")
+        n = self._code.num_physical_qubits
+        checks = self._code.hz if error_type == "X" else self._code.hx
+        num_checks = int(checks.shape[0])
+        table = np.zeros((2**num_checks, n), dtype=np.uint8)
+        source = self._x_table if error_type == "X" else self._z_table
+        for syndrome_bits, qubit in source.items():
+            index = 0
+            for bit in syndrome_bits:
+                index = (index << 1) | int(bit)
+            table[index, qubit] = 1
+        return table
+
     def decode_residual(self, error: PauliString) -> tuple[PauliString, bool]:
         """Decode a known physical error and report whether decoding succeeds.
 

@@ -10,16 +10,22 @@ circuits under Pauli noise.
 """
 
 from repro.stabilizer.tableau import StabilizerTableau, MeasurementResult
+from repro.stabilizer.batch import BatchTableau
 from repro.stabilizer.noise import (
     NoiseModel,
     DepolarizingNoise,
     OperationNoise,
     NoiselessModel,
 )
-from repro.stabilizer.monte_carlo import MonteCarloResult, estimate_failure_rate
+from repro.stabilizer.monte_carlo import (
+    MonteCarloResult,
+    estimate_failure_rate,
+    estimate_failure_rate_batched,
+)
 
 __all__ = [
     "StabilizerTableau",
+    "BatchTableau",
     "MeasurementResult",
     "NoiseModel",
     "DepolarizingNoise",
@@ -27,4 +33,5 @@ __all__ = [
     "NoiselessModel",
     "MonteCarloResult",
     "estimate_failure_rate",
+    "estimate_failure_rate_batched",
 ]

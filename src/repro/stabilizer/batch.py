@@ -1,0 +1,495 @@
+"""Vectorized multi-shot (batched) CHP stabilizer simulation.
+
+A Monte-Carlo experiment runs the *same* Clifford circuit on thousands of
+independent noisy shots.  :class:`BatchTableau` holds the tableaux of ``B``
+such shots side by side -- X bits, Z bits and signs stored as
+``(B, 2n+1, n)`` / ``(B, 2n+1)`` uint8 arrays -- and implements every
+operation (Clifford gates, Pauli injection, reset, Z/X measurement,
+expectation values) as whole-batch numpy column operations.  One gate call
+updates all ``B`` lanes at once, so the per-shot Python interpretation cost of
+the scalar :class:`~repro.stabilizer.tableau.StabilizerTableau` disappears and
+throughput is limited by memory bandwidth instead of the interpreter.
+
+Random measurement outcomes are drawn for all lanes needing one in a single
+generator call, keeping the number of RNG invocations independent of the
+batch size.  The update rules are the standard Aaronson-Gottesman (CHP)
+procedure, identical operation-for-operation to the scalar tableau; the
+cross-validation suite in ``tests/test_stabilizer_batch.py`` pins the two
+implementations against each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.pauli import PauliString
+from repro.stabilizer.tableau import StabilizerTableau
+
+
+def _g_batch(x1: np.ndarray, z1: np.ndarray, x2: np.ndarray, z2: np.ndarray) -> np.ndarray:
+    """Vectorized CHP ``g`` function summed over the qubit (last) axis.
+
+    ``g(x1, z1, x2, z2)`` is the power of ``i`` picked up when the per-qubit
+    Pauli ``(x1, z1)`` is multiplied by ``(x2, z2)`` in the X-before-Z
+    convention; the closed form below merges the three non-identity cases of
+    the scalar implementation into one arithmetic expression.
+    """
+    x1 = x1.astype(np.int16)
+    z1 = z1.astype(np.int16)
+    x2 = x2.astype(np.int16)
+    z2 = z2.astype(np.int16)
+    g = (
+        x1 * z1 * (z2 - x2)
+        + x1 * (1 - z1) * z2 * (2 * x2 - 1)
+        + (1 - x1) * z1 * x2 * (1 - 2 * z2)
+    )
+    return g.sum(axis=-1, dtype=np.int32)
+
+
+class BatchTableau:
+    """``batch_size`` independent CHP stabilizer states updated in lock-step.
+
+    Every lane starts in the all-|0> state.  All mutating methods update the
+    whole batch; methods that need randomness (measurement of a qubit whose
+    outcome is not determined in some lanes) draw one vector of random bits
+    per call from the shared generator.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register size ``n`` of each lane.
+    batch_size:
+        Number of independent lanes ``B``.
+    rng:
+        Random generator for measurement outcomes (fresh default if omitted).
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        batch_size: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if num_qubits <= 0:
+            raise SimulationError("a stabilizer tableau needs at least one qubit")
+        if batch_size <= 0:
+            raise SimulationError("a batch tableau needs at least one lane")
+        self._n = num_qubits
+        self._batch = batch_size
+        self._rng = rng if rng is not None else np.random.default_rng()
+        rows = 2 * num_qubits + 1
+        self._x = np.zeros((batch_size, rows, num_qubits), dtype=np.uint8)
+        self._z = np.zeros((batch_size, rows, num_qubits), dtype=np.uint8)
+        self._r = np.zeros((batch_size, rows), dtype=np.uint8)
+        idx = np.arange(num_qubits)
+        self._x[:, idx, idx] = 1
+        self._z[:, num_qubits + idx, idx] = 1
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Register size of each lane."""
+        return self._n
+
+    @property
+    def batch_size(self) -> int:
+        """Number of independent lanes."""
+        return self._batch
+
+    def copy(self) -> "BatchTableau":
+        """An independent deep copy sharing the same random generator."""
+        clone = BatchTableau.__new__(BatchTableau)
+        clone._n = self._n
+        clone._batch = self._batch
+        clone._rng = self._rng
+        clone._x = self._x.copy()
+        clone._z = self._z.copy()
+        clone._r = self._r.copy()
+        return clone
+
+    def lane(self, index: int) -> StabilizerTableau:
+        """Extract one lane as an independent scalar :class:`StabilizerTableau`."""
+        if not 0 <= index < self._batch:
+            raise SimulationError(f"lane {index} outside batch of size {self._batch}")
+        single = StabilizerTableau.__new__(StabilizerTableau)
+        single._n = self._n
+        single._rng = self._rng
+        single._x = self._x[index].copy()
+        single._z = self._z[index].copy()
+        single._r = self._r[index].copy()
+        return single
+
+    @classmethod
+    def from_tableau(
+        cls,
+        tableau: StabilizerTableau,
+        batch_size: int,
+        rng: np.random.Generator | None = None,
+    ) -> "BatchTableau":
+        """Broadcast one scalar tableau into every lane of a fresh batch."""
+        batch = cls(tableau.num_qubits, batch_size, rng=rng)
+        batch._x[:] = tableau._x[None, :, :]
+        batch._z[:] = tableau._z[None, :, :]
+        batch._r[:] = tableau._r[None, :]
+        return batch
+
+    # ------------------------------------------------------------------
+    # Clifford gates (whole-batch column updates)
+    # ------------------------------------------------------------------
+
+    def h(self, qubit: int) -> None:
+        """Apply a Hadamard gate to every lane."""
+        a = self._index(qubit)
+        xa = self._x[:, :, a]
+        za = self._z[:, :, a]
+        self._r ^= xa & za
+        tmp = xa.copy()
+        self._x[:, :, a] = za
+        self._z[:, :, a] = tmp
+
+    def s(self, qubit: int) -> None:
+        """Apply the phase gate S to every lane."""
+        a = self._index(qubit)
+        xa = self._x[:, :, a]
+        self._r ^= xa & self._z[:, :, a]
+        self._z[:, :, a] ^= xa
+
+    def s_dag(self, qubit: int) -> None:
+        """Apply the inverse phase gate to every lane (closed form of S^3)."""
+        a = self._index(qubit)
+        xa = self._x[:, :, a]
+        self._r ^= xa & (xa ^ self._z[:, :, a])
+        self._z[:, :, a] ^= xa
+
+    def x(self, qubit: int) -> None:
+        """Apply a Pauli X gate to every lane."""
+        a = self._index(qubit)
+        self._r ^= self._z[:, :, a]
+
+    def z(self, qubit: int) -> None:
+        """Apply a Pauli Z gate to every lane."""
+        a = self._index(qubit)
+        self._r ^= self._x[:, :, a]
+
+    def y(self, qubit: int) -> None:
+        """Apply a Pauli Y gate to every lane."""
+        a = self._index(qubit)
+        self._r ^= self._x[:, :, a] ^ self._z[:, :, a]
+
+    def cnot(self, control: int, target: int) -> None:
+        """Apply a controlled-NOT gate to every lane."""
+        a = self._index(control)
+        b = self._index(target)
+        if a == b:
+            raise SimulationError("CNOT control and target must differ")
+        xa = self._x[:, :, a]
+        zb = self._z[:, :, b]
+        self._r ^= xa & zb & (self._x[:, :, b] ^ self._z[:, :, a] ^ 1)
+        self._x[:, :, b] ^= xa
+        self._z[:, :, a] ^= zb
+
+    cx = cnot
+
+    def cz(self, qubit_a: int, qubit_b: int) -> None:
+        """Apply a controlled-Z gate to every lane."""
+        self.h(qubit_b)
+        self.cnot(qubit_a, qubit_b)
+        self.h(qubit_b)
+
+    def swap(self, qubit_a: int, qubit_b: int) -> None:
+        """Swap two qubits in every lane (direct column exchange)."""
+        a = self._index(qubit_a)
+        b = self._index(qubit_b)
+        if a == b:
+            raise SimulationError("SWAP operands must differ")
+        for array in (self._x, self._z):
+            tmp = array[:, :, a].copy()
+            array[:, :, a] = array[:, :, b]
+            array[:, :, b] = tmp
+
+    def apply_gate(self, name: str, qubits: tuple[int, ...]) -> None:
+        """Apply a gate by name to every lane (same names as the scalar tableau)."""
+        name = name.upper()
+        if name == "I":
+            return
+        if name == "H":
+            self.h(*qubits)
+        elif name == "S":
+            self.s(*qubits)
+        elif name in ("SDG", "S_DAG"):
+            self.s_dag(*qubits)
+        elif name == "X":
+            self.x(*qubits)
+        elif name == "Y":
+            self.y(*qubits)
+        elif name == "Z":
+            self.z(*qubits)
+        elif name in ("CNOT", "CX"):
+            self.cnot(*qubits)
+        elif name == "CZ":
+            self.cz(*qubits)
+        elif name == "SWAP":
+            self.swap(*qubits)
+        else:
+            raise SimulationError(f"gate {name!r} is not a supported Clifford operation")
+
+    # ------------------------------------------------------------------
+    # Pauli injection
+    # ------------------------------------------------------------------
+
+    def apply_pauli(self, pauli: PauliString) -> None:
+        """Apply the same n-qubit Pauli error to every lane."""
+        if pauli.num_qubits != self._n:
+            raise SimulationError(
+                f"Pauli acts on {pauli.num_qubits} qubits but register has {self._n}"
+            )
+        x_bits = np.broadcast_to(pauli.x, (self._batch, self._n))
+        z_bits = np.broadcast_to(pauli.z, (self._batch, self._n))
+        self.apply_pauli_bits(x_bits, z_bits)
+
+    def apply_pauli_bits(self, x_bits: np.ndarray, z_bits: np.ndarray) -> None:
+        """Apply a per-lane Pauli error given as symplectic bit arrays.
+
+        Parameters
+        ----------
+        x_bits, z_bits:
+            ``(B, n)`` binary arrays; lane ``b`` is conjugated by the Pauli
+            ``prod_j X_j^{x_bits[b, j]} Z_j^{z_bits[b, j]}``.
+
+        Only signs change: an X factor on qubit j flips the sign of every row
+        with a Z bit at j, a Z factor flips rows with an X bit (Y = both).
+        """
+        if x_bits.shape != (self._batch, self._n) or z_bits.shape != (self._batch, self._n):
+            raise SimulationError(
+                f"Pauli bit arrays must have shape {(self._batch, self._n)}"
+            )
+        xb = x_bits.astype(np.uint8)[:, None, :]
+        zb = z_bits.astype(np.uint8)[:, None, :]
+        delta = np.bitwise_xor.reduce((self._z & xb) ^ (self._x & zb), axis=2)
+        self._r ^= delta
+
+    def inject_pauli_terms(
+        self, qubits: tuple[int, ...], x_bits: np.ndarray, z_bits: np.ndarray
+    ) -> None:
+        """Apply per-lane Pauli errors restricted to a few operand qubits.
+
+        ``x_bits``/``z_bits`` are ``(B, len(qubits))`` arrays giving the error
+        on each operand position; this avoids materialising full-width
+        ``(B, n)`` masks for the one- and two-qubit errors the noise model
+        emits per operation.
+        """
+        delta = np.zeros((self._batch, self._r.shape[1]), dtype=np.uint8)
+        for j, qubit in enumerate(qubits):
+            a = self._index(qubit)
+            delta ^= (self._z[:, :, a] & x_bits[:, j : j + 1]) ^ (
+                self._x[:, :, a] & z_bits[:, j : j + 1]
+            )
+        self._r ^= delta
+
+    # ------------------------------------------------------------------
+    # Measurement and reset
+    # ------------------------------------------------------------------
+
+    def measure(self, qubit: int) -> np.ndarray:
+        """Measure a qubit in the Z basis in every lane.
+
+        Returns the ``(B,)`` uint8 array of outcomes.  Lanes in which some
+        stabilizer anticommutes with ``Z_a`` get a fresh uniformly random
+        outcome (one generator call for all such lanes); the rest are computed
+        deterministically with the CHP scratch-row procedure.
+        """
+        a = self._index(qubit)
+        n = self._n
+        stab_x = self._x[:, n : 2 * n, a]
+        random_mask = stab_x.any(axis=1)
+        outcomes = np.zeros(self._batch, dtype=np.uint8)
+
+        random_lanes = np.flatnonzero(random_mask)
+        if random_lanes.size:
+            first_anti = n + np.argmax(stab_x[random_lanes] != 0, axis=1).astype(np.int64)
+            drawn = self._rng.integers(
+                0, 2, size=random_lanes.size, dtype=np.uint8
+            )
+            self._random_measure_update(random_lanes, a, first_anti, drawn)
+            outcomes[random_lanes] = drawn
+
+        deterministic_lanes = np.flatnonzero(~random_mask)
+        if deterministic_lanes.size:
+            outcomes[deterministic_lanes] = self._deterministic_outcome(
+                deterministic_lanes, a
+            )
+        return outcomes
+
+    def measure_x(self, qubit: int) -> np.ndarray:
+        """Measure a qubit in the X basis in every lane (H, measure, H)."""
+        self.h(qubit)
+        outcomes = self.measure(qubit)
+        self.h(qubit)
+        return outcomes
+
+    def reset(self, qubit: int) -> None:
+        """Reset a qubit to |0> in every lane (measure, flip lanes that read 1)."""
+        a = self._index(qubit)
+        outcomes = self.measure(qubit)
+        flip = np.flatnonzero(outcomes)
+        if flip.size:
+            self._r[flip] ^= self._z[flip, :, a]
+
+    # ------------------------------------------------------------------
+    # Observables
+    # ------------------------------------------------------------------
+
+    def expectation(self, pauli: PauliString) -> np.ndarray:
+        """Per-lane expectation of a Hermitian Pauli: +1, -1 or 0 (random).
+
+        Returns an ``(B,)`` int8 array.  The procedure mirrors the scalar
+        tableau: lanes where the observable anticommutes with some stabilizer
+        report 0; in the rest the observable is reconstructed as a product of
+        stabilizer rows (indexed by the destabilizers it anticommutes with)
+        and the accumulated sign decides +/-1.
+        """
+        if pauli.num_qubits != self._n:
+            raise SimulationError(
+                f"Pauli acts on {pauli.num_qubits} qubits but register has {self._n}"
+            )
+        if pauli.phase % 2 != 0:
+            raise SimulationError("expectation requires a Hermitian (real-phase) Pauli")
+        n = self._n
+        px = pauli.x.astype(np.int32)
+        pz = pauli.z.astype(np.int32)
+
+        # Anticommutation of the observable with each stabilizer row.
+        anti_stab = (
+            self._z[:, n : 2 * n, :].astype(np.int32) @ px
+            + self._x[:, n : 2 * n, :].astype(np.int32) @ pz
+        ) % 2
+        values = np.zeros(self._batch, dtype=np.int8)
+        deterministic = ~anti_stab.any(axis=1)
+        lanes = np.flatnonzero(deterministic)
+        if lanes.size == 0:
+            return values
+
+        # Which destabilizers anticommute selects the stabilizer subset whose
+        # product reproduces the observable.
+        anti_destab = (
+            self._z[lanes, :n, :].astype(np.int32) @ px
+            + self._x[lanes, :n, :].astype(np.int32) @ pz
+        ) % 2
+        acc_x = np.zeros((lanes.size, n), dtype=np.uint8)
+        acc_z = np.zeros((lanes.size, n), dtype=np.uint8)
+        acc_phase = np.zeros(lanes.size, dtype=np.int64)
+        for i in range(n):
+            sel = np.flatnonzero(anti_destab[:, i])
+            if sel.size == 0:
+                continue
+            row_lanes = lanes[sel]
+            row = n + i
+            row_x = self._x[row_lanes, row, :]
+            row_z = self._z[row_lanes, row, :]
+            acc_phase[sel] += 2 * self._r[row_lanes, row].astype(np.int64)
+            acc_phase[sel] += _g_batch(acc_x[sel], acc_z[sel], row_x, row_z)
+            acc_x[sel] ^= row_x
+            acc_z[sel] ^= row_z
+        if not (
+            np.array_equal(acc_x, np.broadcast_to(pauli.x, acc_x.shape))
+            and np.array_equal(acc_z, np.broadcast_to(pauli.z, acc_z.shape))
+        ):
+            raise SimulationError(
+                "internal error: accumulated stabilizer product does not match observable"
+            )
+        sign_exponent = (acc_phase - pauli.phase) % 4
+        bad = (sign_exponent != 0) & (sign_exponent != 2)
+        if bad.any():
+            raise SimulationError("internal error: non-real relative phase in expectation")
+        values[lanes] = np.where(sign_exponent == 0, 1, -1).astype(np.int8)
+        return values
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+
+    def _index(self, qubit: int) -> int:
+        if not 0 <= qubit < self._n:
+            raise SimulationError(f"qubit index {qubit} outside register of size {self._n}")
+        return qubit
+
+    def _random_measure_update(
+        self, lanes: np.ndarray, a: int, p: np.ndarray, outcomes: np.ndarray
+    ) -> None:
+        """CHP update for lanes whose measurement outcome is random.
+
+        ``lanes`` indexes the affected lanes, ``p[k]`` is (per lane) the first
+        stabilizer row anticommuting with ``Z_a`` and ``outcomes[k]`` the drawn
+        result.  Every row ``h != p, p - n`` with an X bit at ``a`` is summed
+        with row ``p`` (vectorized rowsum), then row ``p`` is recycled into the
+        destabilizer ``p - n`` and replaced with ``+/- Z_a``.
+        """
+        n = self._n
+        count = lanes.size
+        ar = np.arange(count)
+
+        x_lanes = self._x[lanes]  # (L, R, n) copies
+        z_lanes = self._z[lanes]
+        r_lanes = self._r[lanes]  # (L, R)
+
+        pivot_x = x_lanes[ar, p, :]  # (L, n)
+        pivot_z = z_lanes[ar, p, :]
+        pivot_r = r_lanes[ar, p]
+
+        mask = x_lanes[:, :, a].astype(bool)  # rows anticommuting with Z_a
+        mask[ar, p] = False
+        mask[ar, p - n] = False
+
+        g = _g_batch(x_lanes, z_lanes, pivot_x[:, None, :], pivot_z[:, None, :])  # (L, R)
+        phase = (
+            2 * r_lanes.astype(np.int32) + 2 * pivot_r[:, None].astype(np.int32) + g
+        ) % 4
+        summed_r = (phase == 2).astype(np.uint8)
+
+        r_lanes = np.where(mask, summed_r, r_lanes)
+        x_lanes = np.where(mask[:, :, None], x_lanes ^ pivot_x[:, None, :], x_lanes)
+        z_lanes = np.where(mask[:, :, None], z_lanes ^ pivot_z[:, None, :], z_lanes)
+
+        # Old stabilizer row p becomes destabilizer p - n.
+        x_lanes[ar, p - n] = pivot_x
+        z_lanes[ar, p - n] = pivot_z
+        r_lanes[ar, p - n] = pivot_r
+        # New stabilizer row p is +/- Z_a.
+        x_lanes[ar, p] = 0
+        z_lanes[ar, p] = 0
+        z_lanes[ar, p, a] = 1
+        r_lanes[ar, p] = outcomes
+
+        self._x[lanes] = x_lanes
+        self._z[lanes] = z_lanes
+        self._r[lanes] = r_lanes
+
+    def _deterministic_outcome(self, lanes: np.ndarray, a: int) -> np.ndarray:
+        """CHP scratch-row computation of deterministic outcomes for ``lanes``."""
+        n = self._n
+        acc_x = np.zeros((lanes.size, n), dtype=np.uint8)
+        acc_z = np.zeros((lanes.size, n), dtype=np.uint8)
+        acc_r = np.zeros(lanes.size, dtype=np.uint8)
+        destab_x = self._x[lanes, :n, a]  # (L, n) selection bits
+        for i in range(n):
+            sel = np.flatnonzero(destab_x[:, i])
+            if sel.size == 0:
+                continue
+            row_lanes = lanes[sel]
+            row = n + i
+            row_x = self._x[row_lanes, row, :]
+            row_z = self._z[row_lanes, row, :]
+            row_r = self._r[row_lanes, row]
+            phase = (
+                2 * acc_r[sel].astype(np.int32)
+                + 2 * row_r.astype(np.int32)
+                + _g_batch(acc_x[sel], acc_z[sel], row_x, row_z)
+            ) % 4
+            acc_r[sel] = (phase == 2).astype(np.uint8)
+            acc_x[sel] ^= row_x
+            acc_z[sel] ^= row_z
+        return acc_r

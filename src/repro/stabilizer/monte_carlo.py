@@ -90,3 +90,64 @@ def estimate_failure_rate(
         if max_failures is not None and failures >= max_failures:
             break
     return MonteCarloResult(failures=failures, trials=completed)
+
+
+def estimate_failure_rate_batched(
+    batch_trial: Callable[[np.random.Generator, int], np.ndarray],
+    trials: int,
+    rng: np.random.Generator | None = None,
+    max_failures: int | None = None,
+    batch_size: int = 1024,
+) -> MonteCarloResult:
+    """Estimate a failure probability with a vectorized batch trial.
+
+    The batched counterpart of :func:`estimate_failure_rate`: instead of one
+    shot per call, ``batch_trial(rng, count)`` runs ``count`` independent
+    shots at once and returns a boolean array marking the failing ones.  Shots
+    are processed in chunks of at most ``batch_size`` and the early-stop
+    semantics of the per-shot loop are preserved exactly: within a chunk the
+    shots are consumed in order, and the estimate stops at the shot whose
+    failure brings the running total to ``max_failures`` -- later shots in the
+    same chunk are discarded, so the reported ``(failures, trials)`` pair
+    matches what the sequential loop would have produced for the same
+    per-shot outcomes.
+
+    Parameters
+    ----------
+    batch_trial:
+        Callable receiving ``(rng, count)`` and returning a length-``count``
+        boolean (or 0/1) array; True marks a failing shot.
+    trials:
+        Maximum number of shots to run.
+    rng:
+        Source of randomness; a fresh default generator is used if omitted.
+    max_failures:
+        Optional early stop once this many failures have been observed.
+    batch_size:
+        Largest number of shots handed to ``batch_trial`` at once.
+    """
+    if trials <= 0:
+        return MonteCarloResult(failures=0, trials=0)
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    generator = rng if rng is not None else np.random.default_rng()
+    failures = 0
+    completed = 0
+    while completed < trials:
+        count = min(batch_size, trials - completed)
+        outcomes = np.asarray(batch_trial(generator, count)).astype(bool).ravel()
+        if outcomes.shape[0] != count:
+            raise ValueError(
+                f"batch_trial returned {outcomes.shape[0]} outcomes for {count} shots"
+            )
+        if max_failures is not None:
+            running = failures + np.cumsum(outcomes)
+            hit = np.flatnonzero(running >= max_failures)
+            if hit.size:
+                stop = int(hit[0])
+                return MonteCarloResult(
+                    failures=int(running[stop]), trials=completed + stop + 1
+                )
+        failures += int(np.count_nonzero(outcomes))
+        completed += count
+    return MonteCarloResult(failures=failures, trials=completed)

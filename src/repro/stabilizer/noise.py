@@ -25,6 +25,52 @@ _TWO_QUBIT_ERRORS = tuple(
     if not (a == "I" and b == "I")
 )
 
+#: Symplectic (x, z) bits of each Pauli letter.
+_LETTER_BITS = {"I": (0, 0), "X": (1, 0), "Y": (1, 1), "Z": (0, 1)}
+
+#: Symplectic bit tables of the depolarizing error alphabets, indexed the same
+#: way as the tuples above so scalar and batched sampling agree letter-for-letter.
+_ONE_QUBIT_X = np.array([_LETTER_BITS[l][0] for l in _ONE_QUBIT_ERRORS], dtype=np.uint8)
+_ONE_QUBIT_Z = np.array([_LETTER_BITS[l][1] for l in _ONE_QUBIT_ERRORS], dtype=np.uint8)
+_TWO_QUBIT_X = np.array(
+    [[_LETTER_BITS[a][0], _LETTER_BITS[b][0]] for a, b in _TWO_QUBIT_ERRORS], dtype=np.uint8
+)
+_TWO_QUBIT_Z = np.array(
+    [[_LETTER_BITS[a][1], _LETTER_BITS[b][1]] for a, b in _TWO_QUBIT_ERRORS], dtype=np.uint8
+)
+
+
+def _scatter_terms_batch(
+    per_lane_terms: list[list[PauliTerm]], qubits: tuple[int, ...]
+) -> tuple[tuple[int, ...], np.ndarray, np.ndarray, np.ndarray]:
+    """Scatter scalar-hook Pauli terms for every lane into batch bit arrays.
+
+    The support starts from the operation's own qubits and grows to cover any
+    extra qubits the terms touch (custom models may emit crosstalk errors on
+    neighbours of the operands, which the per-shot executor supports too).
+    """
+    support = list(qubits)
+    position = {q: j for j, q in enumerate(support)}
+    for terms in per_lane_terms:
+        for term in terms:
+            if term.qubit not in position:
+                position[term.qubit] = len(support)
+                support.append(term.qubit)
+    batch_size = len(per_lane_terms)
+    x_bits = np.zeros((batch_size, len(support)), dtype=np.uint8)
+    z_bits = np.zeros((batch_size, len(support)), dtype=np.uint8)
+    events = np.zeros(batch_size, dtype=np.int64)
+    for lane, terms in enumerate(per_lane_terms):
+        if not terms:
+            continue
+        events[lane] = 1
+        for term in terms:
+            xi, zi = _LETTER_BITS[term.letter]
+            j = position[term.qubit]
+            x_bits[lane, j] ^= xi
+            z_bits[lane, j] ^= zi
+    return tuple(support), x_bits, z_bits, events
+
 
 def _check_probability(name: str, value: float) -> float:
     if not 0.0 <= value <= 1.0:
@@ -68,6 +114,61 @@ class NoiseModel:
         """Pauli error terms accumulated while a qubit idles for a duration."""
         raise NotImplementedError
 
+    # -- batched sampling ---------------------------------------------------
+    #
+    # The batched executor draws the noise of one operation for all B lanes in
+    # a single call.  Each hook returns ``(support, x_bits, z_bits, events)``:
+    # ``support`` is the tuple of register qubits the error may touch (the
+    # operands, possibly extended by crosstalk neighbours), the symplectic bit
+    # arrays have shape ``(B, len(support))`` and ``events`` is an ``(B,)``
+    # array counting error events per lane (matching the per-shot executor's
+    # ``error_count`` bookkeeping: one event per operation that failed).
+    #
+    # The base-class implementations fall back to looping the scalar hooks,
+    # so any custom noise model works with the batched engine out of the box;
+    # the built-in models override them with single-RNG-call vectorized
+    # versions.
+
+    @property
+    def is_noiseless(self) -> bool:
+        """True when every hook is guaranteed to return no errors.
+
+        The batched executor skips noise sampling entirely for such models
+        (used for ideal state preparation inside experiments).
+        """
+        return False
+
+    def sample_gate_error_batch(
+        self, name: str, qubits: tuple[int, ...], batch_size: int, rng: np.random.Generator
+    ) -> tuple[tuple[int, ...], np.ndarray, np.ndarray, np.ndarray]:
+        """Gate errors for all lanes: ``(support, x_bits, z_bits, events)``."""
+        per_lane = [self.sample_gate_error(name, qubits, rng) for _ in range(batch_size)]
+        return _scatter_terms_batch(per_lane, qubits)
+
+    def sample_preparation_error_batch(
+        self, qubit: int, batch_size: int, rng: np.random.Generator
+    ) -> tuple[tuple[int, ...], np.ndarray, np.ndarray, np.ndarray]:
+        """Preparation errors for all lanes: ``(support, x_bits, z_bits, events)``."""
+        per_lane = [self.sample_preparation_error(qubit, rng) for _ in range(batch_size)]
+        return _scatter_terms_batch(per_lane, (qubit,))
+
+    def measurement_flip_batch(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Per-lane classical measurement flips as an ``(B,)`` bool array."""
+        return np.array(
+            [self.measurement_flip(rng) for _ in range(batch_size)], dtype=bool
+        )
+
+    def sample_movement_error_batch(
+        self, qubit: int, num_cells: int, batch_size: int, rng: np.random.Generator
+    ) -> tuple[tuple[int, ...], np.ndarray, np.ndarray, np.ndarray]:
+        """Movement errors for all lanes: ``(support, x_bits, z_bits, events)``."""
+        per_lane = [
+            self.sample_movement_error(qubit, num_cells, rng) for _ in range(batch_size)
+        ]
+        return _scatter_terms_batch(per_lane, (qubit,))
+
 
 class NoiselessModel(NoiseModel):
     """A noise model that never produces errors (useful for functional tests)."""
@@ -86,6 +187,29 @@ class NoiselessModel(NoiseModel):
 
     def sample_idle_error(self, qubit, duration_seconds, rng):  # noqa: D102
         return []
+
+    @property
+    def is_noiseless(self):  # noqa: D102
+        return True
+
+    def sample_gate_error_batch(self, name, qubits, batch_size, rng):  # noqa: D102
+        return _no_errors_batch(batch_size, qubits)
+
+    def sample_preparation_error_batch(self, qubit, batch_size, rng):  # noqa: D102
+        return _no_errors_batch(batch_size, (qubit,))
+
+    def measurement_flip_batch(self, batch_size, rng):  # noqa: D102
+        return np.zeros(batch_size, dtype=bool)
+
+    def sample_movement_error_batch(self, qubit, num_cells, batch_size, rng):  # noqa: D102
+        return _no_errors_batch(batch_size, (qubit,))
+
+
+def _no_errors_batch(
+    batch_size: int, support: tuple[int, ...]
+) -> tuple[tuple[int, ...], np.ndarray, np.ndarray, np.ndarray]:
+    zeros = np.zeros((batch_size, len(support)), dtype=np.uint8)
+    return support, zeros, zeros.copy(), np.zeros(batch_size, dtype=np.int64)
 
 
 def _depolarize_one(qubit: int, rng: np.random.Generator) -> list[PauliTerm]:
@@ -188,6 +312,70 @@ class OperationNoise(NoiseModel):
         if rng.random() < p_total:
             return _depolarize_one(qubit, rng)
         return []
+
+    # -- vectorized batch hooks ---------------------------------------------
+
+    def sample_gate_error_batch(self, name, qubits, batch_size, rng):  # noqa: D102
+        if len(qubits) == 1:
+            return _depolarize_one_batch(self.p_single, qubits, batch_size, rng)
+        if len(qubits) == 2:
+            return _depolarize_two_batch(self.p_double, qubits, batch_size, rng)
+        # Wider gates: each qubit independently exposed to the two-qubit rate,
+        # all failures of one operation counted as a single error event.
+        x_bits = np.zeros((batch_size, len(qubits)), dtype=np.uint8)
+        z_bits = np.zeros((batch_size, len(qubits)), dtype=np.uint8)
+        any_fail = np.zeros(batch_size, dtype=bool)
+        for j, qubit in enumerate(qubits):
+            _, xj, zj, ev = _depolarize_one_batch(self.p_double, (qubit,), batch_size, rng)
+            x_bits[:, j] = xj[:, 0]
+            z_bits[:, j] = zj[:, 0]
+            any_fail |= ev.astype(bool)
+        return qubits, x_bits, z_bits, any_fail.astype(np.int64)
+
+    def sample_preparation_error_batch(self, qubit, batch_size, rng):  # noqa: D102
+        fail = rng.random(batch_size) < self.p_prepare
+        x_bits = fail[:, None].astype(np.uint8)
+        z_bits = np.zeros((batch_size, 1), dtype=np.uint8)
+        return (qubit,), x_bits, z_bits, fail.astype(np.int64)
+
+    def measurement_flip_batch(self, batch_size, rng):  # noqa: D102
+        if self.p_measure == 0.0:
+            return np.zeros(batch_size, dtype=bool)
+        return rng.random(batch_size) < self.p_measure
+
+    def sample_movement_error_batch(self, qubit, num_cells, batch_size, rng):  # noqa: D102
+        if num_cells <= 0 or self.p_move_per_cell == 0.0:
+            return _no_errors_batch(batch_size, (qubit,))
+        p_total = 1.0 - (1.0 - self.p_move_per_cell) ** num_cells
+        return _depolarize_one_batch(p_total, (qubit,), batch_size, rng)
+
+
+def _depolarize_one_batch(
+    probability: float, support: tuple[int, ...], batch_size: int, rng: np.random.Generator
+) -> tuple[tuple[int, ...], np.ndarray, np.ndarray, np.ndarray]:
+    """Single-qubit depolarizing draw for a whole batch (two RNG calls total)."""
+    if probability == 0.0:
+        return _no_errors_batch(batch_size, support)
+    fail = rng.random(batch_size) < probability
+    letters = rng.integers(0, 3, size=batch_size)
+    fail_u8 = fail.astype(np.uint8)
+    x_bits = (fail_u8 * _ONE_QUBIT_X[letters])[:, None]
+    z_bits = (fail_u8 * _ONE_QUBIT_Z[letters])[:, None]
+    return support, x_bits, z_bits, fail.astype(np.int64)
+
+
+def _depolarize_two_batch(
+    probability: float, support: tuple[int, ...], batch_size: int, rng: np.random.Generator
+) -> tuple[tuple[int, ...], np.ndarray, np.ndarray, np.ndarray]:
+    """Two-qubit depolarizing draw for a whole batch (two RNG calls total)."""
+    if probability == 0.0:
+        return _no_errors_batch(batch_size, support)
+    fail = rng.random(batch_size) < probability
+    pairs = rng.integers(0, len(_TWO_QUBIT_ERRORS), size=batch_size)
+    fail_u8 = fail.astype(np.uint8)[:, None]
+    x_bits = fail_u8 * _TWO_QUBIT_X[pairs]
+    z_bits = fail_u8 * _TWO_QUBIT_Z[pairs]
+    return support, x_bits, z_bits, fail.astype(np.int64)
 
 
 class DepolarizingNoise(OperationNoise):
