@@ -48,8 +48,12 @@ _OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_batched_throughpu
 
 
 def _measure_throughput() -> dict[str, float]:
+    # This benchmark documents the uint8 BatchTableau engine introduced in
+    # PR 1, so pin it explicitly: the default backend="auto" would otherwise
+    # route through the newer bit-packed engine (measured separately, against
+    # this engine, in bench_packed_throughput.py).
     experiment = Level1EccExperiment(
-        noise=_noise_for_rate(WORKLOAD_RATE, EXPECTED_PARAMETERS)
+        noise=_noise_for_rate(WORKLOAD_RATE, EXPECTED_PARAMETERS), backend="uint8"
     )
     rng = np.random.default_rng(11)
     # Warm both paths first so compilation / mapping caches are excluded from
@@ -90,6 +94,7 @@ def _sweep_agreement() -> dict[str, object]:
         trials=SWEEP_TRIALS,
         rng=np.random.default_rng(2005),
         use_batched=True,
+        backend="uint8",
         batch_size=BATCH_SIZE,
     )
     per_shot = run_threshold_sweep(

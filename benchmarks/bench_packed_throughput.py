@@ -1,0 +1,181 @@
+"""Throughput of the bit-packed engine vs the uint8 engine (Figure 7 workload).
+
+The bit-packed backend exists to push Monte-Carlo shot throughput past the
+memory-bandwidth wall of the byte-per-bit engine.  This benchmark times both
+batched engines on the level-1 Steane logical-gate + error-correction trial
+(the Figure 7 workload) at a batch size of 4096, checks the packed engine
+clears a >= 4x speedup, and validates the sharded sweep layer: a process-pool
+threshold sweep must match the serial sweep **bit for bit** given the same
+``SeedSequence`` and shard count.
+
+Results are written to ``BENCH_packed_throughput.json`` at the repository
+root.  Run under pytest (``pytest benchmarks/bench_packed_throughput.py``) or
+directly (``python benchmarks/bench_packed_throughput.py [--smoke]``);
+``--smoke`` runs tiny shot counts and skips the timing assertion -- the CI
+regression gate for the kernels and the shard determinism contract.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:  # the CI smoke job runs this file directly with only numpy installed
+    import pytest
+except ImportError:  # pragma: no cover - direct execution without pytest
+    pytest = None
+
+from repro.arq.experiments import (
+    Level1EccExperiment,
+    _noise_for_rate,
+    run_threshold_sweep,
+)
+from repro.iontrap.parameters import EXPECTED_PARAMETERS
+
+#: Component failure rate of the throughput workload (mid-sweep Figure 7 point).
+WORKLOAD_RATE = 2.0e-3
+#: Lanes per batched call; the acceptance criterion pins B=4096.
+BATCH_SIZE = 4096
+#: Shots timed per engine.
+TIMED_SHOTS = 8192
+#: Required speedup of the packed engine over the uint8 engine.
+REQUIRED_SPEEDUP = 4.0
+
+#: Sharded-sweep determinism check configuration.
+SWEEP_RATES = (2.0e-3, 1.0e-2)
+SWEEP_TRIALS = 1024
+SWEEP_SEED = 20260728
+SWEEP_SHARDS = 4
+
+_OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_packed_throughput.json"
+
+
+def _time_backend(backend: str, shots: int, batch_size: int) -> dict[str, float]:
+    experiment = Level1EccExperiment(
+        noise=_noise_for_rate(WORKLOAD_RATE, EXPECTED_PARAMETERS), backend=backend
+    )
+    rng = np.random.default_rng(11)
+    # Warm the compiled-circuit caches so compilation is excluded from timing.
+    experiment.run_trial_batch(rng, min(64, batch_size))
+    start = time.perf_counter()
+    completed = 0
+    while completed < shots:
+        experiment.run_trial_batch(rng, batch_size)
+        completed += batch_size
+    seconds = time.perf_counter() - start
+    return {
+        "backend": backend,
+        "batch_size": batch_size,
+        "shots": completed,
+        "seconds": seconds,
+        "shots_per_second": completed / seconds,
+    }
+
+
+def _measure_throughput(shots: int, batch_size: int) -> dict[str, object]:
+    packed = _time_backend("packed", shots, batch_size)
+    uint8 = _time_backend("uint8", shots, batch_size)
+    return {
+        "workload_rate": WORKLOAD_RATE,
+        "packed": packed,
+        "uint8": uint8,
+        "speedup": packed["shots_per_second"] / uint8["shots_per_second"],
+    }
+
+
+def _sharded_sweep_determinism(trials: int, num_shards: int) -> dict[str, object]:
+    """Serial vs process-pool seeded sweep: must be bit-for-bit identical."""
+    kwargs = dict(trials=trials, num_shards=num_shards, batch_size=512)
+    serial = run_threshold_sweep(
+        list(SWEEP_RATES), seed=np.random.SeedSequence(SWEEP_SEED), num_workers=0, **kwargs
+    )
+    start = time.perf_counter()
+    pooled = run_threshold_sweep(
+        list(SWEEP_RATES), seed=np.random.SeedSequence(SWEEP_SEED), num_workers=2, **kwargs
+    )
+    pooled_seconds = time.perf_counter() - start
+    points = [
+        {
+            "physical_rate": rate,
+            "serial": {"failures": s.failures, "trials": s.trials},
+            "pooled": {"failures": p.failures, "trials": p.trials},
+            "bit_for_bit": bool(s == p),
+        }
+        for rate, s, p in zip(SWEEP_RATES, serial.level1, pooled.level1)
+    ]
+    return {
+        "seed_entropy": serial.seed_entropy,
+        "num_shards": num_shards,
+        "trials_per_point": trials,
+        "pooled_workers": 2,
+        "pooled_seconds": pooled_seconds,
+        "serial_pseudothreshold": serial.pseudothreshold,
+        "pooled_pseudothreshold": pooled.pseudothreshold,
+        "bit_for_bit": all(point["bit_for_bit"] for point in points)
+        and serial.concatenation_coefficient == pooled.concatenation_coefficient,
+        "points": points,
+    }
+
+
+def _run_benchmark(smoke: bool = False) -> dict[str, object]:
+    if smoke:
+        throughput = _measure_throughput(shots=256, batch_size=128)
+        determinism = _sharded_sweep_determinism(trials=96, num_shards=2)
+    else:
+        throughput = _measure_throughput(shots=TIMED_SHOTS, batch_size=BATCH_SIZE)
+        determinism = _sharded_sweep_determinism(trials=SWEEP_TRIALS, num_shards=SWEEP_SHARDS)
+    report = {
+        "smoke": smoke,
+        "throughput": throughput,
+        "sharded_sweep": determinism,
+    }
+    if not smoke:
+        _OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def _check(report: dict[str, object], smoke: bool) -> None:
+    throughput = report["throughput"]
+    if not smoke:
+        assert throughput["speedup"] >= REQUIRED_SPEEDUP, (
+            f"packed engine is only {throughput['speedup']:.1f}x the uint8 engine"
+        )
+    assert report["sharded_sweep"]["bit_for_bit"], report["sharded_sweep"]
+
+
+if pytest is not None:
+
+    @pytest.mark.benchmark(
+        group="packed-throughput", min_rounds=1, max_time=0.0, warmup=False
+    )
+    def test_packed_engine_throughput_and_shard_determinism(benchmark):
+        report = benchmark.pedantic(_run_benchmark, rounds=1, iterations=1)
+        _check(report, smoke=False)
+
+        throughput = report["throughput"]
+        print()
+        print(
+            f"packed: {throughput['packed']['shots_per_second']:.0f} shots/s, "
+            f"uint8: {throughput['uint8']['shots_per_second']:.0f} shots/s "
+            f"(B={BATCH_SIZE}), speedup {throughput['speedup']:.1f}x"
+        )
+        print(
+            "sharded sweep bit-for-bit: "
+            f"{report['sharded_sweep']['bit_for_bit']} "
+            f"(seed {report['sharded_sweep']['seed_entropy']}, "
+            f"{report['sharded_sweep']['num_shards']} shards)"
+        )
+        print(f"report written to {_OUTPUT_PATH}")
+
+
+if __name__ == "__main__":
+    smoke_mode = "--smoke" in sys.argv[1:]
+    result = _run_benchmark(smoke=smoke_mode)
+    _check(result, smoke=smoke_mode)
+    print(json.dumps(result, indent=2))
+    if smoke_mode:
+        print("smoke benchmark passed: kernels + shard determinism OK", file=sys.stderr)

@@ -30,7 +30,11 @@ from typing import Sequence
 import numpy as np
 
 from repro.arq.mapper import LayoutMapper
-from repro.arq.simulator import BatchedNoisyCircuitExecutor, NoisyCircuitExecutor
+from repro.arq.simulator import (
+    BatchedNoisyCircuitExecutor,
+    NoisyCircuitExecutor,
+    create_batch_tableau,
+)
 from repro.circuits import Circuit
 from repro.circuits.gate import OpKind
 from repro.exceptions import ParameterError
@@ -101,6 +105,11 @@ class Level1EccExperiment:
         The error-correcting code (Steane).
     verified_ancilla:
         Whether ancilla blocks are verified before use (the QLA design does).
+    backend:
+        Batched simulation engine for the Monte-Carlo paths:
+        ``"packed"`` (bit-packed uint64 words), ``"uint8"`` (byte per bit) or
+        ``"auto"`` (packed for batches of 64+ lanes).  Physics is identical;
+        only throughput differs.
     """
 
     noise: OperationNoise
@@ -108,6 +117,7 @@ class Level1EccExperiment:
     code: SteaneCode = field(default_factory=steane_code)
     verified_ancilla: bool = True
     max_preparation_attempts: int = 20
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         self._decoder = LookupDecoder(self.code)
@@ -130,10 +140,10 @@ class Level1EccExperiment:
         self._ideal_executor = NoisyCircuitExecutor(noise=NoiselessModel(), mapper=None)
         self._noisy_executor = NoisyCircuitExecutor(noise=self.noise, mapper=self.mapper)
         self._ideal_batch_executor = BatchedNoisyCircuitExecutor(
-            noise=NoiselessModel(), mapper=None
+            noise=NoiselessModel(), mapper=None, backend=self.backend
         )
         self._noisy_batch_executor = BatchedNoisyCircuitExecutor(
-            noise=self.noise, mapper=self.mapper
+            noise=self.noise, mapper=self.mapper, backend=self.backend
         )
         # Vectorized decoding: dense syndrome-indexed correction tables plus
         # the bit weights turning an (B, m) syndrome array into table indices
@@ -251,7 +261,7 @@ class Level1EccExperiment:
         }
 
     def _batch_attempt(self, rng: np.random.Generator, batch_size: int) -> dict[str, np.ndarray]:
-        state = BatchTableau(self._register_size, batch_size, rng=rng)
+        state = create_batch_tableau(self.backend, self._register_size, batch_size, rng=rng)
         # Ideal preparation of the logical |0>, then noisy gate + ECC cycle.
         self._ideal_batch_executor.run(self._prep_circuit, batch_size, rng, tableau=state)
         self._noisy_batch_executor.run(self._gate_circuit, batch_size, rng, tableau=state)
@@ -392,6 +402,13 @@ class ThresholdSweepResult:
         Fitted ``A`` in ``p_1 = A p^2``.
     threshold:
         Crossing of the level-1 and level-2 curves (the empirical threshold).
+    seed_entropy:
+        Entropy of the root :class:`numpy.random.SeedSequence` the sweep was
+        run from, or None for legacy generator-driven sweeps.  Re-running with
+        ``seed=np.random.SeedSequence(seed_entropy)`` and the same
+        ``num_shards`` reproduces the sweep bit for bit (on any worker count).
+    num_shards:
+        Shard count of the deterministic shard plan (1 for unsharded sweeps).
     """
 
     physical_rates: tuple[float, ...]
@@ -400,6 +417,8 @@ class ThresholdSweepResult:
     level2_rates: tuple[float, ...]
     concatenation_coefficient: float
     threshold: ThresholdEstimate
+    seed_entropy: int | tuple[int, ...] | None = None
+    num_shards: int = 1
 
     @property
     def pseudothreshold(self) -> float:
@@ -418,6 +437,11 @@ def run_threshold_sweep(
     mapper: LayoutMapper | None = None,
     use_batched: bool = True,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    seed: int | np.random.SeedSequence | None = None,
+    num_shards: int = 1,
+    num_workers: int = 0,
+    backend: str = "auto",
+    max_failures: int | None = None,
 ) -> ThresholdSweepResult:
     """Run the Figure 7 experiment.
 
@@ -429,7 +453,8 @@ def run_threshold_sweep(
     trials:
         Monte-Carlo shots per sweep point.
     rng:
-        Random generator (fresh default if omitted).
+        Random generator (fresh default if omitted).  Mutually exclusive with
+        ``seed``.
     parameters:
         Technology parameters providing the pinned movement failure rate.
     mapper:
@@ -440,32 +465,92 @@ def run_threshold_sweep(
         which serves as the slow cross-validation oracle for the batched path.
     batch_size:
         Lanes simulated at once on the batched path.
+    seed:
+        Explicit :class:`numpy.random.SeedSequence` (or int entropy).  The
+        sweep then follows a deterministic shard plan -- one spawned child per
+        (sweep point, shard) -- and records the entropy in the result, so the
+        sweep is exactly reproducible: the same ``(seed, num_shards)`` yields
+        bit-for-bit identical results whether shards run serially or on a
+        process pool.
+    num_shards:
+        Shards per sweep point under ``seed`` (ignored for generator sweeps).
+    num_workers:
+        Worker processes executing shards; ``0``/``1`` runs them in-process.
+        Never affects results, only wall-clock time.
+    backend:
+        Batched engine selection (``"packed"``, ``"uint8"`` or ``"auto"``).
+    max_failures:
+        Optional early stop per sweep point once this many failures are seen.
     """
     if not physical_rates:
         raise ParameterError("the threshold sweep needs at least one physical rate")
     if trials <= 0:
         raise ParameterError("the threshold sweep needs a positive trial count")
-    generator = rng if rng is not None else np.random.default_rng()
     the_mapper = mapper if mapper is not None else LayoutMapper()
 
-    level1_results: list[MonteCarloResult] = []
-    for rate in physical_rates:
-        experiment = Level1EccExperiment(
-            noise=_noise_for_rate(rate, parameters), mapper=the_mapper
+    seed_entropy: int | tuple[int, ...] | None = None
+    if seed is not None:
+        if rng is not None:
+            raise ParameterError("pass either rng or seed, not both")
+        if not use_batched:
+            raise ParameterError(
+                "seeded (sharded) sweeps run on the batched engine; "
+                "use_batched=False is only available with rng"
+            )
+        from repro.parallel import (
+            aggregate_shard_outcomes,
+            as_seed_sequence,
+            Level1ShardTask,
+            run_sharded_outcomes,
         )
-        if use_batched:
-            level1_results.append(
-                estimate_failure_rate_batched(
-                    experiment.run_trial_batch,
-                    trials,
-                    generator,
-                    batch_size=batch_size,
+
+        root = as_seed_sequence(seed)
+        entropy = root.entropy
+        seed_entropy = tuple(entropy) if isinstance(entropy, (list, tuple)) else entropy
+        point_seeds = root.spawn(len(physical_rates))
+        level1_results = []
+        for rate, point_seed in zip(physical_rates, point_seeds):
+            task = Level1ShardTask(
+                physical_rate=float(rate),
+                parameters=parameters,
+                mapper=the_mapper,
+                backend=backend,
+            )
+            shards = run_sharded_outcomes(
+                task,
+                trials,
+                point_seed,
+                num_shards=num_shards,
+                num_workers=num_workers,
+                batch_size=batch_size,
+                max_failures=max_failures,
+            )
+            level1_results.append(aggregate_shard_outcomes(shards, max_failures))
+    else:
+        generator = rng if rng is not None else np.random.default_rng()
+        level1_results = []
+        for rate in physical_rates:
+            experiment = Level1EccExperiment(
+                noise=_noise_for_rate(rate, parameters),
+                mapper=the_mapper,
+                backend=backend,
+            )
+            if use_batched:
+                level1_results.append(
+                    estimate_failure_rate_batched(
+                        experiment.run_trial_batch,
+                        trials,
+                        generator,
+                        batch_size=batch_size,
+                        max_failures=max_failures,
+                    )
                 )
-            )
-        else:
-            level1_results.append(
-                estimate_failure_rate(experiment.run_trial, trials, generator)
-            )
+            else:
+                level1_results.append(
+                    estimate_failure_rate(
+                        experiment.run_trial, trials, generator, max_failures=max_failures
+                    )
+                )
 
     level1_rates = [result.failure_rate for result in level1_results]
     # Fit the concatenation coefficient on slightly regularised rates (the
@@ -495,6 +580,8 @@ def run_threshold_sweep(
         level2_rates=tuple(level2_rates),
         concatenation_coefficient=coefficient,
         threshold=threshold,
+        seed_entropy=seed_entropy,
+        num_shards=num_shards if seed is not None else 1,
     )
 
 
@@ -506,6 +593,7 @@ def syndrome_rate_estimate(
     rng: np.random.Generator | None = None,
     use_batched: bool = True,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    backend: str = "auto",
 ) -> dict[str, float]:
     """Non-trivial-syndrome rate at the expected technology parameters.
 
@@ -536,7 +624,7 @@ def syndrome_rate_estimate(
     if monte_carlo_trials > 0 and level == 1:
         generator = rng if rng is not None else np.random.default_rng()
         experiment = Level1EccExperiment(
-            noise=_noise_from_parameters(parameters), mapper=the_mapper
+            noise=_noise_from_parameters(parameters), mapper=the_mapper, backend=backend
         )
         nontrivial = 0
         if use_batched:

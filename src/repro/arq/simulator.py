@@ -38,8 +38,44 @@ from repro.stabilizer import (
     BatchTableau,
     NoiseModel,
     NoiselessModel,
+    PackedBatchTableau,
     StabilizerTableau,
+    unpack_bits,
 )
+
+#: Valid values of the batched executor's ``backend`` knob.
+BACKENDS = ("auto", "packed", "uint8")
+
+#: Smallest batch size at which ``backend="auto"`` picks the bit-packed
+#: engine: below one full 64-lane word the uint8 engine has nothing to lose.
+AUTO_PACKED_MIN_BATCH = 64
+
+
+def resolve_backend(backend: str, batch_size: int) -> str:
+    """Resolve a backend request to a concrete engine name.
+
+    ``"packed"`` and ``"uint8"`` are honoured verbatim; ``"auto"`` picks the
+    bit-packed engine once the batch fills at least one 64-lane word.
+    """
+    if backend not in BACKENDS:
+        raise SimulationError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "auto":
+        return "packed" if batch_size >= AUTO_PACKED_MIN_BATCH else "uint8"
+    return backend
+
+
+def create_batch_tableau(
+    backend: str,
+    num_qubits: int,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+) -> BatchTableau | PackedBatchTableau:
+    """Create the batch tableau matching a (possibly ``"auto"``) backend."""
+    resolved = resolve_backend(backend, batch_size)
+    cls = PackedBatchTableau if resolved == "packed" else BatchTableau
+    return cls(num_qubits, batch_size, rng=rng)
 
 
 @dataclass
@@ -76,7 +112,8 @@ class BatchExecutionResult:
     Attributes
     ----------
     tableau:
-        Final batched stabilizer state.
+        Final batched stabilizer state (uint8 or bit-packed, depending on the
+        backend that ran).
     measurements:
         Measurement outcomes keyed by label; each value is a ``(B,)`` uint8
         array of per-lane outcomes.  Unlabeled measurements are keyed
@@ -85,7 +122,7 @@ class BatchExecutionResult:
         ``(B,)`` int64 array counting Pauli error events injected per lane.
     """
 
-    tableau: BatchTableau
+    tableau: BatchTableau | PackedBatchTableau
     measurements: dict[str, np.ndarray] = field(default_factory=dict)
     error_count: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
 
@@ -260,15 +297,28 @@ class BatchedNoisyCircuitExecutor:
         an operation in one RNG call.
     mapper:
         Layout mapper supplying movement budgets; None disables movement noise.
+    backend:
+        Simulation engine: ``"uint8"`` drives the byte-per-bit
+        :class:`~repro.stabilizer.batch.BatchTableau`, ``"packed"`` the
+        64-lanes-per-word :class:`~repro.stabilizer.packed.PackedBatchTableau`,
+        and ``"auto"`` (default) picks the packed engine for batches of at
+        least ``AUTO_PACKED_MIN_BATCH`` lanes.  Both engines implement the
+        same CHP semantics; they differ only in throughput.
     """
 
     def __init__(
         self,
         noise: NoiseModel | None = None,
         mapper: LayoutMapper | None = None,
+        backend: str = "auto",
     ) -> None:
+        if backend not in BACKENDS:
+            raise SimulationError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         self._noise = noise if noise is not None else NoiselessModel()
         self._mapper = mapper
+        self._backend = backend
         # Weak keys for the same reason as the per-shot mapped-circuit cache:
         # entries die with their circuit, so id reuse cannot serve a stale
         # compiled program and the cache stays bounded.
@@ -298,7 +348,8 @@ class BatchedNoisyCircuitExecutor:
         circuit: Circuit | CompiledCircuit,
         batch_size: int,
         rng: np.random.Generator,
-        tableau: BatchTableau | None = None,
+        tableau: BatchTableau | PackedBatchTableau | None = None,
+        backend: str | None = None,
     ) -> BatchExecutionResult:
         """Run ``batch_size`` independent noisy shots of a circuit.
 
@@ -314,16 +365,27 @@ class BatchedNoisyCircuitExecutor:
             all lanes (each draw produces one value per lane).
         tableau:
             Optional pre-initialised batched state; a fresh all-|0> batch is
-            created when omitted.  Its batch size must equal ``batch_size``.
+            created when omitted.  Its batch size must equal ``batch_size``
+            and its type decides the engine that runs (a passed-in state
+            always wins over the backend knob).
+        backend:
+            Optional per-call override of the executor's backend.
         """
         program = circuit if isinstance(circuit, CompiledCircuit) else self.compile(circuit)
         if batch_size <= 0:
             raise SimulationError("batch_size must be positive")
-        state = (
-            tableau
-            if tableau is not None
-            else BatchTableau(program.num_qubits, batch_size, rng=rng)
-        )
+        requested = backend if backend is not None else self._backend
+        if tableau is not None:
+            state = tableau
+            resolved = "packed" if isinstance(state, PackedBatchTableau) else "uint8"
+            if requested != "auto" and requested != resolved:
+                raise SimulationError(
+                    f"backend {requested!r} conflicts with a pre-initialised "
+                    f"{type(state).__name__} tableau"
+                )
+        else:
+            resolved = resolve_backend(requested, batch_size)
+            state = create_batch_tableau(resolved, program.num_qubits, batch_size, rng=rng)
         if state.batch_size != batch_size:
             raise SimulationError(
                 f"tableau batch size {state.batch_size} does not match requested "
@@ -334,7 +396,18 @@ class BatchedNoisyCircuitExecutor:
                 f"tableau has {state.num_qubits} qubits but the circuit needs "
                 f"{program.num_qubits}"
             )
+        if resolved == "packed":
+            return self._run_packed(program, batch_size, rng, state)
+        return self._run_uint8(program, batch_size, rng, state)
 
+    def _run_uint8(
+        self,
+        program: CompiledCircuit,
+        batch_size: int,
+        rng: np.random.Generator,
+        state: BatchTableau,
+    ) -> BatchExecutionResult:
+        """Drive the byte-per-bit engine (one uint8 per tableau bit)."""
         noise = self._noise
         noiseless = noise.is_noiseless
         error_count = np.zeros(batch_size, dtype=np.int64)
@@ -412,6 +485,109 @@ class BatchedNoisyCircuitExecutor:
 
         measurements = {
             label: outcomes[slot] for slot, label in enumerate(program.measurement_labels)
+        }
+        return BatchExecutionResult(
+            tableau=state, measurements=measurements, error_count=error_count
+        )
+
+    def _run_packed(
+        self,
+        program: CompiledCircuit,
+        batch_size: int,
+        rng: np.random.Generator,
+        state: PackedBatchTableau,
+    ) -> BatchExecutionResult:
+        """Drive the bit-packed engine (64 lanes per uint64 word).
+
+        Semantically identical to :meth:`_run_uint8` lane for lane; noise is
+        sampled through the packed hooks, Pauli masks are injected as word
+        masks, and measurement outcomes are collected packed and unpacked once
+        at the end into the same per-label ``(B,)`` uint8 arrays.
+        """
+        noise = self._noise
+        noiseless = noise.is_noiseless
+        error_count = np.zeros(batch_size, dtype=np.int64)
+        outcome_words = np.zeros(
+            (program.num_measurements, state.num_lane_words), dtype=np.uint64
+        )
+
+        opcodes = program.opcodes
+        qubit0 = program.qubit0
+        qubit1 = program.qubit1
+        exposure = program.movement_exposure
+        moved = program.moved_qubit
+        slots = program.measurement_slot
+
+        for k in range(program.num_operations):
+            op = int(opcodes[k])
+            q0 = int(qubit0[k])
+
+            if not noiseless and exposure[k] > 0:
+                support, x_words, z_words, event_words = noise.sample_movement_error_packed(
+                    int(moved[k]), int(exposure[k]), batch_size, rng
+                )
+                if event_words.any():
+                    state.inject_pauli_words(support, x_words, z_words)
+                    error_count += unpack_bits(event_words, batch_size)
+
+            if op == Opcode.PREPARE:
+                state.reset(q0)
+                if not noiseless:
+                    support, x_words, z_words, event_words = (
+                        noise.sample_preparation_error_packed(q0, batch_size, rng)
+                    )
+                    if event_words.any():
+                        state.inject_pauli_words(support, x_words, z_words)
+                        error_count += unpack_bits(event_words, batch_size)
+            elif op == Opcode.MEASURE or op == Opcode.MEASURE_X:
+                measured = (
+                    state.measure_packed(q0)
+                    if op == Opcode.MEASURE
+                    else state.measure_x_packed(q0)
+                )
+                if not noiseless:
+                    flip_words = noise.measurement_flip_packed(batch_size, rng)
+                    if flip_words.any():
+                        measured = measured ^ flip_words
+                        error_count += unpack_bits(flip_words, batch_size)
+                outcome_words[int(slots[k])] = measured
+            else:
+                q1 = int(qubit1[k])
+                if op == Opcode.I:
+                    pass  # no state update, but gate noise still applies below
+                elif op == Opcode.H:
+                    state.h(q0)
+                elif op == Opcode.S:
+                    state.s(q0)
+                elif op == Opcode.SDG:
+                    state.s_dag(q0)
+                elif op == Opcode.X:
+                    state.x(q0)
+                elif op == Opcode.Y:
+                    state.y(q0)
+                elif op == Opcode.Z:
+                    state.z(q0)
+                elif op == Opcode.CNOT:
+                    state.cnot(q0, q1)
+                elif op == Opcode.CZ:
+                    state.cz(q0, q1)
+                elif op == Opcode.SWAP:
+                    state.swap(q0, q1)
+                else:  # pragma: no cover - compile_circuit rejects unknown ops
+                    raise SimulationError(f"unknown opcode {op}")
+                if not noiseless:
+                    operands = (q0,) if q1 < 0 else (q0, q1)
+                    name = Opcode(op).name
+                    support, x_words, z_words, event_words = noise.sample_gate_error_packed(
+                        name, operands, batch_size, rng
+                    )
+                    if event_words.any():
+                        state.inject_pauli_words(support, x_words, z_words)
+                        error_count += unpack_bits(event_words, batch_size)
+
+        measurements = {
+            label: unpack_bits(outcome_words[slot], batch_size)
+            for slot, label in enumerate(program.measurement_labels)
         }
         return BatchExecutionResult(
             tableau=state, measurements=measurements, error_count=error_count

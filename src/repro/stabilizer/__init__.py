@@ -11,6 +11,14 @@ circuits under Pauli noise.
 
 from repro.stabilizer.tableau import StabilizerTableau, MeasurementResult
 from repro.stabilizer.batch import BatchTableau
+from repro.stabilizer.packed import (
+    PackedBatchTableau,
+    lane_mask_words,
+    num_words,
+    pack_bits,
+    popcount,
+    unpack_bits,
+)
 from repro.stabilizer.noise import (
     NoiseModel,
     DepolarizingNoise,
@@ -26,7 +34,13 @@ from repro.stabilizer.monte_carlo import (
 __all__ = [
     "StabilizerTableau",
     "BatchTableau",
+    "PackedBatchTableau",
     "MeasurementResult",
+    "lane_mask_words",
+    "num_words",
+    "pack_bits",
+    "popcount",
+    "unpack_bits",
     "NoiseModel",
     "DepolarizingNoise",
     "OperationNoise",

@@ -56,6 +56,32 @@ class MonteCarloResult:
         return (max(0.0, self.failure_rate - half_width), min(1.0, self.failure_rate + half_width))
 
 
+def scan_early_stop(
+    outcomes: np.ndarray, failures: int, max_failures: int | None
+) -> tuple[int, int | None]:
+    """Advance an early-stop walk over one chunk of per-shot outcomes.
+
+    Given the boolean ``outcomes`` of the next shots and the ``failures``
+    accumulated so far, returns ``(new_failures, stop_index)``: ``stop_index``
+    is the 0-based position (within this chunk) of the shot whose failure
+    brings the running total to ``max_failures``, or None if the walk
+    continues, in which case ``new_failures`` counts the whole chunk.
+
+    This single helper defines the sequential early-stop semantics shared --
+    bit for bit -- by :func:`estimate_failure_rate_batched` and the sharded
+    execution layer in :mod:`repro.parallel` (both per-shard collection and
+    cross-shard aggregation); keeping one implementation is what makes the
+    "sharded equals serial" reproducibility contract safe to rely on.
+    """
+    if max_failures is not None:
+        running = failures + np.cumsum(outcomes)
+        hit = np.flatnonzero(running >= max_failures)
+        if hit.size:
+            stop = int(hit[0])
+            return int(running[stop]), stop
+    return failures + int(np.count_nonzero(outcomes)), None
+
+
 def estimate_failure_rate(
     trial: Callable[[np.random.Generator], bool],
     trials: int,
@@ -140,14 +166,8 @@ def estimate_failure_rate_batched(
             raise ValueError(
                 f"batch_trial returned {outcomes.shape[0]} outcomes for {count} shots"
             )
-        if max_failures is not None:
-            running = failures + np.cumsum(outcomes)
-            hit = np.flatnonzero(running >= max_failures)
-            if hit.size:
-                stop = int(hit[0])
-                return MonteCarloResult(
-                    failures=int(running[stop]), trials=completed + stop + 1
-                )
-        failures += int(np.count_nonzero(outcomes))
+        failures, stop = scan_early_stop(outcomes, failures, max_failures)
+        if stop is not None:
+            return MonteCarloResult(failures=failures, trials=completed + stop + 1)
         completed += count
     return MonteCarloResult(failures=failures, trials=completed)

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.exceptions import ParameterError
 from repro.pauli import PauliTerm
+from repro.stabilizer.packed import num_words, pack_bits
 
 _ONE_QUBIT_ERRORS = ("X", "Y", "Z")
 _TWO_QUBIT_ERRORS = tuple(
@@ -169,6 +170,64 @@ class NoiseModel:
         ]
         return _scatter_terms_batch(per_lane, (qubit,))
 
+    # -- packed (word-parallel) sampling ------------------------------------
+    #
+    # The bit-packed executor consumes noise as uint64 word masks over the
+    # batch axis: each hook returns ``(support, x_words, z_words, event_words)``
+    # where the symplectic word arrays have shape ``(len(support), W)`` with
+    # ``W = ceil(batch_size / 64)`` and ``event_words`` is a ``(W,)`` mask of
+    # lanes in which the operation failed (one event per failed operation,
+    # matching the per-shot executor's ``error_count`` bookkeeping).
+    #
+    # The base-class implementations draw through the ``*_batch`` hooks and
+    # pack the lane axis, so every noise model -- including custom subclasses
+    # that only implement the scalar hooks -- works with the packed engine
+    # unmodified, and the built-in vectorized models keep their
+    # constant-number-of-RNG-calls property.
+
+    def sample_gate_error_packed(
+        self, name: str, qubits: tuple[int, ...], batch_size: int, rng: np.random.Generator
+    ) -> tuple[tuple[int, ...], np.ndarray, np.ndarray, np.ndarray]:
+        """Gate errors for all lanes as packed word masks."""
+        support, x_bits, z_bits, events = self.sample_gate_error_batch(
+            name, qubits, batch_size, rng
+        )
+        return _pack_batch_masks(support, x_bits, z_bits, events)
+
+    def sample_preparation_error_packed(
+        self, qubit: int, batch_size: int, rng: np.random.Generator
+    ) -> tuple[tuple[int, ...], np.ndarray, np.ndarray, np.ndarray]:
+        """Preparation errors for all lanes as packed word masks."""
+        support, x_bits, z_bits, events = self.sample_preparation_error_batch(
+            qubit, batch_size, rng
+        )
+        return _pack_batch_masks(support, x_bits, z_bits, events)
+
+    def measurement_flip_packed(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Per-lane classical measurement flips as a ``(W,)`` uint64 word mask."""
+        return pack_bits(self.measurement_flip_batch(batch_size, rng))
+
+    def sample_movement_error_packed(
+        self, qubit: int, num_cells: int, batch_size: int, rng: np.random.Generator
+    ) -> tuple[tuple[int, ...], np.ndarray, np.ndarray, np.ndarray]:
+        """Movement errors for all lanes as packed word masks."""
+        support, x_bits, z_bits, events = self.sample_movement_error_batch(
+            qubit, num_cells, batch_size, rng
+        )
+        return _pack_batch_masks(support, x_bits, z_bits, events)
+
+
+def _pack_batch_masks(
+    support: tuple[int, ...], x_bits: np.ndarray, z_bits: np.ndarray, events: np.ndarray
+) -> tuple[tuple[int, ...], np.ndarray, np.ndarray, np.ndarray]:
+    """Pack per-lane ``(B, k)`` symplectic bits into ``(k, W)`` uint64 words."""
+    x_words = pack_bits(np.ascontiguousarray(x_bits.T))
+    z_words = pack_bits(np.ascontiguousarray(z_bits.T))
+    event_words = pack_bits(events != 0)
+    return support, x_words, z_words, event_words
+
 
 class NoiselessModel(NoiseModel):
     """A noise model that never produces errors (useful for functional tests)."""
@@ -203,6 +262,26 @@ class NoiselessModel(NoiseModel):
 
     def sample_movement_error_batch(self, qubit, num_cells, batch_size, rng):  # noqa: D102
         return _no_errors_batch(batch_size, (qubit,))
+
+    def sample_gate_error_packed(self, name, qubits, batch_size, rng):  # noqa: D102
+        return _no_errors_packed(batch_size, qubits)
+
+    def sample_preparation_error_packed(self, qubit, batch_size, rng):  # noqa: D102
+        return _no_errors_packed(batch_size, (qubit,))
+
+    def measurement_flip_packed(self, batch_size, rng):  # noqa: D102
+        return np.zeros(num_words(batch_size), dtype=np.uint64)
+
+    def sample_movement_error_packed(self, qubit, num_cells, batch_size, rng):  # noqa: D102
+        return _no_errors_packed(batch_size, (qubit,))
+
+
+def _no_errors_packed(
+    batch_size: int, support: tuple[int, ...]
+) -> tuple[tuple[int, ...], np.ndarray, np.ndarray, np.ndarray]:
+    words = num_words(batch_size)
+    zeros = np.zeros((len(support), words), dtype=np.uint64)
+    return support, zeros, zeros.copy(), np.zeros(words, dtype=np.uint64)
 
 
 def _no_errors_batch(

@@ -1,0 +1,245 @@
+"""Determinism and exact-aggregation guarantees of the sharded Monte-Carlo layer.
+
+The contract of :mod:`repro.parallel`: for a fixed ``(seed, num_shards)`` the
+shard plan is pure -- the same outcomes are produced no matter how many worker
+processes execute it -- and the early-stop aggregation replays sequential
+semantics exactly over the concatenated shard streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arq.experiments import run_threshold_sweep
+from repro.exceptions import ParameterError
+from repro.parallel import (
+    Level1ShardTask,
+    ShardOutcome,
+    aggregate_shard_outcomes,
+    as_seed_sequence,
+    estimate_failure_rate_sharded,
+    run_sharded_outcomes,
+    run_threshold_sweep_sharded,
+    shard_sizes,
+    spawn_shard_seeds,
+)
+from repro.stabilizer import estimate_failure_rate_batched, pack_bits
+
+
+def _coin_task(rng: np.random.Generator, count: int) -> np.ndarray:
+    """Cheap picklable batch trial: iid failures at rate 0.25."""
+    return rng.random(count) < 0.25
+
+
+class TestShardPlan:
+    def test_shard_sizes_balanced(self):
+        assert shard_sizes(10, 3) == [4, 3, 3]
+        assert shard_sizes(6, 3) == [2, 2, 2]
+        assert shard_sizes(2, 4) == [1, 1, 0, 0]
+        assert sum(shard_sizes(1_000_003, 7)) == 1_000_003
+
+    def test_shard_sizes_validation(self):
+        with pytest.raises(ParameterError):
+            shard_sizes(10, 0)
+        with pytest.raises(ParameterError):
+            shard_sizes(-1, 2)
+
+    def test_spawn_shard_seeds_deterministic(self):
+        first = spawn_shard_seeds(99, 4)
+        second = spawn_shard_seeds(np.random.SeedSequence(99), 4)
+        assert [s.spawn_key for s in first] == [s.spawn_key for s in second]
+        streams_a = [np.random.default_rng(s).integers(1 << 30) for s in first]
+        streams_b = [np.random.default_rng(s).integers(1 << 30) for s in second]
+        assert streams_a == streams_b
+        assert len(set(streams_a)) == 4  # children are distinct streams
+
+    def test_as_seed_sequence_rejects_generators(self):
+        with pytest.raises(ParameterError):
+            as_seed_sequence(np.random.default_rng(0))
+
+
+class TestShardOutcome:
+    def test_packed_roundtrip_and_failure_count(self):
+        outcomes = np.zeros(130, dtype=bool)
+        outcomes[[0, 64, 127, 129]] = True
+        shard = ShardOutcome(words=pack_bits(outcomes), count=130)
+        assert shard.failures == 4
+        assert np.array_equal(shard.unpack(), outcomes)
+
+
+class TestAggregation:
+    def test_counts_without_early_stop(self):
+        shards = [
+            ShardOutcome(words=pack_bits(np.array(bits, dtype=bool)), count=len(bits))
+            for bits in ([1, 0, 0], [0, 1, 1, 0], [0])
+        ]
+        result = aggregate_shard_outcomes(shards)
+        assert (result.failures, result.trials) == (3, 8)
+
+    def test_early_stop_walks_shards_in_order(self):
+        shards = [
+            ShardOutcome(words=pack_bits(np.array(bits, dtype=bool)), count=len(bits))
+            for bits in ([0, 1, 0, 0], [1, 0, 1, 1], [1, 1])
+        ]
+        result = aggregate_shard_outcomes(shards, max_failures=3)
+        # Sequential walk: failure #3 is the 7th shot overall.
+        assert (result.failures, result.trials) == (3, 7)
+
+    def test_early_stop_beyond_total_failures(self):
+        shards = [
+            ShardOutcome(words=pack_bits(np.array([0, 1, 0], dtype=bool)), count=3)
+        ]
+        result = aggregate_shard_outcomes(shards, max_failures=10)
+        assert (result.failures, result.trials) == (1, 3)
+
+
+class TestShardedEstimate:
+    def test_worker_count_never_changes_results(self):
+        seed = np.random.SeedSequence(314)
+        serial = estimate_failure_rate_sharded(
+            _coin_task, 5000, seed, num_shards=5, num_workers=0, batch_size=512
+        )
+        pooled = estimate_failure_rate_sharded(
+            _coin_task, 5000, np.random.SeedSequence(314),
+            num_shards=5, num_workers=3, batch_size=512,
+        )
+        assert (serial.failures, serial.trials) == (pooled.failures, pooled.trials)
+        assert serial.trials == 5000
+        assert abs(serial.failure_rate - 0.25) < 5 * serial.standard_error
+
+    def test_single_shard_reproduces_estimate_failure_rate_batched(self):
+        seed = np.random.SeedSequence(7)
+        sharded = estimate_failure_rate_sharded(
+            _coin_task, 900, seed, num_shards=1, batch_size=128, max_failures=40
+        )
+        child = np.random.SeedSequence(7).spawn(1)[0]
+        reference = estimate_failure_rate_batched(
+            _coin_task,
+            900,
+            np.random.default_rng(child),
+            batch_size=128,
+            max_failures=40,
+        )
+        assert (sharded.failures, sharded.trials) == (
+            reference.failures,
+            reference.trials,
+        )
+
+    def test_early_stop_identical_across_worker_counts(self):
+        kwargs = dict(num_shards=4, batch_size=100, max_failures=11)
+        serial = estimate_failure_rate_sharded(
+            _coin_task, 2000, np.random.SeedSequence(5), num_workers=0, **kwargs
+        )
+        pooled = estimate_failure_rate_sharded(
+            _coin_task, 2000, np.random.SeedSequence(5), num_workers=2, **kwargs
+        )
+        assert (serial.failures, serial.trials) == (pooled.failures, pooled.trials)
+        assert serial.failures == 11
+        assert serial.trials < 2000
+
+    def test_shards_truncate_instead_of_wasting_shots(self):
+        shards = run_sharded_outcomes(
+            _coin_task,
+            4000,
+            np.random.SeedSequence(9),
+            num_shards=4,
+            batch_size=100,
+            max_failures=5,
+        )
+        # Every shard stops within a few chunks of its fifth failure.
+        assert all(shard.count < 1000 for shard in shards)
+        assert all(shard.failures <= 5 for shard in shards)
+
+
+class TestSeededThresholdSweep:
+    RATES = (2.0e-3, 1.0e-2)
+
+    def test_serial_and_pooled_sweeps_bit_for_bit(self):
+        kwargs = dict(trials=400, num_shards=4, batch_size=128)
+        serial = run_threshold_sweep(self.RATES, seed=77, num_workers=0, **kwargs)
+        pooled = run_threshold_sweep(self.RATES, seed=77, num_workers=2, **kwargs)
+        assert serial.level1 == pooled.level1
+        assert serial.level1_rates == pooled.level1_rates
+        assert serial.level2_rates == pooled.level2_rates
+        assert serial.concatenation_coefficient == pooled.concatenation_coefficient
+
+    def test_entropy_recorded_and_reproducible(self):
+        result = run_threshold_sweep(
+            self.RATES, trials=300, seed=np.random.SeedSequence(2027), num_shards=2
+        )
+        assert result.seed_entropy == 2027
+        assert result.num_shards == 2
+        replay = run_threshold_sweep(
+            self.RATES,
+            trials=300,
+            seed=np.random.SeedSequence(result.seed_entropy),
+            num_shards=result.num_shards,
+        )
+        assert replay.level1 == result.level1
+
+    def test_wrapper_default_shards_machine_independent(self):
+        from repro.parallel import DEFAULT_NUM_SHARDS
+
+        result = run_threshold_sweep_sharded(
+            self.RATES, 64, seed=11, num_workers=1, batch_size=64
+        )
+        # The default shard plan must be a fixed constant, never cpu_count():
+        # the plan decides the random streams, so identical calls on different
+        # machines must produce identical numbers.
+        assert result.num_shards == DEFAULT_NUM_SHARDS
+
+    def test_wrapper_forwards_to_seeded_sweep(self):
+        direct = run_threshold_sweep(
+            self.RATES, trials=300, seed=5, num_shards=3, num_workers=0, batch_size=128
+        )
+        wrapped = run_threshold_sweep_sharded(
+            self.RATES, 300, seed=5, num_shards=3, num_workers=2, batch_size=128
+        )
+        assert wrapped.level1 == direct.level1
+
+    def test_legacy_rng_sweeps_record_no_entropy(self):
+        result = run_threshold_sweep(
+            self.RATES, trials=128, rng=np.random.default_rng(0), batch_size=128
+        )
+        assert result.seed_entropy is None
+        assert result.num_shards == 1
+
+    def test_seed_and_rng_are_mutually_exclusive(self):
+        with pytest.raises(ParameterError):
+            run_threshold_sweep(
+                self.RATES, trials=10, rng=np.random.default_rng(0), seed=1
+            )
+
+    def test_seeded_sweep_requires_batched_engine(self):
+        with pytest.raises(ParameterError):
+            run_threshold_sweep(self.RATES, trials=10, seed=1, use_batched=False)
+
+    def test_backends_agree_statistically_on_seeded_sweeps(self):
+        trials = 1500
+        packed = run_threshold_sweep(
+            (5.0e-3, 1.0e-2), trials=trials, seed=8, backend="packed", batch_size=750
+        )
+        uint8 = run_threshold_sweep(
+            (5.0e-3, 1.0e-2), trials=trials, seed=9, backend="uint8", batch_size=750
+        )
+        p1, p2 = packed.level1_rates[1], uint8.level1_rates[1]
+        combined_se = np.sqrt(
+            p1 * (1 - p1) / trials + p2 * (1 - p2) / trials
+        )
+        assert abs(p1 - p2) <= 3.0 * combined_se + 1e-12
+
+
+class TestLevel1ShardTask:
+    def test_task_is_deterministic_per_seed(self):
+        task = Level1ShardTask(physical_rate=1.0e-2, backend="packed")
+        a = task(np.random.default_rng(np.random.SeedSequence(1)), 128)
+        b = task(np.random.default_rng(np.random.SeedSequence(1)), 128)
+        assert np.array_equal(a, b)
+
+    def test_task_pickles(self):
+        import pickle
+
+        task = Level1ShardTask(physical_rate=2.0e-3)
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone == task
