@@ -16,10 +16,9 @@ Three of the QLA's central design decisions are exercised by removing them:
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.arq.experiments import run_threshold_sweep
+from repro.api import CircuitSpec, ExperimentSpec, NoiseSpec, SamplingSpec, run
 from repro.core.report import format_table
 from repro.qecc.concatenation import ConcatenationModel
 from repro.teleport.ballistic_baseline import BallisticBaselineModel
@@ -74,23 +73,18 @@ def test_ablation_teleportation_vs_ballistic(benchmark):
 @pytest.mark.benchmark(group="ablations", min_rounds=1, max_time=0.0, warmup=False)
 def test_ablation_unverified_ancilla_preparation(benchmark):
     def compare():
-        rates = [1.5e-3, 2.5e-3]
-        verified = run_threshold_sweep(
-            rates, trials=500, rng=np.random.default_rng(11)
-        )
-        from repro.arq.experiments import Level1EccExperiment, _noise_for_rate
-        from repro.iontrap.parameters import EXPECTED_PARAMETERS
-        from repro.stabilizer import estimate_failure_rate
+        def sweep(verified_ancilla: bool):
+            return run(
+                ExperimentSpec(
+                    experiment="threshold_sweep",
+                    noise=NoiseSpec(kind="uniform", physical_rates=(1.5e-3, 2.5e-3)),
+                    circuit=CircuitSpec(verified_ancilla=verified_ancilla),
+                    sampling=SamplingSpec(shots=500, seed=11),
+                )
+            ).value
 
-        unverified_rates = []
-        rng = np.random.default_rng(11)
-        for rate in rates:
-            experiment = Level1EccExperiment(
-                noise=_noise_for_rate(rate, EXPECTED_PARAMETERS), verified_ancilla=False
-            )
-            unverified_rates.append(
-                estimate_failure_rate(experiment.run_trial, 500, rng).failure_rate
-            )
+        verified = sweep(True)
+        unverified_rates = list(sweep(False).level1_rates)
         return verified, unverified_rates
 
     verified, unverified_rates = benchmark.pedantic(compare, rounds=1, iterations=1)

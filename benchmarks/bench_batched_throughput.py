@@ -22,11 +22,8 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.arq.experiments import (
-    Level1EccExperiment,
-    _noise_for_rate,
-    run_threshold_sweep,
-)
+from repro.api import ExecutionSpec, ExperimentSpec, NoiseSpec, SamplingSpec, run
+from repro.arq.experiments import Level1EccExperiment, _noise_for_rate
 from repro.iontrap.parameters import EXPECTED_PARAMETERS
 
 #: Component failure rate of the throughput workload (mid-sweep Figure 7 point).
@@ -89,20 +86,24 @@ def _measure_throughput() -> dict[str, float]:
 
 
 def _sweep_agreement() -> dict[str, object]:
-    batched = run_threshold_sweep(
-        list(SWEEP_RATES),
-        trials=SWEEP_TRIALS,
-        rng=np.random.default_rng(2005),
-        use_batched=True,
-        backend="uint8",
-        batch_size=BATCH_SIZE,
-    )
-    per_shot = run_threshold_sweep(
-        list(SWEEP_RATES),
-        trials=SWEEP_TRIALS,
-        rng=np.random.default_rng(2006),
-        use_batched=False,
-    )
+    # This benchmark documents the uint8 engine, so pin backend="uint8"; the
+    # per-shot oracle is the registry's "scalar" strategy.
+    batched = run(
+        ExperimentSpec(
+            experiment="threshold_sweep",
+            noise=NoiseSpec(kind="uniform", physical_rates=SWEEP_RATES),
+            sampling=SamplingSpec(shots=SWEEP_TRIALS, seed=2005, batch_size=BATCH_SIZE),
+            execution=ExecutionSpec(backend="uint8"),
+        )
+    ).value
+    per_shot = run(
+        ExperimentSpec(
+            experiment="threshold_sweep",
+            noise=NoiseSpec(kind="uniform", physical_rates=SWEEP_RATES),
+            sampling=SamplingSpec(shots=SWEEP_TRIALS, seed=2006),
+            execution=ExecutionSpec(backend="scalar"),
+        )
+    ).value
     points = []
     for rate, mc_batched, mc_per_shot in zip(
         SWEEP_RATES, batched.level1, per_shot.level1

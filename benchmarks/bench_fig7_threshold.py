@@ -15,10 +15,16 @@ pseudothreshold 1/A, the statistically robust estimator.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.arq.experiments import run_threshold_sweep, syndrome_rate_estimate
+from repro.api import (
+    CircuitSpec,
+    ExecutionSpec,
+    ExperimentSpec,
+    NoiseSpec,
+    SamplingSpec,
+    run,
+)
 from repro.core.report import format_table
 
 #: Paper values for comparison.
@@ -27,16 +33,22 @@ PAPER_THRESHOLD_BAND = (0.3e-3, 3.9e-3)
 PAPER_SYNDROME_RATE_L1 = 3.35e-4
 PAPER_SYNDROME_RATE_L2 = 7.92e-4
 
-#: Sweep configuration: kept modest so the benchmark completes in about a
-#: minute; increase ``TRIALS`` for tighter statistics.
+#: Sweep configuration: the bit-packed engine makes 16k shots per point a
+#: few-second run, and the tighter statistics keep the monotonicity and
+#: threshold-band assertions far from the shot-noise floor.
 SWEEP_RATES = (1.0e-3, 1.5e-3, 2.0e-3, 2.5e-3)
-TRIALS = 1200
+TRIALS = 16384
+SEED = 2005
 
 
 def _run_sweep():
-    return run_threshold_sweep(
-        list(SWEEP_RATES), trials=TRIALS, rng=np.random.default_rng(2005)
+    spec = ExperimentSpec(
+        experiment="threshold_sweep",
+        noise=NoiseSpec(kind="uniform", physical_rates=SWEEP_RATES),
+        sampling=SamplingSpec(shots=TRIALS, seed=SEED),
+        execution=ExecutionSpec(backend="auto"),
     )
+    return run(spec).value
 
 
 @pytest.mark.benchmark(group="figure7", min_rounds=1, max_time=0.0, warmup=False)
@@ -74,10 +86,20 @@ def test_figure7_threshold_sweep(benchmark):
     print(f"curve crossing      = {result.threshold.threshold:.2e}")
 
 
+def _syndrome_rate(level: int) -> dict[str, float]:
+    spec = ExperimentSpec(
+        experiment="syndrome_rate",
+        noise=NoiseSpec(kind="technology"),
+        circuit=CircuitSpec(level=level),
+        sampling=SamplingSpec(shots=0, seed=0),
+    )
+    return run(spec).value
+
+
 @pytest.mark.benchmark(group="figure7", min_rounds=1, max_time=0.0, warmup=False)
 def test_section_4_1_1_syndrome_rates(benchmark):
     def estimates():
-        return syndrome_rate_estimate(1), syndrome_rate_estimate(2)
+        return _syndrome_rate(1), _syndrome_rate(2)
 
     level1, level2 = benchmark.pedantic(estimates, rounds=1, iterations=1)
 

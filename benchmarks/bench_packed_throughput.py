@@ -29,11 +29,8 @@ try:  # the CI smoke job runs this file directly with only numpy installed
 except ImportError:  # pragma: no cover - direct execution without pytest
     pytest = None
 
-from repro.arq.experiments import (
-    Level1EccExperiment,
-    _noise_for_rate,
-    run_threshold_sweep,
-)
+from repro.api import ExecutionSpec, ExperimentSpec, NoiseSpec, SamplingSpec, run
+from repro.arq.experiments import Level1EccExperiment, _noise_for_rate
 from repro.iontrap.parameters import EXPECTED_PARAMETERS
 
 #: Component failure rate of the throughput workload (mid-sweep Figure 7 point).
@@ -87,17 +84,22 @@ def _measure_throughput(shots: int, batch_size: int) -> dict[str, object]:
     }
 
 
+def _sweep_spec(trials: int, num_shards: int, num_workers: int) -> ExperimentSpec:
+    return ExperimentSpec(
+        experiment="threshold_sweep",
+        noise=NoiseSpec(kind="uniform", physical_rates=SWEEP_RATES),
+        sampling=SamplingSpec(shots=trials, seed=SWEEP_SEED, batch_size=512),
+        execution=ExecutionSpec(backend="auto", num_shards=num_shards, num_workers=num_workers),
+    )
+
+
 def _sharded_sweep_determinism(trials: int, num_shards: int) -> dict[str, object]:
-    """Serial vs process-pool seeded sweep: must be bit-for-bit identical."""
-    kwargs = dict(trials=trials, num_shards=num_shards, batch_size=512)
-    serial = run_threshold_sweep(
-        list(SWEEP_RATES), seed=np.random.SeedSequence(SWEEP_SEED), num_workers=0, **kwargs
-    )
+    """Serial vs process-pool spec run: must be bit-for-bit identical."""
+    serial_run = run(_sweep_spec(trials, num_shards, num_workers=0))
     start = time.perf_counter()
-    pooled = run_threshold_sweep(
-        list(SWEEP_RATES), seed=np.random.SeedSequence(SWEEP_SEED), num_workers=2, **kwargs
-    )
+    pooled_run = run(_sweep_spec(trials, num_shards, num_workers=2))
     pooled_seconds = time.perf_counter() - start
+    serial, pooled = serial_run.value, pooled_run.value
     points = [
         {
             "physical_rate": rate,
@@ -108,7 +110,9 @@ def _sharded_sweep_determinism(trials: int, num_shards: int) -> dict[str, object
         for rate, s, p in zip(SWEEP_RATES, serial.level1, pooled.level1)
     ]
     return {
-        "seed_entropy": serial.seed_entropy,
+        "seed_entropy": serial_run.seed_entropy,
+        "backend": pooled_run.backend,
+        "engine": pooled_run.engine,
         "num_shards": num_shards,
         "trials_per_point": trials,
         "pooled_workers": 2,

@@ -10,21 +10,28 @@ Run with::
     python examples/threshold_study.py [trials_per_point] [--per-shot]
         [--workers N] [--seed ENTROPY]
 
-The sweep runs on the bit-packed vectorized engine by default and follows a
-deterministic SeedSequence shard plan, so the default (8192 trials per point)
-finishes in seconds and re-running with the same ``--seed`` reproduces the
-numbers bit for bit -- with any ``--workers`` count, serial or pooled.  Pass
-``--per-shot`` to use the slow per-shot oracle instead (then lower the trial
-count).
+The whole study is one declarative :class:`repro.ExperimentSpec` executed by
+:func:`repro.run`: the backend registry picks the bit-packed vectorized
+engine, the sweep follows a deterministic SeedSequence shard plan, and the
+returned result carries its spec echo -- re-running with the same ``--seed``
+(any ``--workers`` count, serial or pooled) reproduces the numbers bit for
+bit, and ``repro-run`` can replay the printed spec from the command line.
+Pass ``--per-shot`` to run the slow scalar oracle instead (then lower the
+trial count).
 """
 
 from __future__ import annotations
 
 import argparse
 
-import numpy as np
-
-from repro.arq.experiments import run_threshold_sweep, syndrome_rate_estimate
+from repro import (
+    CircuitSpec,
+    ExecutionSpec,
+    ExperimentSpec,
+    NoiseSpec,
+    SamplingSpec,
+    run,
+)
 from repro.core.report import format_table
 
 #: Shards per sweep point: fixed (not tied to the worker count) so results
@@ -33,24 +40,25 @@ NUM_SHARDS = 8
 
 
 def main(trials: int, use_batched: bool, workers: int, seed: int) -> None:
-    rates = [1.0e-3, 1.5e-3, 2.0e-3, 2.5e-3]
-    engine = "bit-packed batched" if use_batched else "per-shot"
-    print(
-        f"Sweeping physical failure rates {rates} with {trials} trials per point "
-        f"({engine} engine, seed {seed}, {NUM_SHARDS} shards, {workers} workers) ..."
+    rates = (1.0e-3, 1.5e-3, 2.0e-3, 2.5e-3)
+    execution = (
+        ExecutionSpec(backend="auto", num_shards=NUM_SHARDS, num_workers=workers)
+        if use_batched
+        else ExecutionSpec(backend="scalar")
     )
-    if use_batched:
-        result = run_threshold_sweep(
-            rates,
-            trials=trials,
-            seed=np.random.SeedSequence(seed),
-            num_shards=NUM_SHARDS,
-            num_workers=workers,
-        )
-    else:
-        result = run_threshold_sweep(
-            rates, trials=trials, rng=np.random.default_rng(seed), use_batched=False
-        )
+    spec = ExperimentSpec(
+        experiment="threshold_sweep",
+        noise=NoiseSpec(kind="uniform", physical_rates=rates),
+        sampling=SamplingSpec(shots=trials, seed=seed),
+        execution=execution,
+    )
+    print(
+        f"Sweeping physical failure rates {list(rates)} with {trials} trials per "
+        f"point (backend {execution.backend!r}, seed {seed}, "
+        f"{execution.num_shards} shards, {execution.num_workers} workers) ..."
+    )
+    result = run(spec)
+    sweep = result.value
 
     rows = [
         {
@@ -60,25 +68,37 @@ def main(trials: int, use_batched: bool, workers: int, seed: int) -> None:
             "level-2 failure": f"{l2:.2e}",
         }
         for rate, l1, l2, mc in zip(
-            result.physical_rates, result.level1_rates, result.level2_rates, result.level1
+            sweep.physical_rates, sweep.level1_rates, sweep.level2_rates, sweep.level1
         )
     ]
     print(format_table(rows))
     print()
-    print(f"fitted concatenation coefficient A : {result.concatenation_coefficient:,.0f}")
-    print(f"pseudothreshold 1/A                : {result.pseudothreshold:.2e}")
-    print(f"level-1/level-2 curve crossing     : {result.threshold.threshold:.2e}")
+    print(f"fitted concatenation coefficient A : {sweep.concatenation_coefficient:,.0f}")
+    print(f"pseudothreshold 1/A                : {sweep.pseudothreshold:.2e}")
+    print(f"level-1/level-2 curve crossing     : {sweep.threshold.threshold:.2e}")
     print("paper's empirical threshold        : 2.1e-03 +/- 1.8e-03")
-    if result.seed_entropy is not None:
-        print(
-            f"reproduce bit-for-bit with         : --seed {result.seed_entropy} "
-            f"({result.num_shards} shards, any worker count)"
-        )
+    print(
+        f"executed by                        : backend {result.backend!r} "
+        f"(engine {result.engine!r}) in {result.wall_time_seconds:.1f}s, "
+        f"repro v{result.library_version}"
+    )
+    print(
+        f"reproduce bit-for-bit with         : --seed {result.seed_entropy} "
+        f"({result.num_shards} shards, any worker count) -- or save "
+        "result.spec_json and run it with repro-run"
+    )
 
     print()
     print("Non-trivial syndrome rates at the expected technology parameters:")
     for level in (1, 2):
-        estimate = syndrome_rate_estimate(level)
+        estimate = run(
+            ExperimentSpec(
+                experiment="syndrome_rate",
+                noise=NoiseSpec(kind="technology"),
+                circuit=CircuitSpec(level=level),
+                sampling=SamplingSpec(shots=0, seed=0),
+            )
+        ).value
         paper = 3.35e-4 if level == 1 else 7.92e-4
         print(f"  level {level}: {estimate['analytic']:.2e} (paper {paper:.2e})")
 
@@ -88,7 +108,7 @@ if __name__ == "__main__":
     parser.add_argument("trials", nargs="?", type=int, default=None,
                         help="Monte-Carlo trials per sweep point")
     parser.add_argument("--per-shot", action="store_true",
-                        help="use the slow per-shot oracle instead of the batched engine")
+                        help="use the slow scalar oracle instead of the batched engine")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for the sharded sweep (default 1)")
     parser.add_argument("--seed", type=int, default=7,

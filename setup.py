@@ -14,11 +14,12 @@ _README = Path(__file__).resolve().parent / "README.md"
 
 setup(
     name="repro-qla-arq",
-    version="0.2.0",
+    version="1.1.0",
     description=(
         "Reproduction of the QLA quantum architecture study: ion-trap model, "
-        "ARQ stabilizer simulator with batched execution engine, and the "
-        "paper's threshold/resource experiments"
+        "ARQ stabilizer simulator with batched execution engines behind a "
+        "pluggable backend registry, and the paper's threshold/resource "
+        "experiments driven by declarative JSON specs"
     ),
     long_description=_README.read_text() if _README.exists() else "",
     long_description_content_type="text/markdown",
@@ -27,4 +28,10 @@ setup(
     python_requires=">=3.10",
     install_requires=["numpy"],
     extras_require={"test": ["pytest", "pytest-benchmark"]},
+    entry_points={
+        "console_scripts": [
+            # Run a JSON ExperimentSpec file: `repro-run spec.json`.
+            "repro-run=repro.api.cli:main",
+        ],
+    },
 )

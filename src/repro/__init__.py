@@ -21,9 +21,21 @@ Quick start::
     print(machine.ecc_step_time())            # one level-2 ECC step, seconds
     print(machine.estimate_shor(128).expected_time_days)
 
+Experiments run through the declarative API::
+
+    from repro import ExperimentSpec, NoiseSpec, run
+
+    result = run(ExperimentSpec(
+        experiment="threshold_sweep",
+        noise=NoiseSpec(kind="uniform", physical_rates=(1e-3, 2e-3)),
+    ))
+    print(result.value.pseudothreshold)
+
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every table and figure.
 """
+
+__version__ = "1.1.0"
 
 from repro.core import (
     ApplicationPerformance,
@@ -39,10 +51,29 @@ from repro.stabilizer import StabilizerTableau
 from repro.circuits import Circuit, Gate
 from repro.teleport import ConnectionTimeModel
 from repro.layout import LogicalQubitTile, level2_tile_geometry
-
-__version__ = "1.0.0"
+from repro.api import (
+    BackendRegistry,
+    CircuitSpec,
+    ExecutionSpec,
+    ExperimentSpec,
+    NoiseSpec,
+    RunResult,
+    SamplingSpec,
+    default_registry,
+    run,
+)
 
 __all__ = [
+    # unified experiment API
+    "run",
+    "ExperimentSpec",
+    "NoiseSpec",
+    "CircuitSpec",
+    "SamplingSpec",
+    "ExecutionSpec",
+    "RunResult",
+    "BackendRegistry",
+    "default_registry",
     "QLAMachine",
     "MachineConfiguration",
     "ApplicationProfile",

@@ -1,0 +1,54 @@
+"""The unified experiment API: declarative specs -> registry -> results.
+
+One pipeline replaces the per-driver kwargs entry points::
+
+    from repro.api import ExperimentSpec, NoiseSpec, SamplingSpec, ExecutionSpec, run
+
+    spec = ExperimentSpec(
+        experiment="threshold_sweep",
+        noise=NoiseSpec(kind="uniform", physical_rates=(1e-3, 2e-3)),
+        sampling=SamplingSpec(shots=8192, seed=7),
+        execution=ExecutionSpec(backend="auto", num_shards=8, num_workers=4),
+    )
+    result = run(spec)
+    print(result.value.pseudothreshold, result.backend, result.engine)
+
+    # exact replay, any worker count:
+    again = run(ExperimentSpec.from_json(result.spec_json))
+    assert again.value == result.value
+
+Specs are frozen, strictly validated and JSON round-trippable
+(:mod:`repro.api.specs`); execution strategies are named, capability-flagged
+entries in a pluggable :class:`BackendRegistry` (:mod:`repro.api.registry`);
+results carry full provenance (:mod:`repro.api.results`).
+"""
+
+from repro.api.specs import (
+    CircuitSpec,
+    ExecutionSpec,
+    ExperimentSpec,
+    NoiseSpec,
+    SamplingSpec,
+)
+from repro.api.registry import (
+    BackendCapabilities,
+    BackendRegistry,
+    ExecutionBackend,
+    default_registry,
+)
+from repro.api.results import RunResult
+from repro.api.runner import run
+
+__all__ = [
+    "ExperimentSpec",
+    "NoiseSpec",
+    "CircuitSpec",
+    "SamplingSpec",
+    "ExecutionSpec",
+    "BackendCapabilities",
+    "BackendRegistry",
+    "ExecutionBackend",
+    "default_registry",
+    "RunResult",
+    "run",
+]

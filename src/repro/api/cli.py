@@ -1,0 +1,90 @@
+"""``repro-run``: execute a JSON experiment spec from the command line.
+
+Usage::
+
+    repro-run spec.json                 # run, print the result JSON to stdout
+    repro-run spec.json -o result.json  # also write the result to a file
+    repro-run --example threshold_sweep # print a starter spec and exit
+
+The spec file holds one :class:`~repro.api.specs.ExperimentSpec` JSON
+document; the command prints the full provenance-carrying
+:class:`~repro.api.results.RunResult` (spec echo included), so piping the
+``spec`` field of the output back into ``repro-run`` replays the run bit for
+bit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.exceptions import QLAError
+from repro.api.runner import run
+from repro.api.specs import ExperimentSpec, NoiseSpec, SamplingSpec, ExecutionSpec
+
+__all__ = ["main"]
+
+#: Starter specs printed by ``repro-run --example <kind>``.
+_EXAMPLES = {
+    "threshold_sweep": ExperimentSpec(
+        experiment="threshold_sweep",
+        noise=NoiseSpec(kind="uniform", physical_rates=(1.0e-3, 1.5e-3, 2.0e-3, 2.5e-3)),
+        sampling=SamplingSpec(shots=4096, seed=7),
+        execution=ExecutionSpec(backend="auto", num_shards=8, num_workers=0),
+    ),
+    "logical_failure": ExperimentSpec(
+        experiment="logical_failure",
+        noise=NoiseSpec(kind="uniform", physical_rates=(2.0e-3,)),
+        sampling=SamplingSpec(shots=4096, seed=7),
+    ),
+    "syndrome_rate": ExperimentSpec(
+        experiment="syndrome_rate",
+        noise=NoiseSpec(kind="technology", parameters="expected"),
+        sampling=SamplingSpec(shots=0, seed=0),
+    ),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-run",
+        description="Run a declarative QLA experiment spec (JSON) and print the result.",
+    )
+    parser.add_argument("spec", nargs="?", help="path to an ExperimentSpec JSON file")
+    parser.add_argument("-o", "--output", help="also write the result JSON to this file")
+    parser.add_argument(
+        "--example",
+        choices=sorted(_EXAMPLES),
+        help="print a starter spec of the given kind and exit",
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress the result on stdout")
+    args = parser.parse_args(argv)
+
+    if args.example:
+        print(_EXAMPLES[args.example].to_json(indent=2))
+        return 0
+    if not args.spec:
+        parser.error("a spec file is required (or --example to print a starter spec)")
+
+    path = Path(args.spec)
+    if not path.exists():
+        print(f"repro-run: spec file not found: {path}", file=sys.stderr)
+        return 2
+    try:
+        spec = ExperimentSpec.from_json(path.read_text())
+        result = run(spec)
+    except QLAError as error:
+        print(f"repro-run: {error}", file=sys.stderr)
+        return 1
+
+    text = result.to_json(indent=2)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+    if not args.quiet:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

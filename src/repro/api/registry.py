@@ -1,0 +1,424 @@
+"""Pluggable execution backends behind one registry.
+
+The library has grown several ways to run a Monte-Carlo workload -- a scalar
+per-shot loop, a uint8 vectorized batch engine, a bit-packed uint64 engine and
+a sharded process-pool layer.  Instead of every driver hard-coding
+``backend="packed"|"uint8"|"auto"`` branches, each strategy registers here as
+a named :class:`ExecutionBackend` with :class:`BackendCapabilities`, and
+:meth:`BackendRegistry.resolve` performs capability-based selection:
+
+* ``num_shards > 1`` requires (and selects) a backend with
+  ``supports_sharding`` -- the ``"sharded"`` strategy;
+* otherwise ``"auto"`` picks the batching engine whose ``min_auto_batch``
+  threshold is the highest one the effective batch still clears, which makes
+  the bit-packed engine the automatic choice from 64 lanes (one full word)
+  upward and the uint8 engine the small-batch fallback;
+* a backend advertising ``max_qubits`` is never selected (and refuses to be
+  chosen explicitly) for registers it cannot hold.
+
+Third-party strategies plug in through :meth:`BackendRegistry.register`; the
+built-ins live in :func:`default_registry`.
+
+Every backend consumes a *shard task* -- a picklable callable
+``(rng, count) -> (count,) bool array`` marking failing shots, optionally with
+a ``run_single(rng) -> bool`` method for the scalar strategy (see
+:class:`repro.parallel.Level1ShardTask`) -- and returns a
+:class:`~repro.stabilizer.monte_carlo.MonteCarloResult`.  Seeded runs follow
+the deterministic SeedSequence shard plan of :mod:`repro.parallel`, so one
+``(seed, num_shards)`` pair reproduces bit for bit on any worker count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.exceptions import ParameterError, SimulationError
+from repro.stabilizer.monte_carlo import (
+    MonteCarloResult,
+    estimate_failure_rate,
+    estimate_failure_rate_batched,
+)
+
+__all__ = [
+    "AUTO_PACKED_MIN_BATCH",
+    "TABLEAU_ENGINES",
+    "task_engine_name",
+    "BackendCapabilities",
+    "ExecutionBackend",
+    "BackendRegistry",
+    "ScalarBackend",
+    "EngineBackend",
+    "ShardedBackend",
+    "default_registry",
+    "resolve_engine",
+]
+
+#: Smallest effective batch at which auto-selection prefers the bit-packed
+#: engine: below one full 64-lane word the uint8 engine has nothing to lose.
+AUTO_PACKED_MIN_BATCH = 64
+
+#: Engine names the batched tableau layer understands (see
+#: :func:`repro.arq.simulator.create_batch_tableau`).
+TABLEAU_ENGINES = ("uint8", "packed")
+
+
+def task_engine_name(engine: str) -> str:
+    """Tableau engine to pin onto a shard task for a resolved engine name.
+
+    Strategies that are not tableau engines themselves (the scalar oracle, or
+    third-party backends bringing their own execution) leave the task on
+    ``"auto"``.
+    """
+    return engine if engine in TABLEAU_ENGINES else "auto"
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What an execution backend can do.
+
+    Attributes
+    ----------
+    supports_batching:
+        Whether the backend runs many shots per call (vectorized engines).
+        Auto-selection only ever picks batching backends; non-batching ones
+        (the per-shot oracle) must be requested by name.
+    supports_sharding:
+        Whether the backend splits shots into deterministic seed-spawned
+        shards that may run on a process pool.
+    max_qubits:
+        Largest register the backend can simulate, or None for unlimited.
+    min_auto_batch:
+        Smallest effective batch at which ``"auto"`` prefers this backend
+        over lower-threshold engines (the packed engine advertises
+        :data:`AUTO_PACKED_MIN_BATCH`).
+    """
+
+    supports_batching: bool = True
+    supports_sharding: bool = False
+    max_qubits: int | None = None
+    min_auto_batch: int = 1
+
+    def admits(self, num_qubits: int | None) -> bool:
+        """Whether a register of ``num_qubits`` fits this backend."""
+        return self.max_qubits is None or num_qubits is None or num_qubits <= self.max_qubits
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """A named Monte-Carlo execution strategy.
+
+    Implementations expose a ``name``, their :class:`BackendCapabilities` and
+    an :meth:`estimate` that runs ``shots`` of a shard task and returns a
+    :class:`~repro.stabilizer.monte_carlo.MonteCarloResult`.
+    """
+
+    name: str
+    capabilities: BackendCapabilities
+
+    def estimate(
+        self,
+        task: Callable[[np.random.Generator, int], np.ndarray],
+        shots: int,
+        *,
+        seed: int | tuple[int, ...] | np.random.SeedSequence | None = None,
+        rng: np.random.Generator | None = None,
+        batch_size: int = 1024,
+        max_failures: int | None = None,
+        num_shards: int = 1,
+        num_workers: int = 0,
+    ) -> MonteCarloResult: ...
+
+
+def _seeded_rng(
+    seed: int | tuple[int, ...] | np.random.SeedSequence | None,
+    rng: np.random.Generator | None,
+) -> np.random.Generator:
+    """One generator from either an explicit rng or a seed.
+
+    A seed is coerced to a SeedSequence and *spawned once*, matching the
+    single-shard plan of :mod:`repro.parallel` exactly -- so an unsharded
+    seeded run and a ``num_shards=1`` sharded run of the same seed are
+    bit-for-bit identical.
+    """
+    if rng is not None:
+        if seed is not None:
+            raise ParameterError("pass either rng or seed, not both")
+        return rng
+    if seed is None:
+        return np.random.default_rng()
+    from repro.parallel import as_seed_sequence
+
+    return np.random.default_rng(as_seed_sequence(seed).spawn(1)[0])
+
+
+def _reject_shards(name: str, num_shards: int) -> None:
+    if num_shards > 1:
+        raise ParameterError(
+            f"backend {name!r} does not support sharding (num_shards={num_shards}); "
+            "select the 'sharded' strategy or num_shards=1"
+        )
+
+
+@dataclass(frozen=True)
+class ScalarBackend:
+    """The per-shot oracle: one tableau, one shot at a time.
+
+    Slow but simple -- kept registered as the cross-validation reference for
+    the vectorized engines.  Requires the task to expose ``run_single``.
+    """
+
+    name: str = "scalar"
+    capabilities: BackendCapabilities = BackendCapabilities(
+        supports_batching=False, supports_sharding=False
+    )
+
+    def estimate(self, task, shots, *, seed=None, rng=None, batch_size=1024,
+                 max_failures=None, num_shards=1, num_workers=0) -> MonteCarloResult:
+        _reject_shards(self.name, num_shards)
+        run_single = getattr(task, "run_single", None)
+        if run_single is None:
+            raise ParameterError(
+                f"the scalar backend needs a task with a run_single(rng) method, got {type(task).__name__}"
+            )
+        return estimate_failure_rate(run_single, shots, _seeded_rng(seed, rng), max_failures=max_failures)
+
+
+@dataclass(frozen=True)
+class EngineBackend:
+    """A vectorized single-process engine (``"uint8"`` or ``"packed"``).
+
+    The engine name is pinned onto the task by the runner before execution;
+    this strategy only supplies the chunked estimate loop.
+    """
+
+    name: str
+    capabilities: BackendCapabilities
+
+    def estimate(self, task, shots, *, seed=None, rng=None, batch_size=1024,
+                 max_failures=None, num_shards=1, num_workers=0) -> MonteCarloResult:
+        _reject_shards(self.name, num_shards)
+        return estimate_failure_rate_batched(
+            task, shots, _seeded_rng(seed, rng), batch_size=batch_size, max_failures=max_failures
+        )
+
+
+@dataclass(frozen=True)
+class ShardedBackend:
+    """Deterministic seed-spawned shards, in-process or on a process pool."""
+
+    name: str = "sharded"
+    capabilities: BackendCapabilities = BackendCapabilities(
+        supports_batching=True, supports_sharding=True
+    )
+
+    def estimate(self, task, shots, *, seed=None, rng=None, batch_size=1024,
+                 max_failures=None, num_shards=1, num_workers=0) -> MonteCarloResult:
+        if seed is None:
+            raise ParameterError("the sharded backend needs a seed; its shard plan is seed-derived")
+        if rng is not None:
+            raise ParameterError("the sharded backend takes a seed, not a generator")
+        from repro.parallel import estimate_failure_rate_sharded
+
+        return estimate_failure_rate_sharded(
+            task,
+            shots,
+            seed,
+            num_shards=num_shards,
+            num_workers=num_workers,
+            batch_size=batch_size,
+            max_failures=max_failures,
+        )
+
+
+class BackendRegistry:
+    """Named execution strategies with capability-based auto-selection."""
+
+    def __init__(self) -> None:
+        self._backends: dict[str, ExecutionBackend] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, backend: ExecutionBackend, replace: bool = False) -> ExecutionBackend:
+        """Register a backend under its ``name``; duplicate names raise unless ``replace``."""
+        name = backend.name
+        if not isinstance(name, str) or not name or name == "auto":
+            raise ParameterError(f"invalid backend name {name!r}")
+        if name in self._backends and not replace:
+            raise ParameterError(f"backend {name!r} is already registered (pass replace=True to override)")
+        self._backends[name] = backend
+        return backend
+
+    def unregister(self, name: str) -> None:
+        """Remove a registered backend (unknown names raise)."""
+        if name not in self._backends:
+            raise ParameterError(f"backend {name!r} is not registered")
+        del self._backends[name]
+
+    def get(self, name: str) -> ExecutionBackend:
+        backend = self._backends.get(name)
+        if backend is None:
+            raise SimulationError(
+                f"unknown backend {name!r}; registered backends: {self.names()}"
+            )
+        return backend
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._backends)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._backends
+
+    def __iter__(self) -> Iterator[ExecutionBackend]:
+        return iter(self._backends.values())
+
+    # -- selection ---------------------------------------------------------
+
+    @staticmethod
+    def effective_batch(shots: int, batch_size: int, num_shards: int = 1) -> int:
+        """Lanes a batched call will actually hold: ``min(batch, largest shard)``."""
+        per_shard = math.ceil(shots / num_shards) if num_shards > 0 else shots
+        return max(1, min(batch_size, per_shard))
+
+    def select_engine(
+        self,
+        effective_batch: int,
+        num_qubits: int | None = None,
+        tableau_only: bool = False,
+    ) -> ExecutionBackend:
+        """The single-process engine auto-selection prefers at this batch size.
+
+        Among registered batching, non-sharding backends that admit the
+        register, the one with the highest ``min_auto_batch`` threshold the
+        batch still clears wins -- packed at 64+, uint8 below.  With
+        ``tableau_only`` the choice is restricted to the built-in tableau
+        engines (:data:`TABLEAU_ENGINES`): that is the mode used wherever the
+        winner's *name* is handed to the batched-tableau layer, which a
+        third-party strategy name would silently misconfigure.
+        """
+        candidates = [
+            backend
+            for backend in self
+            if backend.capabilities.supports_batching
+            and not backend.capabilities.supports_sharding
+            and backend.capabilities.admits(num_qubits)
+            and backend.capabilities.min_auto_batch <= effective_batch
+            and (not tableau_only or backend.name in TABLEAU_ENGINES)
+        ]
+        if not candidates:
+            raise SimulationError(
+                f"no registered engine accepts a batch of {effective_batch} lanes "
+                f"on {num_qubits} qubits (registered: {self.names()})"
+            )
+        return max(candidates, key=lambda backend: backend.capabilities.min_auto_batch)
+
+    def resolve(
+        self,
+        backend: str,
+        *,
+        shots: int,
+        batch_size: int,
+        num_shards: int = 1,
+        num_qubits: int | None = None,
+    ) -> tuple[ExecutionBackend, str]:
+        """Resolve a (possibly ``"auto"``) backend request for a workload.
+
+        Returns ``(strategy, engine)``: the strategy is the registered backend
+        whose :meth:`~ExecutionBackend.estimate` will run the shots, and the
+        engine is the concrete batched-tableau engine name to pin onto the
+        task (``"scalar"`` for the per-shot oracle).  Selection is a pure
+        function of its arguments, so a spec replay always resolves to the
+        same execution.
+        """
+        batch = self.effective_batch(shots, batch_size, num_shards)
+        explicit: ExecutionBackend | None = None
+        if backend == "auto":
+            engine = self.select_engine(batch, num_qubits).name
+        else:
+            explicit = self.get(backend)
+            if not explicit.capabilities.admits(num_qubits):
+                raise SimulationError(
+                    f"backend {backend!r} holds at most "
+                    f"{explicit.capabilities.max_qubits} qubits; the workload needs {num_qubits}"
+                )
+            if explicit.capabilities.supports_sharding:
+                # An explicitly-requested sharding strategy still needs a
+                # concrete tableau engine for its per-shard batches.
+                engine = self.select_engine(batch, num_qubits, tableau_only=True).name
+            elif explicit.capabilities.supports_batching:
+                engine = explicit.name
+            else:
+                # A non-batching oracle (the scalar per-shot loop) runs as-is.
+                _reject_shards(explicit.name, num_shards)
+                return explicit, explicit.name
+        if num_shards > 1 or (explicit is not None and explicit.capabilities.supports_sharding):
+            if engine not in TABLEAU_ENGINES:
+                # Shard tasks run on the batched tableau layer; an auto-picked
+                # third-party strategy cannot serve as their engine.
+                engine = self.select_engine(batch, num_qubits, tableau_only=True).name
+            if explicit is not None and explicit.capabilities.supports_sharding:
+                return explicit, engine
+            sharded = [
+                b for b in self
+                if b.capabilities.supports_sharding and b.capabilities.admits(num_qubits)
+            ]
+            if not sharded:
+                raise SimulationError(
+                    f"num_shards={num_shards} needs a backend with supports_sharding; none is registered"
+                )
+            return sharded[0], engine
+        return self.get(engine), engine
+
+
+def default_registry() -> BackendRegistry:
+    """The process-wide registry with the built-in strategies registered."""
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        registry = BackendRegistry()
+        registry.register(ScalarBackend())
+        registry.register(
+            EngineBackend(
+                name="uint8",
+                capabilities=BackendCapabilities(supports_batching=True, min_auto_batch=1),
+            )
+        )
+        registry.register(
+            EngineBackend(
+                name="packed",
+                capabilities=BackendCapabilities(
+                    supports_batching=True, min_auto_batch=AUTO_PACKED_MIN_BATCH
+                ),
+            )
+        )
+        registry.register(ShardedBackend())
+        _DEFAULT_REGISTRY = registry
+    return _DEFAULT_REGISTRY
+
+
+_DEFAULT_REGISTRY: BackendRegistry | None = None
+
+
+def resolve_engine(backend: str, batch_size: int) -> str:
+    """Concrete engine name for a per-chunk batched-tableau request.
+
+    The compatibility hook behind
+    :func:`repro.arq.simulator.resolve_backend`: ``"uint8"`` and ``"packed"``
+    are honoured verbatim, ``"auto"`` consults the registry's capability
+    thresholds (packed from :data:`AUTO_PACKED_MIN_BATCH` lanes up).
+    """
+    registry = default_registry()
+    if backend == "auto":
+        return registry.select_engine(max(1, batch_size), tableau_only=True).name
+    if backend not in registry:
+        raise SimulationError(
+            f"unknown backend {backend!r}; expected one of {('auto',) + registry.names()}"
+        )
+    backend_obj = registry.get(backend)
+    if not backend_obj.capabilities.supports_batching or backend_obj.capabilities.supports_sharding:
+        raise SimulationError(
+            f"backend {backend!r} is not a batched tableau engine; expected 'auto', 'uint8' or 'packed'"
+        )
+    return backend

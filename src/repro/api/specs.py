@@ -1,0 +1,356 @@
+"""Declarative experiment specifications.
+
+An experiment is described by one frozen :class:`ExperimentSpec` composed of
+four orthogonal sub-specs:
+
+* :class:`NoiseSpec` -- what noise acts on the circuit (a uniform component
+  failure rate with movement pinned, as in the Figure 7 sweep, or the
+  technology parameters verbatim),
+* :class:`CircuitSpec` -- which workload is simulated and how it is mapped
+  onto the tile layout,
+* :class:`SamplingSpec` -- how many Monte-Carlo shots, from which seed, with
+  what early stop,
+* :class:`ExecutionSpec` -- which execution strategy runs the shots (backend
+  name or ``"auto"``, shard count, worker processes).
+
+Every spec validates strictly on construction, serializes to JSON with
+:meth:`ExperimentSpec.to_json` and round-trips exactly through
+:meth:`ExperimentSpec.from_json` -- unknown fields and malformed values raise
+:class:`~repro.exceptions.ParameterError` instead of being silently dropped,
+so a spec file is either fully understood or rejected.  Execution never
+mutates a spec: :func:`repro.api.run` copies it into the result it returns.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+
+from repro.arq.mapper import LayoutMapper
+from repro.exceptions import ParameterError
+from repro.iontrap.parameters import (
+    CURRENT_PARAMETERS,
+    EXPECTED_PARAMETERS,
+    IonTrapParameters,
+)
+
+__all__ = [
+    "PARAMETER_SETS",
+    "EXPERIMENT_KINDS",
+    "NoiseSpec",
+    "CircuitSpec",
+    "SamplingSpec",
+    "ExecutionSpec",
+    "ExperimentSpec",
+]
+
+#: Named technology parameter sets a spec may reference (Table 1 columns).
+PARAMETER_SETS: dict[str, IonTrapParameters] = {
+    "expected": EXPECTED_PARAMETERS,
+    "current": CURRENT_PARAMETERS,
+}
+
+#: Experiment kinds understood by :func:`repro.api.run`.
+EXPERIMENT_KINDS = ("threshold_sweep", "logical_failure", "syndrome_rate")
+
+#: Noise kinds: ``"uniform"`` sweeps all component rates together with the
+#: movement rate pinned to the parameter set's expected value (the Figure 7
+#: procedure); ``"technology"`` applies the parameter set's rates verbatim.
+NOISE_KINDS = ("uniform", "technology")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ParameterError(message)
+
+
+def _from_mapping(cls, data: object, context: str):
+    """Strictly build a spec dataclass from a JSON mapping."""
+    if not isinstance(data, dict):
+        raise ParameterError(f"{context} must be a JSON object, got {type(data).__name__}")
+    allowed = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ParameterError(f"unknown {context} fields: {unknown}")
+    return cls(**data)
+
+
+@dataclass(frozen=True)
+class NoiseSpec:
+    """What noise the experiment applies.
+
+    Attributes
+    ----------
+    kind:
+        ``"uniform"`` (gate/measure/prepare rates swept together, movement
+        pinned to the parameter set's value -- the Figure 7 procedure) or
+        ``"technology"`` (the parameter set's rates used verbatim).
+    physical_rates:
+        Swept component failure rates.  Required (non-empty) for ``"uniform"``
+        noise; must be empty for ``"technology"`` noise.
+    parameters:
+        Name of the technology parameter set supplying the pinned movement
+        rate (and, for ``"technology"`` noise, every rate): one of
+        :data:`PARAMETER_SETS`.
+    """
+
+    kind: str = "uniform"
+    physical_rates: tuple[float, ...] = ()
+    parameters: str = "expected"
+
+    def __post_init__(self) -> None:
+        _require(self.kind in NOISE_KINDS, f"noise kind must be one of {NOISE_KINDS}, got {self.kind!r}")
+        _require(
+            self.parameters in PARAMETER_SETS,
+            f"unknown parameter set {self.parameters!r}; expected one of {sorted(PARAMETER_SETS)}",
+        )
+        rates = tuple(float(rate) for rate in self.physical_rates)
+        object.__setattr__(self, "physical_rates", rates)
+        for rate in rates:
+            _require(0.0 < rate <= 1.0, f"physical rates must be probabilities in (0, 1], got {rate}")
+        if self.kind == "technology":
+            _require(not rates, "technology noise takes its rates from the parameter set; physical_rates must be empty")
+
+    def parameter_set(self) -> IonTrapParameters:
+        """The referenced technology parameter set."""
+        return PARAMETER_SETS[self.parameters]
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """Which workload is simulated and how it maps onto the tile layout.
+
+    Attributes
+    ----------
+    workload:
+        The simulated workload; currently ``"level1_ecc"`` -- one transversal
+        logical gate followed by a full Steane error-correction cycle on a
+        level-1 QLA block (the paper's Figure 7 / Section 4.1.1 workload).
+    level:
+        Recursion level for level-dependent experiments (the syndrome-rate
+        analytic estimate); level-1 is the exactly-simulated level.
+    verified_ancilla:
+        Whether ancilla blocks are verified before use (the QLA design does).
+    max_preparation_attempts:
+        "Start Over" bound of the Figure 6 preparation circuit.
+    two_qubit_move_cells / corner_turns / splits / measurement_move_cells:
+        Tile-layout movement budget charged per two-qubit interaction, exactly
+        the :class:`~repro.arq.mapper.LayoutMapper` fields.
+    """
+
+    workload: str = "level1_ecc"
+    level: int = 1
+    verified_ancilla: bool = True
+    max_preparation_attempts: int = 20
+    two_qubit_move_cells: int = 12
+    corner_turns: int = 2
+    splits: int = 1
+    measurement_move_cells: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.workload == "level1_ecc", f"unknown workload {self.workload!r}; expected 'level1_ecc'")
+        _require(self.level >= 1, "level must be >= 1")
+        _require(self.max_preparation_attempts >= 1, "max_preparation_attempts must be >= 1")
+        self.mapper()  # LayoutMapper validates the movement budget
+
+    def mapper(self) -> LayoutMapper:
+        """The layout mapper this spec describes."""
+        return LayoutMapper(
+            two_qubit_move_cells=self.two_qubit_move_cells,
+            corner_turns=self.corner_turns,
+            splits=self.splits,
+            measurement_move_cells=self.measurement_move_cells,
+        )
+
+
+@dataclass(frozen=True)
+class SamplingSpec:
+    """How the Monte-Carlo estimate draws its shots.
+
+    Attributes
+    ----------
+    shots:
+        Monte-Carlo shots (per sweep point, for sweep experiments).  May be 0
+        only for experiments with an analytic answer (the syndrome rate).
+    seed:
+        Root :class:`numpy.random.SeedSequence` entropy (a non-negative int,
+        or a tuple of them).  ``None`` asks the runner to draw fresh entropy
+        and record it in the result, so every run is replayable.
+    max_failures:
+        Optional early stop once this many failures have been observed.
+    batch_size:
+        Lanes simulated at once on the batched engines.
+    """
+
+    shots: int = 8192
+    seed: int | tuple[int, ...] | None = None
+    max_failures: int | None = None
+    batch_size: int = 1024
+
+    def __post_init__(self) -> None:
+        _require(self.shots >= 0, "shots must be non-negative")
+        _require(self.batch_size >= 1, "batch_size must be positive")
+        if self.max_failures is not None:
+            _require(self.max_failures >= 1, "max_failures must be positive when set")
+        if self.seed is not None:
+            seed = self.seed
+            if isinstance(seed, list):
+                seed = tuple(seed)
+                object.__setattr__(self, "seed", seed)
+            if isinstance(seed, tuple):
+                _require(
+                    len(seed) > 0 and all(isinstance(word, int) and word >= 0 for word in seed),
+                    "a tuple seed must contain non-negative ints",
+                )
+            else:
+                _require(isinstance(seed, int) and seed >= 0, "seed must be a non-negative int")
+
+
+@dataclass(frozen=True)
+class ExecutionSpec:
+    """Which execution strategy runs the shots.
+
+    Attributes
+    ----------
+    backend:
+        Name of a registered execution backend (``"scalar"``, ``"uint8"``,
+        ``"packed"``, ``"sharded"``, or any strategy registered on the
+        :class:`~repro.api.registry.BackendRegistry` in use), or ``"auto"``
+        for capability-based selection: sharded execution whenever
+        ``num_shards > 1``, otherwise the bit-packed engine once the
+        effective batch fills at least one 64-lane word.
+    num_shards:
+        Shards of the deterministic shard plan.  The plan (not the worker
+        count) decides the random streams, so a fixed ``(seed, num_shards)``
+        reproduces bit for bit on any machine.
+    num_workers:
+        Worker processes executing shards; ``0``/``1`` runs them in-process.
+        Never affects results, only wall-clock time.
+    """
+
+    backend: str = "auto"
+    num_shards: int = 1
+    num_workers: int = 0
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.backend, str) and bool(self.backend), "backend must be a non-empty string")
+        _require(self.num_shards >= 1, "num_shards must be >= 1")
+        _require(self.num_workers >= 0, "num_workers must be >= 0")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One complete, declarative experiment description.
+
+    Attributes
+    ----------
+    experiment:
+        ``"threshold_sweep"`` (Figure 7: level-1 failure rate per swept
+        physical rate plus the fitted level-2 curve and threshold),
+        ``"logical_failure"`` (a single level-1 failure-rate estimate), or
+        ``"syndrome_rate"`` (Section 4.1.1 non-trivial-syndrome rate,
+        analytic plus optional Monte Carlo).
+    noise / circuit / sampling / execution:
+        The composed sub-specs; see their docstrings.
+    """
+
+    experiment: str
+    noise: NoiseSpec
+    circuit: CircuitSpec = field(default_factory=CircuitSpec)
+    sampling: SamplingSpec = field(default_factory=SamplingSpec)
+    execution: ExecutionSpec = field(default_factory=ExecutionSpec)
+
+    def __post_init__(self) -> None:
+        _require(
+            self.experiment in EXPERIMENT_KINDS,
+            f"unknown experiment {self.experiment!r}; expected one of {EXPERIMENT_KINDS}",
+        )
+        _require(isinstance(self.noise, NoiseSpec), "noise must be a NoiseSpec")
+        _require(isinstance(self.circuit, CircuitSpec), "circuit must be a CircuitSpec")
+        _require(isinstance(self.sampling, SamplingSpec), "sampling must be a SamplingSpec")
+        _require(isinstance(self.execution, ExecutionSpec), "execution must be an ExecutionSpec")
+        if self.experiment == "threshold_sweep":
+            _require(self.noise.kind == "uniform", "a threshold sweep needs uniform (swept) noise")
+            _require(len(self.noise.physical_rates) >= 1, "the threshold sweep needs at least one physical rate")
+            _require(self.sampling.shots > 0, "the threshold sweep needs a positive shot count")
+        elif self.experiment == "logical_failure":
+            if self.noise.kind == "uniform":
+                _require(
+                    len(self.noise.physical_rates) == 1,
+                    "logical_failure sweeps nothing: give exactly one physical rate (or technology noise)",
+                )
+            _require(self.sampling.shots > 0, "logical_failure needs a positive shot count")
+        else:  # syndrome_rate
+            _require(self.noise.kind == "technology", "the syndrome rate is defined at the technology parameters")
+            if self.circuit.level > 1:
+                _require(
+                    self.sampling.shots == 0,
+                    "Monte-Carlo syndrome measurement is only available at level 1; "
+                    "set shots=0 for the analytic estimate",
+                )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The spec as a JSON-ready dictionary."""
+        def spec_dict(spec) -> dict:
+            out = {}
+            for f in fields(spec):
+                value = getattr(spec, f.name)
+                out[f.name] = list(value) if isinstance(value, tuple) else value
+            return out
+
+        return {
+            "experiment": self.experiment,
+            "noise": spec_dict(self.noise),
+            "circuit": spec_dict(self.circuit),
+            "sampling": spec_dict(self.sampling),
+            "execution": spec_dict(self.execution),
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize to JSON; ``from_json`` round-trips exactly."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: object) -> "ExperimentSpec":
+        """Strictly rebuild a spec from a dictionary (unknown keys raise)."""
+        if not isinstance(data, dict):
+            raise ParameterError(f"an experiment spec must be a JSON object, got {type(data).__name__}")
+        allowed = {"experiment", "noise", "circuit", "sampling", "execution"}
+        unknown = sorted(set(data) - allowed)
+        if unknown:
+            raise ParameterError(f"unknown experiment spec fields: {unknown}")
+        if "experiment" not in data:
+            raise ParameterError("an experiment spec needs an 'experiment' field")
+        if "noise" not in data:
+            raise ParameterError("an experiment spec needs a 'noise' field")
+        try:
+            return cls(
+                experiment=data["experiment"],
+                noise=_from_mapping(NoiseSpec, data["noise"], "noise spec"),
+                circuit=_from_mapping(CircuitSpec, data.get("circuit", {}), "circuit spec"),
+                sampling=_from_mapping(SamplingSpec, data.get("sampling", {}), "sampling spec"),
+                execution=_from_mapping(ExecutionSpec, data.get("execution", {}), "execution spec"),
+            )
+        except TypeError as error:  # e.g. a field of the wrong JSON type
+            raise ParameterError(f"malformed experiment spec: {error}") from error
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        """Parse a JSON document produced by :meth:`to_json`."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ParameterError(f"experiment spec is not valid JSON: {error}") from error
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+
+    def with_seed(self, seed: int | tuple[int, ...]) -> "ExperimentSpec":
+        """A copy with the sampling seed pinned (used to materialize fresh entropy)."""
+        return replace(self, sampling=replace(self.sampling, seed=seed))

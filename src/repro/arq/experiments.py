@@ -24,6 +24,7 @@ Two experiments are reproduced here:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -58,6 +59,16 @@ from repro.stabilizer import (
     estimate_failure_rate,
     estimate_failure_rate_batched,
 )
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "Level1EccExperiment",
+    "ThresholdSweepResult",
+    "run_threshold_sweep",
+    "syndrome_rate_estimate",
+    "sweep_result_from_level1",
+    "analytic_syndrome_rate",
+]
 
 #: Default number of Monte-Carlo lanes simulated at once by the batched path.
 DEFAULT_BATCH_SIZE = 1024
@@ -429,6 +440,123 @@ class ThresholdSweepResult:
         return 1.0 / self.concatenation_coefficient
 
 
+def sweep_result_from_level1(
+    physical_rates: Sequence[float],
+    level1_results: Sequence[MonteCarloResult],
+    seed_entropy: int | tuple[int, ...] | None = None,
+    num_shards: int = 1,
+) -> ThresholdSweepResult:
+    """Assemble a :class:`ThresholdSweepResult` from per-point level-1 estimates.
+
+    The shared back half of every threshold-sweep driver (legacy and
+    spec-based): fits the concatenation coefficient, derives the level-2
+    curve, and locates the threshold crossing.
+    """
+    level1_rates = [result.failure_rate for result in level1_results]
+    # Fit the concatenation coefficient on slightly regularised rates (the
+    # "rule of half": (failures + 1/2) / (trials + 1)) so that sweep points
+    # with zero observed failures still contribute a finite upper bound and a
+    # short low-noise sweep cannot crash the fit.
+    fit_rates = [
+        (result.failures + 0.5) / (result.trials + 1.0) for result in level1_results
+    ]
+    coefficient = fit_concatenation_coefficient(physical_rates, fit_rates, level=1)
+    level2_rates = [coefficient * rate**2 for rate in level1_rates]
+    level1_errors = [result.standard_error for result in level1_results]
+    level2_errors = [
+        2.0 * coefficient * rate * err for rate, err in zip(level1_rates, level1_errors)
+    ]
+    threshold = estimate_threshold_crossing(
+        physical_rates,
+        level1_rates,
+        level2_rates,
+        errors_level_a=level1_errors,
+        errors_level_b=level2_errors,
+    )
+    return ThresholdSweepResult(
+        physical_rates=tuple(physical_rates),
+        level1=tuple(level1_results),
+        level1_rates=tuple(level1_rates),
+        level2_rates=tuple(level2_rates),
+        concatenation_coefficient=coefficient,
+        threshold=threshold,
+        seed_entropy=seed_entropy,
+        num_shards=num_shards,
+    )
+
+
+def _seeded_threshold_sweep(
+    physical_rates: Sequence[float],
+    trials: int,
+    seed: int | tuple[int, ...] | np.random.SeedSequence,
+    *,
+    parameters: IonTrapParameters = EXPECTED_PARAMETERS,
+    mapper: LayoutMapper | None = None,
+    backend: str = "auto",
+    num_shards: int = 1,
+    num_workers: int = 0,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    max_failures: int | None = None,
+    verified_ancilla: bool = True,
+    max_preparation_attempts: int = 20,
+    registry=None,
+) -> tuple[ThresholdSweepResult, str, str]:
+    """The seeded Figure 7 sweep behind both the spec runner and the legacy shim.
+
+    The execution strategy is resolved once through the backend registry
+    (capability-based, a pure function of the arguments), the root
+    SeedSequence spawns one child per sweep point, and every point runs the
+    shared deterministic shard plan of :mod:`repro.parallel` -- so a fixed
+    ``(seed, num_shards)`` reproduces bit for bit on any worker count.
+    Returns ``(sweep, strategy_name, engine_name)``.
+    """
+    from repro.api.registry import default_registry, task_engine_name
+    from repro.parallel import Level1ShardTask, as_seed_sequence
+
+    the_registry = registry if registry is not None else default_registry()
+    the_mapper = mapper if mapper is not None else LayoutMapper()
+    code = steane_code()
+    register = (3 if verified_ancilla else 2) * code.num_physical_qubits
+    strategy, engine = the_registry.resolve(
+        backend,
+        shots=trials,
+        batch_size=batch_size,
+        num_shards=num_shards,
+        num_qubits=register,
+    )
+    task_engine = task_engine_name(engine)
+
+    root = as_seed_sequence(seed)
+    entropy = root.entropy
+    seed_entropy = tuple(entropy) if isinstance(entropy, (list, tuple)) else entropy
+    point_seeds = root.spawn(len(physical_rates))
+    level1_results = []
+    for rate, point_seed in zip(physical_rates, point_seeds):
+        task = Level1ShardTask(
+            physical_rate=float(rate),
+            parameters=parameters,
+            mapper=the_mapper,
+            backend=task_engine,
+            verified_ancilla=verified_ancilla,
+            max_preparation_attempts=max_preparation_attempts,
+        )
+        level1_results.append(
+            strategy.estimate(
+                task,
+                trials,
+                seed=point_seed,
+                batch_size=batch_size,
+                max_failures=max_failures,
+                num_shards=num_shards,
+                num_workers=num_workers,
+            )
+        )
+    sweep = sweep_result_from_level1(
+        physical_rates, level1_results, seed_entropy=seed_entropy, num_shards=num_shards
+    )
+    return sweep, strategy.name, engine
+
+
 def run_threshold_sweep(
     physical_rates: Sequence[float],
     trials: int,
@@ -444,6 +572,11 @@ def run_threshold_sweep(
     max_failures: int | None = None,
 ) -> ThresholdSweepResult:
     """Run the Figure 7 experiment.
+
+    .. deprecated::
+        Build an :class:`~repro.api.specs.ExperimentSpec` (experiment
+        ``"threshold_sweep"``) and call :func:`repro.api.run` instead; this
+        kwargs entry point remains for one release.
 
     Parameters
     ----------
@@ -478,17 +611,23 @@ def run_threshold_sweep(
         Worker processes executing shards; ``0``/``1`` runs them in-process.
         Never affects results, only wall-clock time.
     backend:
-        Batched engine selection (``"packed"``, ``"uint8"`` or ``"auto"``).
+        Execution backend name (``"packed"``, ``"uint8"`` or ``"auto"`` for
+        capability-based selection through the backend registry).
     max_failures:
         Optional early stop per sweep point once this many failures are seen.
     """
+    warnings.warn(
+        "run_threshold_sweep is deprecated; build an ExperimentSpec "
+        "(experiment='threshold_sweep') and call repro.api.run",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if not physical_rates:
         raise ParameterError("the threshold sweep needs at least one physical rate")
     if trials <= 0:
         raise ParameterError("the threshold sweep needs a positive trial count")
     the_mapper = mapper if mapper is not None else LayoutMapper()
 
-    seed_entropy: int | tuple[int, ...] | None = None
     if seed is not None:
         if rng is not None:
             raise ParameterError("pass either rng or seed, not both")
@@ -497,92 +636,74 @@ def run_threshold_sweep(
                 "seeded (sharded) sweeps run on the batched engine; "
                 "use_batched=False is only available with rng"
             )
-        from repro.parallel import (
-            aggregate_shard_outcomes,
-            as_seed_sequence,
-            Level1ShardTask,
-            run_sharded_outcomes,
+        sweep, _, _ = _seeded_threshold_sweep(
+            physical_rates,
+            trials,
+            seed,
+            parameters=parameters,
+            mapper=the_mapper,
+            backend=backend,
+            num_shards=num_shards,
+            num_workers=num_workers,
+            batch_size=batch_size,
+            max_failures=max_failures,
         )
+        return sweep
 
-        root = as_seed_sequence(seed)
-        entropy = root.entropy
-        seed_entropy = tuple(entropy) if isinstance(entropy, (list, tuple)) else entropy
-        point_seeds = root.spawn(len(physical_rates))
-        level1_results = []
-        for rate, point_seed in zip(physical_rates, point_seeds):
-            task = Level1ShardTask(
-                physical_rate=float(rate),
-                parameters=parameters,
-                mapper=the_mapper,
-                backend=backend,
-            )
-            shards = run_sharded_outcomes(
-                task,
-                trials,
-                point_seed,
-                num_shards=num_shards,
-                num_workers=num_workers,
-                batch_size=batch_size,
-                max_failures=max_failures,
-            )
-            level1_results.append(aggregate_shard_outcomes(shards, max_failures))
-    else:
-        generator = rng if rng is not None else np.random.default_rng()
-        level1_results = []
-        for rate in physical_rates:
-            experiment = Level1EccExperiment(
-                noise=_noise_for_rate(rate, parameters),
-                mapper=the_mapper,
-                backend=backend,
-            )
-            if use_batched:
-                level1_results.append(
-                    estimate_failure_rate_batched(
-                        experiment.run_trial_batch,
-                        trials,
-                        generator,
-                        batch_size=batch_size,
-                        max_failures=max_failures,
-                    )
+    # Legacy generator-driven path: one shared stream across sweep points, no
+    # shard plan, no recorded entropy.
+    generator = rng if rng is not None else np.random.default_rng()
+    level1_results = []
+    for rate in physical_rates:
+        experiment = Level1EccExperiment(
+            noise=_noise_for_rate(rate, parameters),
+            mapper=the_mapper,
+            backend=backend,
+        )
+        if use_batched:
+            level1_results.append(
+                estimate_failure_rate_batched(
+                    experiment.run_trial_batch,
+                    trials,
+                    generator,
+                    batch_size=batch_size,
+                    max_failures=max_failures,
                 )
-            else:
-                level1_results.append(
-                    estimate_failure_rate(
-                        experiment.run_trial, trials, generator, max_failures=max_failures
-                    )
+            )
+        else:
+            level1_results.append(
+                estimate_failure_rate(
+                    experiment.run_trial, trials, generator, max_failures=max_failures
                 )
+            )
+    return sweep_result_from_level1(physical_rates, level1_results)
 
-    level1_rates = [result.failure_rate for result in level1_results]
-    # Fit the concatenation coefficient on slightly regularised rates (the
-    # "rule of half": (failures + 1/2) / (trials + 1)) so that sweep points
-    # with zero observed failures still contribute a finite upper bound and a
-    # short low-noise sweep cannot crash the fit.
-    fit_rates = [
-        (result.failures + 0.5) / (result.trials + 1.0) for result in level1_results
-    ]
-    coefficient = fit_concatenation_coefficient(physical_rates, fit_rates, level=1)
-    level2_rates = [coefficient * rate**2 for rate in level1_rates]
-    level1_errors = [result.standard_error for result in level1_results]
-    level2_errors = [
-        2.0 * coefficient * rate * err for rate, err in zip(level1_rates, level1_errors)
-    ]
-    threshold = estimate_threshold_crossing(
-        physical_rates,
-        level1_rates,
-        level2_rates,
-        errors_level_a=level1_errors,
-        errors_level_b=level2_errors,
+
+def analytic_syndrome_rate(
+    level: int,
+    parameters: IonTrapParameters = EXPECTED_PARAMETERS,
+    mapper: LayoutMapper | None = None,
+) -> float:
+    """Analytic non-trivial-syndrome rate (Section 4.1.1).
+
+    Counts the expected number of error events that can flip the measured
+    syndrome during one error-correction cycle: movement, two-qubit-gate and
+    measurement errors on the ``7^level`` ions taking part in the two
+    transversal data/ancilla interactions of the cycle.
+    """
+    if level < 1:
+        raise ParameterError("syndrome rates are defined for level >= 1")
+    the_mapper = mapper if mapper is not None else LayoutMapper()
+    block = 7**level
+    exposure_cells = (
+        the_mapper.two_qubit_move_cells + the_mapper.corner_turns + the_mapper.splits
     )
-    return ThresholdSweepResult(
-        physical_rates=tuple(physical_rates),
-        level1=tuple(level1_results),
-        level1_rates=tuple(level1_rates),
-        level2_rates=tuple(level2_rates),
-        concatenation_coefficient=coefficient,
-        threshold=threshold,
-        seed_entropy=seed_entropy,
-        num_shards=num_shards if seed is not None else 1,
+    per_ion = (
+        exposure_cells * parameters.movement_failure_per_cell
+        + parameters.double_gate_failure
+        + parameters.measure_failure
     )
+    return 2.0 * block * per_ion  # two extractions (X and Z) per cycle
 
 
 def syndrome_rate_estimate(
@@ -597,48 +718,54 @@ def syndrome_rate_estimate(
 ) -> dict[str, float]:
     """Non-trivial-syndrome rate at the expected technology parameters.
 
+    .. deprecated::
+        Build an :class:`~repro.api.specs.ExperimentSpec` (experiment
+        ``"syndrome_rate"``) and call :func:`repro.api.run` instead; this
+        kwargs entry point remains for one release.
+
     Returns a dictionary with an ``analytic`` estimate (always) and a
     ``measured`` rate (only when ``monte_carlo_trials`` > 0 and ``level`` is 1;
     level-2 Monte Carlo is out of reach of routine runs).
-
-    The analytic estimate counts the expected number of error events that can
-    flip the measured syndrome during one error-correction cycle: movement,
-    two-qubit-gate and measurement errors on the ``7^level`` ions taking part
-    in the two transversal data/ancilla interactions of the cycle.
     """
-    if level < 1:
-        raise ParameterError("syndrome rates are defined for level >= 1")
+    warnings.warn(
+        "syndrome_rate_estimate is deprecated; build an ExperimentSpec "
+        "(experiment='syndrome_rate') and call repro.api.run",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     the_mapper = mapper if mapper is not None else LayoutMapper()
-    block = 7**level
-    exposure_cells = (
-        the_mapper.two_qubit_move_cells + the_mapper.corner_turns + the_mapper.splits
-    )
-    per_ion = (
-        exposure_cells * parameters.movement_failure_per_cell
-        + parameters.double_gate_failure
-        + parameters.measure_failure
-    )
-    analytic = 2.0 * block * per_ion  # two extractions (X and Z) per cycle
-    result: dict[str, float] = {"analytic": analytic, "level": float(level)}
+    result: dict[str, float] = {
+        "analytic": analytic_syndrome_rate(level, parameters, the_mapper),
+        "level": float(level),
+    }
 
     if monte_carlo_trials > 0 and level == 1:
-        generator = rng if rng is not None else np.random.default_rng()
-        experiment = Level1EccExperiment(
-            noise=_noise_from_parameters(parameters), mapper=the_mapper, backend=backend
+        # The execution strategy comes from the backend registry
+        # (capability-based) instead of the old use_batched branching; the
+        # per-shot oracle stays reachable as the "scalar" strategy.
+        from repro.api.registry import default_registry, task_engine_name
+        from repro.parallel import Level1ShardTask
+
+        registry = default_registry()
+        code = steane_code()
+        strategy, engine = registry.resolve(
+            backend if use_batched else "scalar",
+            shots=monte_carlo_trials,
+            batch_size=batch_size,
+            num_qubits=3 * code.num_physical_qubits,
         )
-        nontrivial = 0
-        if use_batched:
-            remaining = monte_carlo_trials
-            while remaining > 0:
-                chunk = min(batch_size, remaining)
-                outcome = experiment.run_trial_batch_detailed(generator, chunk)
-                nontrivial += int(np.count_nonzero(outcome["nontrivial_syndrome"]))
-                remaining -= chunk
-        else:
-            for _ in range(monte_carlo_trials):
-                outcome = experiment.run_trial_detailed(generator)
-                if outcome["nontrivial_syndrome"]:
-                    nontrivial += 1
-        result["measured"] = nontrivial / monte_carlo_trials
-        result["trials"] = float(monte_carlo_trials)
+        task = Level1ShardTask(
+            physical_rate=0.0,
+            parameters=parameters,
+            mapper=the_mapper,
+            backend=task_engine_name(engine),
+            noise_kind="technology",
+            metric="nontrivial_syndrome",
+        )
+        generator = rng if rng is not None else np.random.default_rng()
+        measured = strategy.estimate(
+            task, monte_carlo_trials, rng=generator, batch_size=batch_size
+        )
+        result["measured"] = measured.failure_rate
+        result["trials"] = float(measured.trials)
     return result

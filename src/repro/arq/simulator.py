@@ -43,27 +43,36 @@ from repro.stabilizer import (
     unpack_bits,
 )
 
+__all__ = [
+    "BACKENDS",
+    "AUTO_PACKED_MIN_BATCH",
+    "resolve_backend",
+    "create_batch_tableau",
+    "ExecutionResult",
+    "BatchExecutionResult",
+    "NoisyCircuitExecutor",
+    "BatchedNoisyCircuitExecutor",
+]
+
 #: Valid values of the batched executor's ``backend`` knob.
 BACKENDS = ("auto", "packed", "uint8")
 
 #: Smallest batch size at which ``backend="auto"`` picks the bit-packed
-#: engine: below one full 64-lane word the uint8 engine has nothing to lose.
-AUTO_PACKED_MIN_BATCH = 64
+#: engine.  The backend registry owns this threshold as the packed engine's
+#: ``min_auto_batch`` capability; re-exported here as a compatibility alias.
+from repro.api.registry import AUTO_PACKED_MIN_BATCH
 
 
 def resolve_backend(backend: str, batch_size: int) -> str:
     """Resolve a backend request to a concrete engine name.
 
-    ``"packed"`` and ``"uint8"`` are honoured verbatim; ``"auto"`` picks the
-    bit-packed engine once the batch fills at least one 64-lane word.
+    ``"packed"`` and ``"uint8"`` are honoured verbatim; ``"auto"`` consults
+    the backend registry's capability thresholds, which pick the bit-packed
+    engine once the batch fills at least one 64-lane word.
     """
-    if backend not in BACKENDS:
-        raise SimulationError(
-            f"unknown backend {backend!r}; expected one of {BACKENDS}"
-        )
-    if backend == "auto":
-        return "packed" if batch_size >= AUTO_PACKED_MIN_BATCH else "uint8"
-    return backend
+    from repro.api.registry import resolve_engine
+
+    return resolve_engine(backend, batch_size)
 
 
 def create_batch_tableau(

@@ -31,6 +31,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import sys
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -43,6 +44,20 @@ from repro.iontrap.parameters import EXPECTED_PARAMETERS, IonTrapParameters
 from repro.stabilizer.monte_carlo import MonteCarloResult, scan_early_stop
 from repro.stabilizer.packed import pack_bits, popcount, unpack_bits
 
+__all__ = [
+    "DEFAULT_SHARD_BATCH_SIZE",
+    "DEFAULT_NUM_SHARDS",
+    "ShardOutcome",
+    "Level1ShardTask",
+    "as_seed_sequence",
+    "spawn_shard_seeds",
+    "shard_sizes",
+    "run_sharded_outcomes",
+    "aggregate_shard_outcomes",
+    "estimate_failure_rate_sharded",
+    "run_threshold_sweep_sharded",
+]
+
 #: Shots handed to a batch trial at once inside one shard.
 DEFAULT_SHARD_BATCH_SIZE = 1024
 
@@ -53,14 +68,21 @@ DEFAULT_SHARD_BATCH_SIZE = 1024
 DEFAULT_NUM_SHARDS = 8
 
 
-def as_seed_sequence(seed: int | np.random.SeedSequence) -> np.random.SeedSequence:
-    """Coerce an integer (or pass through a SeedSequence) to a SeedSequence."""
+def as_seed_sequence(
+    seed: int | tuple[int, ...] | np.random.SeedSequence,
+) -> np.random.SeedSequence:
+    """Coerce entropy (int or tuple of ints) or pass through a SeedSequence."""
     if isinstance(seed, np.random.SeedSequence):
         return seed
     if isinstance(seed, (int, np.integer)):
         return np.random.SeedSequence(int(seed))
+    if isinstance(seed, (tuple, list)) and seed and all(
+        isinstance(word, (int, np.integer)) for word in seed
+    ):
+        return np.random.SeedSequence([int(word) for word in seed])
     raise ParameterError(
-        f"seed must be an int or numpy SeedSequence, got {type(seed).__name__}"
+        f"seed must be an int, a tuple of ints or a numpy SeedSequence, "
+        f"got {type(seed).__name__}"
     )
 
 
@@ -284,6 +306,13 @@ _EXPERIMENT_CACHE: dict = {}
 _EXPERIMENT_CACHE_MAX = 8
 
 
+#: Per-shot outcome flags a :class:`Level1ShardTask` can count as "failures".
+TASK_METRICS = ("failure", "nontrivial_syndrome")
+
+#: How a :class:`Level1ShardTask` derives its noise model.
+TASK_NOISE_KINDS = ("uniform", "technology")
+
+
 @dataclass(frozen=True)
 class Level1ShardTask:
     """Picklable batch trial for the level-1 logical-gate + ECC experiment.
@@ -297,29 +326,64 @@ class Level1ShardTask:
     ----------
     physical_rate:
         Component failure rate of the sweep point (movement stays pinned to
-        the technology parameters' expected value).
+        the technology parameters' expected value).  Ignored for
+        ``noise_kind="technology"``.
     parameters:
-        Technology parameter set supplying the pinned movement rate.
+        Technology parameter set supplying the pinned movement rate (and,
+        for technology noise, every rate).
     mapper:
         Layout mapper charging movement to two-qubit gates.
     backend:
         Batched engine selection forwarded to the experiment.
+    noise_kind:
+        ``"uniform"`` sweeps all component rates together (movement pinned);
+        ``"technology"`` applies the parameter set's rates verbatim.
+    verified_ancilla / max_preparation_attempts:
+        Forwarded to the experiment (Figure 6 preparation semantics).
+    metric:
+        Which per-shot flag the task reports as a "failure": the logical
+        ``"failure"`` (threshold experiments) or ``"nontrivial_syndrome"``
+        (Section 4.1.1 syndrome-rate measurements).
     """
 
     physical_rate: float
     parameters: IonTrapParameters = EXPECTED_PARAMETERS
     mapper: LayoutMapper = field(default_factory=LayoutMapper)
     backend: str = "auto"
+    noise_kind: str = "uniform"
+    verified_ancilla: bool = True
+    max_preparation_attempts: int = 20
+    metric: str = "failure"
+
+    def __post_init__(self) -> None:
+        if self.noise_kind not in TASK_NOISE_KINDS:
+            raise ParameterError(
+                f"noise_kind must be one of {TASK_NOISE_KINDS}, got {self.noise_kind!r}"
+            )
+        if self.metric not in TASK_METRICS:
+            raise ParameterError(
+                f"metric must be one of {TASK_METRICS}, got {self.metric!r}"
+            )
 
     def _experiment(self):
         experiment = _EXPERIMENT_CACHE.get(self)
         if experiment is None:
-            from repro.arq.experiments import Level1EccExperiment, _noise_for_rate
+            from repro.arq.experiments import (
+                Level1EccExperiment,
+                _noise_for_rate,
+                _noise_from_parameters,
+            )
 
+            if self.noise_kind == "technology":
+                noise = _noise_from_parameters(self.parameters)
+            else:
+                noise = _noise_for_rate(self.physical_rate, self.parameters)
             experiment = Level1EccExperiment(
-                noise=_noise_for_rate(self.physical_rate, self.parameters),
+                noise=noise,
                 mapper=self.mapper,
                 backend=self.backend,
+                verified_ancilla=self.verified_ancilla,
+                max_preparation_attempts=self.max_preparation_attempts,
             )
             while len(_EXPERIMENT_CACHE) >= _EXPERIMENT_CACHE_MAX:
                 _EXPERIMENT_CACHE.pop(next(iter(_EXPERIMENT_CACHE)))
@@ -327,7 +391,20 @@ class Level1ShardTask:
         return experiment
 
     def __call__(self, rng: np.random.Generator, count: int) -> np.ndarray:
-        return self._experiment().run_trial_batch(rng, count)
+        experiment = self._experiment()
+        if self.metric == "failure":
+            return experiment.run_trial_batch(rng, count)
+        return experiment.run_trial_batch_detailed(rng, count)[self.metric]
+
+    def run_single(self, rng: np.random.Generator) -> bool:
+        """One per-shot trial on the scalar tableau (the slow oracle path)."""
+        return bool(self._experiment().run_trial_detailed(rng)[self.metric])
+
+
+#: Keywords :func:`run_threshold_sweep_sharded` forwards to the seeded sweep.
+_SHARDED_SWEEP_KWARGS = frozenset(
+    {"parameters", "mapper", "batch_size", "backend", "max_failures"}
+)
 
 
 def run_threshold_sweep_sharded(
@@ -340,27 +417,49 @@ def run_threshold_sweep_sharded(
 ):
     """Figure 7 sweep sharded across a process pool.
 
+    .. deprecated::
+        Build an :class:`~repro.api.specs.ExperimentSpec` with
+        ``ExecutionSpec(num_shards=..., num_workers=...)`` and call
+        :func:`repro.api.run` instead.
+
     Convenience front-end to
     :func:`repro.arq.experiments.run_threshold_sweep`: ``num_workers``
     defaults to the machine's CPU count while ``num_shards`` defaults to the
     fixed :data:`DEFAULT_NUM_SHARDS` (never the core count -- the shard plan
     decides the random streams, so it must not vary across machines), and
     every remaining keyword (``parameters``, ``mapper``, ``batch_size``,
-    ``backend``, ``max_failures``) is forwarded.  For a fixed
-    ``(seed, num_shards)`` the result is bit-for-bit identical to the serial
-    seeded sweep on any worker count.
+    ``backend``, ``max_failures``) is forwarded.  Unknown keywords raise
+    :class:`TypeError` -- exactly like a misspelled keyword on the serial
+    sweep.  For a fixed ``(seed, num_shards)`` the result is bit-for-bit
+    identical to the serial seeded sweep on any worker count.
     """
+    warnings.warn(
+        "run_threshold_sweep_sharded is deprecated; build an ExperimentSpec "
+        "with ExecutionSpec(num_shards=..., num_workers=...) and call "
+        "repro.api.run",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    unknown = sorted(set(kwargs) - _SHARDED_SWEEP_KWARGS)
+    if unknown:
+        raise TypeError(
+            f"run_threshold_sweep_sharded() got unexpected keyword argument(s) "
+            f"{unknown}; accepted keywords: {sorted(_SHARDED_SWEEP_KWARGS)}"
+        )
     from repro.arq.experiments import run_threshold_sweep
 
     if num_workers is None:
         num_workers = os.cpu_count() or 1
     if num_shards is None:
         num_shards = DEFAULT_NUM_SHARDS
-    return run_threshold_sweep(
-        physical_rates,
-        trials,
-        seed=seed,
-        num_shards=num_shards,
-        num_workers=num_workers,
-        **kwargs,
-    )
+    with warnings.catch_warnings():
+        # The forwarding call would repeat the deprecation warning just issued.
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return run_threshold_sweep(
+            physical_rates,
+            trials,
+            seed=seed,
+            num_shards=num_shards,
+            num_workers=num_workers,
+            **kwargs,
+        )

@@ -15,6 +15,13 @@ from typing import Callable
 
 import numpy as np
 
+__all__ = [
+    "MonteCarloResult",
+    "scan_early_stop",
+    "estimate_failure_rate",
+    "estimate_failure_rate_batched",
+]
+
 
 @dataclass(frozen=True)
 class MonteCarloResult:

@@ -1,0 +1,511 @@
+"""The unified experiment API: specs, registry, runner, results, shims.
+
+Contracts exercised here:
+
+* spec construction validates strictly and JSON round-trips exactly,
+* the backend registry performs capability-based selection (packed from 64
+  effective lanes up, sharded only when ``num_shards > 1``) and accepts
+  third-party strategies,
+* ``run(ExperimentSpec.from_json(result.spec_json))`` replays a sharded
+  packed threshold sweep bit for bit on any worker count,
+* the deprecated kwargs entry points forward to the same implementation
+  (old path == new path, bit for bit at a fixed seed) and warn,
+* ``run_threshold_sweep_sharded`` rejects unknown keywords with TypeError,
+* ``from repro import *`` exposes exactly the curated ``__all__`` surface.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import (
+    BackendCapabilities,
+    BackendRegistry,
+    CircuitSpec,
+    ExecutionSpec,
+    ExperimentSpec,
+    NoiseSpec,
+    RunResult,
+    SamplingSpec,
+    default_registry,
+    run,
+)
+from repro.api.cli import main as cli_main
+from repro.exceptions import ParameterError, SimulationError
+from repro.stabilizer.monte_carlo import MonteCarloResult
+
+
+def sweep_spec(**overrides) -> ExperimentSpec:
+    """A small sharded threshold-sweep spec (the acceptance workload)."""
+    defaults = dict(
+        experiment="threshold_sweep",
+        noise=NoiseSpec(kind="uniform", physical_rates=(2.0e-3, 1.0e-2)),
+        sampling=SamplingSpec(shots=512, seed=77, batch_size=128),
+        execution=ExecutionSpec(backend="auto", num_shards=4, num_workers=0),
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_noise_spec_rejects_unknown_kind(self):
+        with pytest.raises(ParameterError):
+            NoiseSpec(kind="gaussian")
+
+    def test_noise_spec_rejects_out_of_range_rates(self):
+        with pytest.raises(ParameterError):
+            NoiseSpec(physical_rates=(0.0,))
+        with pytest.raises(ParameterError):
+            NoiseSpec(physical_rates=(1.5,))
+
+    def test_technology_noise_rejects_rates(self):
+        with pytest.raises(ParameterError):
+            NoiseSpec(kind="technology", physical_rates=(1e-3,))
+
+    def test_unknown_parameter_set(self):
+        with pytest.raises(ParameterError):
+            NoiseSpec(parameters="optimistic")
+
+    def test_circuit_spec_movement_budget_validated(self):
+        with pytest.raises(Exception):
+            CircuitSpec(corner_turns=5)  # LayoutMapper enforces <= 2
+
+    def test_sampling_spec_rejects_bad_values(self):
+        with pytest.raises(ParameterError):
+            SamplingSpec(shots=-1)
+        with pytest.raises(ParameterError):
+            SamplingSpec(batch_size=0)
+        with pytest.raises(ParameterError):
+            SamplingSpec(max_failures=0)
+        with pytest.raises(ParameterError):
+            SamplingSpec(seed=-3)
+
+    def test_execution_spec_rejects_bad_values(self):
+        with pytest.raises(ParameterError):
+            ExecutionSpec(num_shards=0)
+        with pytest.raises(ParameterError):
+            ExecutionSpec(backend="")
+
+    def test_experiment_kind_validated(self):
+        with pytest.raises(ParameterError):
+            ExperimentSpec(experiment="resource_count", noise=NoiseSpec(physical_rates=(1e-3,)))
+
+    def test_threshold_sweep_needs_rates_and_shots(self):
+        with pytest.raises(ParameterError):
+            ExperimentSpec(experiment="threshold_sweep", noise=NoiseSpec(physical_rates=()))
+        with pytest.raises(ParameterError):
+            sweep_spec(sampling=SamplingSpec(shots=0, seed=1))
+
+    def test_logical_failure_needs_exactly_one_rate(self):
+        with pytest.raises(ParameterError):
+            ExperimentSpec(
+                experiment="logical_failure",
+                noise=NoiseSpec(physical_rates=(1e-3, 2e-3)),
+            )
+
+    def test_syndrome_rate_level2_is_analytic_only(self):
+        with pytest.raises(ParameterError):
+            ExperimentSpec(
+                experiment="syndrome_rate",
+                noise=NoiseSpec(kind="technology"),
+                circuit=CircuitSpec(level=2),
+                sampling=SamplingSpec(shots=100, seed=1),
+            )
+
+
+class TestSpecJsonRoundTrip:
+    def test_round_trip_is_exact(self):
+        spec = sweep_spec(
+            circuit=CircuitSpec(verified_ancilla=False, two_qubit_move_cells=10),
+            sampling=SamplingSpec(shots=777, seed=42, max_failures=9, batch_size=256),
+        )
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_round_trip_all_kinds(self):
+        specs = [
+            sweep_spec(),
+            ExperimentSpec(
+                experiment="logical_failure",
+                noise=NoiseSpec(physical_rates=(5e-3,), parameters="current"),
+                sampling=SamplingSpec(shots=64, seed=1),
+            ),
+            ExperimentSpec(
+                experiment="syndrome_rate",
+                noise=NoiseSpec(kind="technology"),
+                circuit=CircuitSpec(level=2),
+                sampling=SamplingSpec(shots=0, seed=0),
+            ),
+        ]
+        for spec in specs:
+            assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_tuple_seed_round_trips(self):
+        spec = sweep_spec(sampling=SamplingSpec(shots=64, seed=(1, 2, 3)))
+        rebuilt = ExperimentSpec.from_json(spec.to_json())
+        assert rebuilt.sampling.seed == (1, 2, 3)
+
+    def test_unknown_top_level_field_rejected(self):
+        data = sweep_spec().to_dict()
+        data["retries"] = 3
+        with pytest.raises(ParameterError, match="unknown experiment spec fields"):
+            ExperimentSpec.from_dict(data)
+
+    def test_unknown_sub_spec_field_rejected(self):
+        data = sweep_spec().to_dict()
+        data["sampling"]["max_shots"] = 10
+        with pytest.raises(ParameterError, match="unknown sampling spec fields"):
+            ExperimentSpec.from_dict(data)
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ParameterError):
+            ExperimentSpec.from_json("not json {")
+        with pytest.raises(ParameterError):
+            ExperimentSpec.from_json(json.dumps([1, 2]))
+
+
+class TestRegistrySelection:
+    def test_packed_chosen_at_64_lanes(self):
+        registry = default_registry()
+        strategy, engine = registry.resolve("auto", shots=64, batch_size=1024, num_shards=1)
+        assert (strategy.name, engine) == ("packed", "packed")
+
+    def test_uint8_below_64_lanes(self):
+        registry = default_registry()
+        strategy, engine = registry.resolve("auto", shots=63, batch_size=1024, num_shards=1)
+        assert (strategy.name, engine) == ("uint8", "uint8")
+        # batch_size caps the effective batch even for large shot counts
+        strategy, engine = registry.resolve("auto", shots=10_000, batch_size=32, num_shards=1)
+        assert engine == "uint8"
+
+    def test_sharded_only_when_shards_exceed_one(self):
+        registry = default_registry()
+        strategy, engine = registry.resolve("auto", shots=4096, batch_size=1024, num_shards=4)
+        assert (strategy.name, engine) == ("sharded", "packed")
+        strategy, _ = registry.resolve("auto", shots=4096, batch_size=1024, num_shards=1)
+        assert strategy.name != "sharded"
+
+    def test_sharding_shrinks_the_effective_batch(self):
+        # 256 shots over 8 shards -> 32-lane shards -> uint8 engine.
+        registry = default_registry()
+        strategy, engine = registry.resolve("auto", shots=256, batch_size=1024, num_shards=8)
+        assert (strategy.name, engine) == ("sharded", "uint8")
+
+    def test_explicit_engine_with_shards_runs_sharded(self):
+        registry = default_registry()
+        strategy, engine = registry.resolve("uint8", shots=4096, batch_size=1024, num_shards=2)
+        assert (strategy.name, engine) == ("sharded", "uint8")
+
+    def test_scalar_refuses_shards(self):
+        with pytest.raises(ParameterError):
+            default_registry().resolve("scalar", shots=100, batch_size=64, num_shards=2)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(SimulationError):
+            default_registry().resolve("simd", shots=100, batch_size=64)
+
+    def test_max_qubits_capability_excludes_backends(self):
+        registry = BackendRegistry()
+
+        class TinyBackend:
+            name = "tiny"
+            capabilities = BackendCapabilities(supports_batching=True, max_qubits=4)
+
+            def estimate(self, task, shots, **kwargs):
+                raise AssertionError("never selected")
+
+        registry.register(TinyBackend())
+        with pytest.raises(SimulationError):
+            registry.resolve("tiny", shots=100, batch_size=64, num_qubits=21)
+        with pytest.raises(SimulationError):  # auto-selection skips it too
+            registry.resolve("auto", shots=100, batch_size=64, num_qubits=21)
+
+    def test_duplicate_registration_rejected(self):
+        registry = BackendRegistry()
+
+        class Stub:
+            name = "stub"
+            capabilities = BackendCapabilities()
+
+            def estimate(self, task, shots, **kwargs):
+                return MonteCarloResult(failures=0, trials=shots)
+
+        registry.register(Stub())
+        with pytest.raises(ParameterError):
+            registry.register(Stub())
+        registry.register(Stub(), replace=True)
+
+    def test_third_party_backend_never_hijacks_tableau_resolution(self):
+        # A custom strategy can win strategy auto-selection, but its name must
+        # never reach the batched-tableau layer (which only understands
+        # uint8/packed and would silently fall back to uint8 otherwise).
+        from repro.arq.simulator import create_batch_tableau, resolve_backend
+        from repro.stabilizer import PackedBatchTableau
+
+        class FancyBackend:
+            name = "fancy"
+            capabilities = BackendCapabilities(supports_batching=True, min_auto_batch=128)
+
+            def estimate(self, task, shots, **kwargs):
+                return MonteCarloResult(failures=0, trials=shots)
+
+        registry = default_registry()
+        registry.register(FancyBackend())
+        try:
+            assert resolve_backend("auto", 1024) == "packed"
+            assert isinstance(create_batch_tableau("auto", 7, 1024), PackedBatchTableau)
+            # Shard tasks always pin a real tableau engine.
+            _, engine = registry.resolve("auto", shots=4096, batch_size=1024, num_shards=2)
+            assert engine == "packed"
+            # But the custom strategy does win unsharded strategy selection.
+            strategy, _ = registry.resolve("auto", shots=4096, batch_size=1024, num_shards=1)
+            assert strategy.name == "fancy"
+        finally:
+            registry.unregister("fancy")
+
+    def test_third_party_backend_runs_through_the_api(self):
+        calls = {}
+
+        class CountingBackend:
+            name = "counting"
+            capabilities = BackendCapabilities(supports_batching=True)
+
+            def estimate(self, task, shots, **kwargs):
+                calls["shots"] = shots
+                return MonteCarloResult(failures=1, trials=shots)
+
+        registry = BackendRegistry()
+        registry.register(CountingBackend())
+        result = run(
+            ExperimentSpec(
+                experiment="logical_failure",
+                noise=NoiseSpec(physical_rates=(1e-3,)),
+                sampling=SamplingSpec(shots=123, seed=0),
+                execution=ExecutionSpec(backend="counting"),
+            ),
+            registry=registry,
+        )
+        assert calls["shots"] == 123
+        assert result.backend == "counting"
+        assert result.value == MonteCarloResult(failures=1, trials=123)
+
+
+class TestRunAndReplay:
+    def test_sharded_packed_sweep_replays_bit_for_bit(self):
+        result = run(sweep_spec())
+        assert result.backend == "sharded"
+        assert result.engine == "packed"
+        replay = run(ExperimentSpec.from_json(result.spec_json))
+        assert replay.value == result.value
+        assert replay.seed_entropy == result.seed_entropy
+
+    def test_worker_count_never_changes_results(self):
+        serial = run(sweep_spec(execution=ExecutionSpec(num_shards=4, num_workers=0)))
+        pooled = run(sweep_spec(execution=ExecutionSpec(num_shards=4, num_workers=2)))
+        assert serial.value == pooled.value
+
+    def test_fresh_entropy_is_materialized_and_replayable(self):
+        spec = sweep_spec(sampling=SamplingSpec(shots=128, seed=None, batch_size=64))
+        result = run(spec)
+        assert result.spec.sampling.seed is not None
+        assert result.seed_entropy == result.spec.sampling.seed
+        replay = run(ExperimentSpec.from_json(result.spec_json))
+        assert replay.value == result.value
+
+    def test_provenance_fields(self):
+        result = run(sweep_spec())
+        assert result.num_shards == 4
+        assert result.wall_time_seconds > 0.0
+        assert result.library_version == repro.__version__
+
+    def test_scalar_backend_runs_threshold_sweep(self):
+        result = run(
+            sweep_spec(
+                sampling=SamplingSpec(shots=40, seed=3),
+                execution=ExecutionSpec(backend="scalar"),
+            )
+        )
+        assert (result.backend, result.engine) == ("scalar", "scalar")
+        assert all(mc.trials == 40 for mc in result.value.level1)
+
+    def test_syndrome_rate_analytic_and_measured(self):
+        analytic = run(
+            ExperimentSpec(
+                experiment="syndrome_rate",
+                noise=NoiseSpec(kind="technology"),
+                sampling=SamplingSpec(shots=0, seed=0),
+            )
+        )
+        assert analytic.backend == "none"
+        assert analytic.value["analytic"] == pytest.approx(2.1154e-4, rel=1e-3)
+        measured = run(
+            ExperimentSpec(
+                experiment="syndrome_rate",
+                noise=NoiseSpec(kind="technology"),
+                sampling=SamplingSpec(shots=128, seed=5),
+            )
+        )
+        assert 0.0 <= measured.value["measured"] <= 1.0
+        assert measured.value["trials"] == 128.0
+
+    def test_run_requires_a_spec(self):
+        with pytest.raises(ParameterError):
+            run({"experiment": "threshold_sweep"})
+
+
+class TestRunResultJson:
+    def test_threshold_sweep_result_round_trips(self):
+        result = run(sweep_spec(sampling=SamplingSpec(shots=128, seed=9, batch_size=64)))
+        rebuilt = RunResult.from_json(result.to_json())
+        assert rebuilt.value == result.value
+        assert rebuilt.spec == result.spec
+        assert rebuilt.backend == result.backend
+        assert rebuilt.engine == result.engine
+        assert rebuilt.seed_entropy == result.seed_entropy
+
+    def test_logical_failure_result_round_trips(self):
+        result = run(
+            ExperimentSpec(
+                experiment="logical_failure",
+                noise=NoiseSpec(physical_rates=(1e-2,)),
+                sampling=SamplingSpec(shots=96, seed=2),
+            )
+        )
+        rebuilt = RunResult.from_json(result.to_json())
+        assert rebuilt.value == result.value
+
+    def test_unknown_result_field_rejected(self):
+        result = run(
+            ExperimentSpec(
+                experiment="syndrome_rate",
+                noise=NoiseSpec(kind="technology"),
+                sampling=SamplingSpec(shots=0, seed=0),
+            )
+        )
+        data = result.to_dict()
+        data["hostname"] = "somewhere"
+        with pytest.raises(ParameterError):
+            RunResult.from_dict(data)
+
+
+class TestDeprecationShims:
+    RATES = (2.0e-3, 1.0e-2)
+
+    def test_run_threshold_sweep_warns(self):
+        from repro.arq.experiments import run_threshold_sweep
+
+        with pytest.warns(DeprecationWarning):
+            run_threshold_sweep(self.RATES, trials=64, seed=1, batch_size=64)
+
+    def test_syndrome_rate_estimate_warns(self):
+        from repro.arq.experiments import syndrome_rate_estimate
+
+        with pytest.warns(DeprecationWarning):
+            syndrome_rate_estimate(1)
+
+    def test_run_threshold_sweep_sharded_warns(self):
+        from repro.parallel import run_threshold_sweep_sharded
+
+        with pytest.warns(DeprecationWarning):
+            run_threshold_sweep_sharded(self.RATES, 64, seed=1, num_workers=1, batch_size=64)
+
+    def test_old_kwargs_path_equals_new_spec_path_bit_for_bit(self):
+        from repro.arq.experiments import run_threshold_sweep
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = run_threshold_sweep(
+                self.RATES,
+                trials=512,
+                seed=np.random.SeedSequence(77),
+                num_shards=4,
+                num_workers=0,
+                batch_size=128,
+            )
+        new = run(sweep_spec())
+        assert old == new.value
+
+    def test_sharded_wrapper_equals_spec_path_bit_for_bit(self):
+        from repro.parallel import run_threshold_sweep_sharded
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = run_threshold_sweep_sharded(
+                self.RATES, 512, seed=77, num_shards=4, num_workers=2, batch_size=128
+            )
+        new = run(sweep_spec())
+        assert old == new.value
+
+    def test_sharded_wrapper_rejects_unknown_kwargs(self):
+        from repro.parallel import run_threshold_sweep_sharded
+
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                run_threshold_sweep_sharded(self.RATES, 64, seed=1, trails=10)
+
+    def test_syndrome_shim_matches_spec_keys(self):
+        from repro.arq.experiments import syndrome_rate_estimate
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = syndrome_rate_estimate(
+                1, monte_carlo_trials=64, rng=np.random.default_rng(0)
+            )
+        assert set(legacy) == {"analytic", "level", "measured", "trials"}
+
+
+class TestCuratedSurface:
+    def test_star_import_matches_all(self):
+        namespace: dict = {}
+        exec("from repro import *", namespace)
+        exported = {name for name in namespace if name != "__builtins__"}
+        assert exported == set(repro.__all__)
+
+    def test_star_import_leaks_no_modules(self):
+        import types
+
+        namespace: dict = {}
+        exec("from repro import *", namespace)
+        leaked = [
+            name
+            for name, value in namespace.items()
+            if isinstance(value, types.ModuleType)
+        ]
+        assert leaked == []
+
+    def test_api_names_reachable_from_top_level(self):
+        for name in ("run", "ExperimentSpec", "NoiseSpec", "SamplingSpec",
+                     "ExecutionSpec", "CircuitSpec", "RunResult",
+                     "BackendRegistry", "default_registry"):
+            assert hasattr(repro, name)
+
+
+class TestCli:
+    def test_cli_runs_a_spec_file(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            sweep_spec(sampling=SamplingSpec(shots=64, seed=5, batch_size=64)).to_json()
+        )
+        out_path = tmp_path / "result.json"
+        assert cli_main([str(spec_path), "-o", str(out_path), "--quiet"]) == 0
+        result = RunResult.from_json(out_path.read_text())
+        assert result.spec.sampling.seed == 5
+        assert result.value.level1[0].trials <= 64
+
+    def test_cli_example_prints_a_valid_spec(self, capsys):
+        assert cli_main(["--example", "syndrome_rate"]) == 0
+        spec = ExperimentSpec.from_json(capsys.readouterr().out)
+        assert spec.experiment == "syndrome_rate"
+
+    def test_cli_rejects_bad_spec(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"experiment": "threshold_sweep", "noise": {}, "oops": 1}))
+        assert cli_main([str(bad), "--quiet"]) == 1
+
+    def test_cli_missing_file(self, tmp_path):
+        assert cli_main([str(tmp_path / "absent.json")]) == 2
