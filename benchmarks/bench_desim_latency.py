@@ -1,0 +1,184 @@
+"""Machine-simulator latency benchmark: Shor adder-kernel replay + Section 5.
+
+Two studies, both through the declarative ``machine_sim`` experiment:
+
+* **Shor-128 adder-kernel replay** -- the 128-bit ripple-carry adder (the unit
+  of the paper's modular-exponentiation datapath, 385 logical qubits on a
+  20x20 tile sub-array) replayed cycle-by-cycle at interconnect bandwidths 1
+  and 2: end-to-end cycles, critical path, stalls and channel utilization.
+* **Section 5 stress workload** -- layers of concurrent Toffoli gates over an
+  8x8 array (the circuit-level analogue of the paper's 48-Toffoli scheduler
+  experiment).  The acceptance contract of the paper's headline result is
+  checked here: bandwidth 2 shows strictly fewer communication-stall cycles
+  than bandwidth 1 (zero, when fully overlapped), and the replay is
+  deterministic (same spec JSON -> bit-identical trace digest).
+
+Results are written to ``BENCH_desim_latency.json`` at the repository root.
+Run under pytest (``pytest benchmarks/bench_desim_latency.py``) or directly
+(``python benchmarks/bench_desim_latency.py [--smoke]``); ``--smoke`` shrinks
+the workloads to CI scale while keeping every assertion.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+try:  # the CI smoke job runs this file directly with only numpy installed
+    import pytest
+except ImportError:  # pragma: no cover - direct execution without pytest
+    pytest = None
+
+from repro.api import (
+    ExecutionSpec,
+    ExperimentSpec,
+    MachineSpec,
+    NoiseSpec,
+    SamplingSpec,
+    run,
+)
+
+#: Full-mode adder replay: the Shor-128 kernel on a 20x20 tile sub-array.
+ADDER_BITS = 128
+ADDER_ROWS, ADDER_COLUMNS = 20, 20
+
+#: Full-mode Section 5 stress workload (21 disjoint Toffolis fit 64 tiles).
+S5_ROWS, S5_COLUMNS = 8, 8
+S5_TOFFOLIS_PER_LAYER = 21
+S5_LAYERS = 20
+
+SEED = 20260728
+
+_OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_desim_latency.json"
+
+
+def _machine_sim_spec(machine: MachineSpec) -> ExperimentSpec:
+    return ExperimentSpec(
+        experiment="machine_sim",
+        noise=NoiseSpec(kind="technology", parameters="expected"),
+        sampling=SamplingSpec(shots=0, seed=SEED),
+        execution=ExecutionSpec(backend="desim"),
+        machine=machine,
+    )
+
+
+def _replay(machine: MachineSpec) -> dict[str, object]:
+    start = time.perf_counter()
+    result = run(_machine_sim_spec(machine))
+    seconds = time.perf_counter() - start
+    value = dict(result.value)
+    value["host_seconds"] = seconds
+    return value
+
+
+def _adder_study(bits: int, rows: int, columns: int) -> dict[str, object]:
+    study: dict[str, object] = {"bits": bits, "rows": rows, "columns": columns}
+    for bandwidth in (1, 2):
+        study[f"bandwidth_{bandwidth}"] = _replay(
+            MachineSpec(
+                rows=rows,
+                columns=columns,
+                bandwidth=bandwidth,
+                level=2,
+                workload="adder",
+                workload_bits=bits,
+            )
+        )
+    return study
+
+
+def _section5_study(toffolis: int, layers: int) -> dict[str, object]:
+    study: dict[str, object] = {
+        "rows": S5_ROWS,
+        "columns": S5_COLUMNS,
+        "toffolis_per_layer": toffolis,
+        "layers": layers,
+    }
+    for bandwidth in (1, 2):
+        study[f"bandwidth_{bandwidth}"] = _replay(
+            MachineSpec(
+                rows=S5_ROWS,
+                columns=S5_COLUMNS,
+                bandwidth=bandwidth,
+                level=2,
+                workload="toffoli_layers",
+                toffolis_per_layer=toffolis,
+                workload_depth=layers,
+            )
+        )
+    # Determinism: the same spec must reproduce the bandwidth-2 digest.
+    repeat = _replay(
+        MachineSpec(
+            rows=S5_ROWS,
+            columns=S5_COLUMNS,
+            bandwidth=2,
+            level=2,
+            workload="toffoli_layers",
+            toffolis_per_layer=toffolis,
+            workload_depth=layers,
+        )
+    )
+    study["bandwidth_2_replay_digest"] = repeat["trace_digest"]
+    return study
+
+
+def _run_benchmark(smoke: bool = False) -> dict[str, object]:
+    if smoke:
+        adder = _adder_study(bits=8, rows=5, columns=5)
+        section5 = _section5_study(toffolis=21, layers=6)
+    else:
+        adder = _adder_study(bits=ADDER_BITS, rows=ADDER_ROWS, columns=ADDER_COLUMNS)
+        section5 = _section5_study(toffolis=S5_TOFFOLIS_PER_LAYER, layers=S5_LAYERS)
+    report = {"smoke": smoke, "adder_replay": adder, "section5_workload": section5}
+    if not smoke:
+        _OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def _check(report: dict[str, object]) -> None:
+    section5 = report["section5_workload"]
+    narrow, wide = section5["bandwidth_1"], section5["bandwidth_2"]
+    # The Section 5 contract: bandwidth 2 avoids the stalls of bandwidth 1.
+    assert narrow["stall_cycles"] > wide["stall_cycles"], (narrow, wide)
+    assert wide["epr_deferred"] == 0 and wide["epr_unserved"] == 0, wide
+    # Determinism: bit-identical digest on replay of the same spec.
+    assert section5["bandwidth_2_replay_digest"] == wide["trace_digest"]
+    # The adder replay is dependency-bound: the event makespan tracks the
+    # analytic critical path within 10% at both bandwidths (the residual gap
+    # is ancilla-factory queueing -- the independent first-carry Toffolis of
+    # every bit all request production in window 0 -- not communication, so
+    # it is identical across bandwidths).
+    adder = report["adder_replay"]
+    for key in ("bandwidth_1", "bandwidth_2"):
+        value = adder[key]
+        assert value["makespan_cycles"] >= value["critical_path_cycles"]
+        assert value["makespan_cycles"] <= 1.10 * value["critical_path_cycles"], value
+    assert adder["bandwidth_1"]["stall_cycles"] >= adder["bandwidth_2"]["stall_cycles"]
+
+
+if pytest is not None:
+
+    @pytest.mark.benchmark(group="desim-latency", min_rounds=1, max_time=0.0, warmup=False)
+    def test_desim_latency_benchmark(benchmark):
+        report = benchmark.pedantic(_run_benchmark, kwargs={"smoke": True}, rounds=1, iterations=1)
+        _check(report)
+
+        wide = report["section5_workload"]["bandwidth_2"]
+        narrow = report["section5_workload"]["bandwidth_1"]
+        print()
+        print(
+            f"section5: bw1 stalls={narrow['stall_cycles']} "
+            f"(deferred {narrow['epr_deferred']}), bw2 stalls={wide['stall_cycles']} "
+            f"(fully overlapped), digest {wide['trace_digest'][:12]}"
+        )
+
+
+if __name__ == "__main__":
+    smoke_mode = "--smoke" in sys.argv[1:]
+    result = _run_benchmark(smoke=smoke_mode)
+    _check(result)
+    print(json.dumps(result, indent=2))
+    if smoke_mode:
+        print("smoke benchmark passed: desim stalls + determinism OK", file=sys.stderr)

@@ -35,7 +35,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every table and figure.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.core import (
     ApplicationPerformance,
@@ -56,6 +56,7 @@ from repro.api import (
     CircuitSpec,
     ExecutionSpec,
     ExperimentSpec,
+    MachineSpec,
     NoiseSpec,
     RunResult,
     SamplingSpec,
@@ -71,6 +72,7 @@ __all__ = [
     "CircuitSpec",
     "SamplingSpec",
     "ExecutionSpec",
+    "MachineSpec",
     "RunResult",
     "BackendRegistry",
     "default_registry",

@@ -27,6 +27,7 @@ from repro.api.specs import (
     CircuitSpec,
     ExecutionSpec,
     ExperimentSpec,
+    MachineSpec,
     NoiseSpec,
     SamplingSpec,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "CircuitSpec",
     "SamplingSpec",
     "ExecutionSpec",
+    "MachineSpec",
     "BackendCapabilities",
     "BackendRegistry",
     "ExecutionBackend",

@@ -16,12 +16,19 @@ bit.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
 from repro.exceptions import QLAError
 from repro.api.runner import run
-from repro.api.specs import ExperimentSpec, NoiseSpec, SamplingSpec, ExecutionSpec
+from repro.api.specs import (
+    ExperimentSpec,
+    ExecutionSpec,
+    MachineSpec,
+    NoiseSpec,
+    SamplingSpec,
+)
 
 __all__ = ["main"]
 
@@ -43,7 +50,36 @@ _EXAMPLES = {
         noise=NoiseSpec(kind="technology", parameters="expected"),
         sampling=SamplingSpec(shots=0, seed=0),
     ),
+    "machine_sim": ExperimentSpec(
+        experiment="machine_sim",
+        noise=NoiseSpec(kind="technology", parameters="expected"),
+        sampling=SamplingSpec(shots=0, seed=7),
+        execution=ExecutionSpec(backend="desim"),
+        machine=MachineSpec(rows=8, columns=8, bandwidth=2, level=2,
+                            workload="adder", workload_bits=8),
+    ),
 }
+
+
+def _emit(text: str) -> None:
+    """Print to stdout, surviving a closed or broken pipe.
+
+    ``repro-run ... | head`` (or a harness that closes stdout early) must not
+    turn a finished run into a failure: the result file named by ``--output``
+    is written before anything is printed, so a dead stdout only loses the
+    console copy.  On a broken pipe stdout is redirected to the null device
+    so the interpreter's exit-time flush cannot raise either.
+    """
+    try:
+        print(text)
+        sys.stdout.flush()
+    except BrokenPipeError:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+    except ValueError:
+        # stdout was closed outright (ValueError: I/O operation on closed
+        # file); nothing to print to, nothing to clean up.
+        pass
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -62,7 +98,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.example:
-        print(_EXAMPLES[args.example].to_json(indent=2))
+        _emit(_EXAMPLES[args.example].to_json(indent=2))
         return 0
     if not args.spec:
         parser.error("a spec file is required (or --example to print a starter spec)")
@@ -79,10 +115,12 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     text = result.to_json(indent=2)
+    # The output file is written first: it must survive even when stdout is a
+    # broken pipe or was closed under --quiet.
     if args.output:
         Path(args.output).write_text(text + "\n")
     if not args.quiet:
-        print(text)
+        _emit(text)
     return 0
 
 

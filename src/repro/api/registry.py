@@ -53,6 +53,7 @@ __all__ = [
     "ScalarBackend",
     "EngineBackend",
     "ShardedBackend",
+    "DesimBackend",
     "default_registry",
     "resolve_engine",
 ]
@@ -204,6 +205,68 @@ class EngineBackend:
         return estimate_failure_rate_batched(
             task, shots, _seeded_rng(seed, rng), batch_size=batch_size, max_failures=max_failures
         )
+
+
+@dataclass(frozen=True)
+class DesimBackend:
+    """The discrete-event machine simulator as a registry strategy.
+
+    Unlike the Monte-Carlo strategies it does not estimate a failure rate --
+    it deterministically replays a compiled workload cycle-by-cycle --  so it
+    is registered non-batching/non-sharding (never auto-selected for shot
+    estimation) and exposes :meth:`simulate` instead of a useful
+    :meth:`estimate`.
+    """
+
+    name: str = "desim"
+    capabilities: BackendCapabilities = BackendCapabilities(
+        supports_batching=False, supports_sharding=False
+    )
+
+    def estimate(self, task, shots, *, seed=None, rng=None, batch_size=1024,
+                 max_failures=None, num_shards=1, num_workers=0) -> MonteCarloResult:
+        raise ParameterError(
+            "the desim backend replays compiled circuits cycle-by-cycle; it has "
+            "no Monte-Carlo estimate -- run an ExperimentSpec(experiment='machine_sim')"
+        )
+
+    def simulate(self, spec) -> dict:
+        """Replay a ``machine_sim`` spec and return its JSON-ready value."""
+        # Imported lazily: the registry must stay importable without pulling
+        # the whole simulator (and desim imports network/layout/qecc layers).
+        from repro.desim import (
+            QLAMachineModel,
+            build_workload_circuit,
+            compile_workload_circuit,
+            simulate_circuit,
+        )
+
+        machine_spec = spec.machine
+        machine = QLAMachineModel.build(
+            rows=machine_spec.rows,
+            columns=machine_spec.columns,
+            bandwidth=machine_spec.bandwidth,
+            level=machine_spec.level,
+            parameters=spec.noise.parameter_set(),
+            cycle_time_seconds=machine_spec.cycle_time_seconds,
+            num_ancilla_factories=machine_spec.num_ancilla_factories,
+            transfers_per_lane_per_window=machine_spec.transfers_per_lane_per_window,
+            max_deferral_windows=machine_spec.max_deferral_windows,
+            ancilla_jitter_cycles=machine_spec.ancilla_jitter_cycles,
+        )
+        circuit = build_workload_circuit(
+            machine_spec.workload,
+            bits=machine_spec.workload_bits,
+            parallel=machine_spec.workload_parallel,
+            num_qubits=machine.num_tiles,
+            toffolis_per_layer=machine_spec.toffolis_per_layer,
+            layers=machine_spec.workload_depth,
+            seed=machine_spec.workload_seed,
+        )
+        report = simulate_circuit(
+            compile_workload_circuit(circuit), machine, seed=spec.sampling.seed
+        )
+        return report.to_value()
 
 
 @dataclass(frozen=True)
@@ -394,6 +457,7 @@ def default_registry() -> BackendRegistry:
             )
         )
         registry.register(ShardedBackend())
+        registry.register(DesimBackend())
         _DEFAULT_REGISTRY = registry
     return _DEFAULT_REGISTRY
 

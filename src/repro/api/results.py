@@ -65,7 +65,7 @@ def _value_to_jsonable(experiment: str, value) -> object:
         return _sweep_to_dict(value)
     if experiment == "logical_failure":
         return {"failures": value.failures, "trials": value.trials}
-    return dict(value)  # syndrome_rate: a plain float dict already
+    return dict(value)  # syndrome_rate / machine_sim: plain JSON dicts already
 
 
 def _value_from_jsonable(experiment: str, data) -> object:
@@ -90,7 +90,8 @@ class RunResult:
         The experiment's result: a
         :class:`~repro.arq.experiments.ThresholdSweepResult` for threshold
         sweeps, a :class:`~repro.stabilizer.monte_carlo.MonteCarloResult` for
-        logical-failure estimates, or the syndrome-rate dictionary.
+        logical-failure estimates, the syndrome-rate dictionary, or the
+        machine-simulation metrics dictionary (trace digest included).
     backend:
         Name of the registered strategy that executed the shots.
     engine:

@@ -131,10 +131,22 @@ def _run_syndrome_rate(spec: ExperimentSpec, registry: BackendRegistry):
     return value, strategy.name, engine
 
 
+def _run_machine_sim(spec: ExperimentSpec, registry: BackendRegistry):
+    if spec.execution.backend not in ("auto", "desim"):
+        raise ParameterError(
+            f"machine_sim runs on the 'desim' strategy, not {spec.execution.backend!r}; "
+            "use backend='auto' or backend='desim'"
+        )
+    strategy = registry.get("desim")
+    value = strategy.simulate(spec)
+    return value, strategy.name, "desim"
+
+
 _EXPERIMENT_RUNNERS = {
     "threshold_sweep": _run_threshold_sweep,
     "logical_failure": _run_logical_failure,
     "syndrome_rate": _run_syndrome_rate,
+    "machine_sim": _run_machine_sim,
 }
 
 

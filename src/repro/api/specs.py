@@ -37,10 +37,12 @@ from repro.iontrap.parameters import (
 __all__ = [
     "PARAMETER_SETS",
     "EXPERIMENT_KINDS",
+    "MACHINE_WORKLOADS",
     "NoiseSpec",
     "CircuitSpec",
     "SamplingSpec",
     "ExecutionSpec",
+    "MachineSpec",
     "ExperimentSpec",
 ]
 
@@ -51,7 +53,12 @@ PARAMETER_SETS: dict[str, IonTrapParameters] = {
 }
 
 #: Experiment kinds understood by :func:`repro.api.run`.
-EXPERIMENT_KINDS = ("threshold_sweep", "logical_failure", "syndrome_rate")
+EXPERIMENT_KINDS = ("threshold_sweep", "logical_failure", "syndrome_rate", "machine_sim")
+
+#: Workloads the ``machine_sim`` experiment can replay (mirrors
+#: :data:`repro.desim.workload.WORKLOAD_KINDS`; kept literal here so spec
+#: validation does not import the simulator).
+MACHINE_WORKLOADS = ("adder", "toffoli_layers", "ghz")
 
 #: Noise kinds: ``"uniform"`` sweeps all component rates together with the
 #: movement rate pinned to the parameter set's expected value (the Figure 7
@@ -239,6 +246,97 @@ class ExecutionSpec:
 
 
 @dataclass(frozen=True)
+class MachineSpec:
+    """The QLA machine and workload of a ``machine_sim`` replay.
+
+    Attributes
+    ----------
+    rows, columns:
+        Tile-array dimensions (one logical qubit per tile, row-major).
+    bandwidth:
+        Physical channel lanes per direction (the Section 5 knob).
+    level:
+        Recursion level whose Equation 1 timings drive the clock.
+    workload:
+        ``"adder"`` (ripple-carry adder kernels, the Shor datapath unit),
+        ``"toffoli_layers"`` (the Section 5 concurrent-Toffoli stress
+        workload) or ``"ghz"`` (a Clifford chain).
+    workload_bits:
+        Adder width / GHZ size.
+    workload_parallel:
+        Independent adder units running side by side.
+    toffolis_per_layer / workload_depth / workload_seed:
+        Shape and operand-placement seed of the ``toffoli_layers`` workload.
+    cycle_time_microseconds:
+        Length of one simulation cycle.
+    transfers_per_lane_per_window / max_deferral_windows:
+        Greedy EPR-scheduler policy.
+    num_ancilla_factories:
+        Toffoli ancilla factories in the machine-wide pool.
+    ancilla_jitter_cycles:
+        Inclusive upper bound of the seeded per-production delay (0 keeps
+        factory production fully deterministic).
+    """
+
+    rows: int = 8
+    columns: int = 8
+    bandwidth: int = 2
+    level: int = 2
+    workload: str = "adder"
+    workload_bits: int = 8
+    workload_parallel: int = 1
+    toffolis_per_layer: int = 16
+    workload_depth: int = 20
+    workload_seed: int = 2005
+    cycle_time_microseconds: float = 1.0
+    transfers_per_lane_per_window: int = 3
+    max_deferral_windows: int = 4
+    num_ancilla_factories: int = 4
+    ancilla_jitter_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.rows >= 1 and self.columns >= 1, "the tile array needs positive dimensions")
+        _require(self.bandwidth >= 1, "bandwidth must be at least one lane per direction")
+        _require(self.level >= 1, "machine replay is defined for recursion level >= 1")
+        _require(
+            self.workload in MACHINE_WORKLOADS,
+            f"unknown machine workload {self.workload!r}; expected one of {MACHINE_WORKLOADS}",
+        )
+        _require(self.workload_bits >= 1, "workload_bits must be >= 1")
+        _require(self.workload_parallel >= 1, "workload_parallel must be >= 1")
+        _require(self.toffolis_per_layer >= 1, "toffolis_per_layer must be >= 1")
+        _require(self.workload_depth >= 1, "workload_depth must be >= 1")
+        _require(self.workload_seed >= 0, "workload_seed must be a non-negative int")
+        _require(self.cycle_time_microseconds > 0.0, "cycle_time_microseconds must be positive")
+        _require(self.transfers_per_lane_per_window >= 1, "a lane carries at least one transfer per window")
+        _require(self.max_deferral_windows >= 0, "max_deferral_windows cannot be negative")
+        _require(self.num_ancilla_factories >= 1, "the machine needs at least one ancilla factory")
+        _require(self.ancilla_jitter_cycles >= 0, "ancilla_jitter_cycles cannot be negative")
+        tiles = self.rows * self.columns
+        needed = self.workload_qubits
+        _require(
+            needed <= tiles,
+            f"the {self.workload!r} workload needs {needed} tiles but the array has {tiles}",
+        )
+
+    @property
+    def workload_qubits(self) -> int:
+        """Logical qubits (= tiles) the configured workload occupies."""
+        if self.workload == "adder":
+            return self.workload_parallel * (3 * self.workload_bits + 1)
+        if self.workload == "toffoli_layers":
+            # The stress workload spreads over the whole array; it only needs
+            # room for the disjoint operand triples of one layer.
+            return max(3 * self.toffolis_per_layer, 1)
+        return self.workload_bits  # ghz
+
+    @property
+    def cycle_time_seconds(self) -> float:
+        """Cycle length in seconds."""
+        return self.cycle_time_microseconds * 1.0e-6
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
     """One complete, declarative experiment description.
 
@@ -247,11 +345,17 @@ class ExperimentSpec:
     experiment:
         ``"threshold_sweep"`` (Figure 7: level-1 failure rate per swept
         physical rate plus the fitted level-2 curve and threshold),
-        ``"logical_failure"`` (a single level-1 failure-rate estimate), or
+        ``"logical_failure"`` (a single level-1 failure-rate estimate),
         ``"syndrome_rate"`` (Section 4.1.1 non-trivial-syndrome rate,
-        analytic plus optional Monte Carlo).
+        analytic plus optional Monte Carlo), or ``"machine_sim"`` (a
+        deterministic cycle-level replay of a compiled workload on the QLA
+        machine model).
     noise / circuit / sampling / execution:
         The composed sub-specs; see their docstrings.
+    machine:
+        The machine/workload description of a ``machine_sim`` replay
+        (defaults applied when omitted); must be absent for the Monte-Carlo
+        experiment kinds.
     """
 
     experiment: str
@@ -259,6 +363,7 @@ class ExperimentSpec:
     circuit: CircuitSpec = field(default_factory=CircuitSpec)
     sampling: SamplingSpec = field(default_factory=SamplingSpec)
     execution: ExecutionSpec = field(default_factory=ExecutionSpec)
+    machine: MachineSpec | None = None
 
     def __post_init__(self) -> None:
         _require(
@@ -269,6 +374,27 @@ class ExperimentSpec:
         _require(isinstance(self.circuit, CircuitSpec), "circuit must be a CircuitSpec")
         _require(isinstance(self.sampling, SamplingSpec), "sampling must be a SamplingSpec")
         _require(isinstance(self.execution, ExecutionSpec), "execution must be an ExecutionSpec")
+        if self.experiment == "machine_sim":
+            if self.machine is None:
+                object.__setattr__(self, "machine", MachineSpec())
+            _require(isinstance(self.machine, MachineSpec), "machine must be a MachineSpec")
+            _require(
+                self.noise.kind == "technology",
+                "machine_sim replays the technology timings; use technology noise",
+            )
+            _require(
+                self.sampling.shots == 0,
+                "machine_sim is a deterministic replay, not a Monte-Carlo estimate; set shots=0",
+            )
+            _require(
+                self.execution.num_shards == 1,
+                "machine_sim runs one replay; num_shards must be 1",
+            )
+            return
+        _require(
+            self.machine is None,
+            f"a machine spec only applies to machine_sim experiments, not {self.experiment!r}",
+        )
         if self.experiment == "threshold_sweep":
             _require(self.noise.kind == "uniform", "a threshold sweep needs uniform (swept) noise")
             _require(len(self.noise.physical_rates) >= 1, "the threshold sweep needs at least one physical rate")
@@ -302,13 +428,16 @@ class ExperimentSpec:
                 out[f.name] = list(value) if isinstance(value, tuple) else value
             return out
 
-        return {
+        out = {
             "experiment": self.experiment,
             "noise": spec_dict(self.noise),
             "circuit": spec_dict(self.circuit),
             "sampling": spec_dict(self.sampling),
             "execution": spec_dict(self.execution),
         }
+        if self.machine is not None:
+            out["machine"] = spec_dict(self.machine)
+        return out
 
     def to_json(self, indent: int | None = None) -> str:
         """Serialize to JSON; ``from_json`` round-trips exactly."""
@@ -319,7 +448,7 @@ class ExperimentSpec:
         """Strictly rebuild a spec from a dictionary (unknown keys raise)."""
         if not isinstance(data, dict):
             raise ParameterError(f"an experiment spec must be a JSON object, got {type(data).__name__}")
-        allowed = {"experiment", "noise", "circuit", "sampling", "execution"}
+        allowed = {"experiment", "noise", "circuit", "sampling", "execution", "machine"}
         unknown = sorted(set(data) - allowed)
         if unknown:
             raise ParameterError(f"unknown experiment spec fields: {unknown}")
@@ -334,6 +463,11 @@ class ExperimentSpec:
                 circuit=_from_mapping(CircuitSpec, data.get("circuit", {}), "circuit spec"),
                 sampling=_from_mapping(SamplingSpec, data.get("sampling", {}), "sampling spec"),
                 execution=_from_mapping(ExecutionSpec, data.get("execution", {}), "execution spec"),
+                machine=(
+                    _from_mapping(MachineSpec, data["machine"], "machine spec")
+                    if "machine" in data
+                    else None
+                ),
             )
         except TypeError as error:  # e.g. a field of the wrong JSON type
             raise ParameterError(f"malformed experiment spec: {error}") from error

@@ -30,7 +30,12 @@ import numpy as np
 
 from repro.arq.mapper import LayoutMapper, MappedCircuit
 from repro.circuits import Circuit
-from repro.circuits.compiled import CompiledCircuit, Opcode, compile_circuit
+from repro.circuits.compiled import (
+    CompiledCircuit,
+    Opcode,
+    compile_circuit,
+    require_simulable,
+)
 from repro.circuits.gate import OpKind
 from repro.exceptions import SimulationError
 from repro.pauli import PauliString, PauliTerm
@@ -381,6 +386,7 @@ class BatchedNoisyCircuitExecutor:
             Optional per-call override of the executor's backend.
         """
         program = circuit if isinstance(circuit, CompiledCircuit) else self.compile(circuit)
+        require_simulable(program)
         if batch_size <= 0:
             raise SimulationError("batch_size must be positive")
         requested = backend if backend is not None else self._backend

@@ -19,7 +19,12 @@ architecture layer then maps onto physical layouts.  This package provides
 
 from repro.circuits.gate import Gate, Operation, OpKind, CLIFFORD_GATES
 from repro.circuits.circuit import Circuit
-from repro.circuits.compiled import CompiledCircuit, Opcode, compile_circuit
+from repro.circuits.compiled import (
+    CompiledCircuit,
+    Opcode,
+    compile_circuit,
+    require_simulable,
+)
 from repro.circuits.dag import CircuitDag, schedule_asap
 from repro.circuits.library import (
     bell_pair_circuit,
@@ -51,6 +56,7 @@ __all__ = [
     "CompiledCircuit",
     "Opcode",
     "compile_circuit",
+    "require_simulable",
     "CircuitDag",
     "schedule_asap",
     "bell_pair_circuit",

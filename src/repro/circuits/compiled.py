@@ -50,6 +50,13 @@ class Opcode(enum.IntEnum):
     PREPARE = 10
     MEASURE = 11
     MEASURE_X = 12
+    # Timing-only opcodes (compiled with ``allow_timing_only=True``): legal
+    # workloads for the cycle-level machine simulator, rejected by the
+    # stabilizer executors because they are not Clifford operations.
+    TOFFOLI = 13
+    CCZ = 14
+    T = 15
+    TDG = 16
 
 
 #: Gate-name to opcode table (gate names are already upper-case in the IR).
@@ -78,6 +85,28 @@ MEASUREMENT_OPCODES: frozenset[int] = frozenset(
     {int(Opcode.MEASURE), int(Opcode.MEASURE_X)}
 )
 
+#: Non-Clifford opcodes the timing-only compilation path may emit.  Programs
+#: containing them replay on the discrete-event machine simulator
+#: (:mod:`repro.desim`) but are rejected by the stabilizer executors.
+TIMING_ONLY_OPCODES: frozenset[int] = frozenset(
+    {int(Opcode.TOFFOLI), int(Opcode.CCZ), int(Opcode.T), int(Opcode.TDG)}
+)
+
+#: Opcodes that consume a third operand.
+THREE_QUBIT_OPCODES: frozenset[int] = frozenset(
+    {int(Opcode.TOFFOLI), int(Opcode.CCZ)}
+)
+
+#: Gate-name table of the timing-only opcodes.
+_TIMING_ONLY_GATE_OPCODES: dict[str, Opcode] = {
+    "TOFFOLI": Opcode.TOFFOLI,
+    "CCX": Opcode.TOFFOLI,
+    "CCZ": Opcode.CCZ,
+    "T": Opcode.T,
+    "TDG": Opcode.TDG,
+    "T_DAG": Opcode.TDG,
+}
+
 
 @dataclass(frozen=True)
 class CompiledCircuit:
@@ -92,6 +121,10 @@ class CompiledCircuit:
     qubit0, qubit1:
         ``(ops,)`` int32 operand arrays; ``qubit1`` is ``-1`` for one-operand
         operations.
+    qubit2:
+        ``(ops,)`` int32 third-operand array for the timing-only three-qubit
+        opcodes (``-1`` elsewhere), or ``None`` for programs compiled before
+        the timing-only path existed / without three-qubit gates.
     movement_exposure:
         ``(ops,)`` int32 array: cells + corner turns + splits of the ballistic
         movement preceding the operation (0 when no movement is charged).
@@ -116,6 +149,7 @@ class CompiledCircuit:
     moved_qubit: np.ndarray
     measurement_slot: np.ndarray
     measurement_labels: tuple[str, ...]
+    qubit2: np.ndarray | None = None
     name: str = ""
 
     @property
@@ -128,11 +162,45 @@ class CompiledCircuit:
         """Number of measurement result slots."""
         return len(self.measurement_labels)
 
+    @property
+    def is_simulable(self) -> bool:
+        """True when every opcode is executable on the stabilizer engines."""
+        return not np.isin(self.opcodes, list(TIMING_ONLY_OPCODES)).any()
+
+    def operands(self, index: int) -> tuple[int, ...]:
+        """The operand qubits of one operation, in slot order."""
+        qubits = [int(self.qubit0[index])]
+        q1 = int(self.qubit1[index])
+        if q1 >= 0:
+            qubits.append(q1)
+        if self.qubit2 is not None:
+            q2 = int(self.qubit2[index])
+            if q2 >= 0:
+                qubits.append(q2)
+        return tuple(qubits)
+
     def __len__(self) -> int:
         return self.num_operations
 
 
-def compile_circuit(circuit: Circuit, mapper=None) -> CompiledCircuit:
+def require_simulable(program: CompiledCircuit) -> None:
+    """Reject programs with timing-only opcodes before a stabilizer run.
+
+    The machine simulator replays such programs cycle-by-cycle without
+    tracking quantum state; the tableau executors cannot, so they fail fast
+    with a pointer at the right tool instead of an opaque opcode error.
+    """
+    if not program.is_simulable:
+        raise SimulationError(
+            f"circuit {program.name!r} contains non-Clifford timing-only operations "
+            "(TOFFOLI/CCZ/T); it can be replayed on the machine simulator "
+            "(repro.desim) but not executed on the stabilizer engines"
+        )
+
+
+def compile_circuit(
+    circuit: Circuit, mapper=None, *, allow_timing_only: bool = False
+) -> CompiledCircuit:
     """Compile a circuit (and optionally its layout mapping) to the flat IR.
 
     Parameters
@@ -146,17 +214,25 @@ def compile_circuit(circuit: Circuit, mapper=None) -> CompiledCircuit:
         circuit is mapped **once** and each operation's movement budget is
         reduced to the integer exposure the noise model consumes; per-shot
         re-mapping disappears entirely.
+    allow_timing_only:
+        Accept the known non-Clifford gates (TOFFOLI, CCZ, T, TDG) as
+        timing-only opcodes.  The resulting program replays on the
+        discrete-event machine simulator (:mod:`repro.desim`) -- which only
+        needs operand and duration information -- but is rejected by the
+        stabilizer executors via :func:`require_simulable`.
 
     Raises
     ------
     SimulationError
-        On non-Clifford gates or duplicate measurement labels (duplicate
-        labels would silently corrupt syndrome bookkeeping downstream).
+        On non-Clifford gates (unless ``allow_timing_only`` covers them) or
+        duplicate measurement labels (duplicate labels would silently corrupt
+        syndrome bookkeeping downstream).
     """
     count = len(circuit)
     opcodes = np.zeros(count, dtype=np.int16)
     qubit0 = np.zeros(count, dtype=np.int32)
     qubit1 = np.full(count, -1, dtype=np.int32)
+    qubit2 = np.full(count, -1, dtype=np.int32)
     movement_exposure = np.zeros(count, dtype=np.int32)
     moved_qubit = np.full(count, -1, dtype=np.int32)
     measurement_slot = np.full(count, -1, dtype=np.int32)
@@ -185,19 +261,26 @@ def compile_circuit(circuit: Circuit, mapper=None) -> CompiledCircuit:
             labels.append(label)
         else:
             if not operation.is_clifford:
-                raise SimulationError(
-                    f"gate {operation.name} is not Clifford; ARQ simulates the "
-                    "stabilizer subset of circuits only"
-                )
-            try:
-                opcodes[index] = _GATE_OPCODES[operation.name]
-            except KeyError as exc:  # pragma: no cover - CLIFFORD_GATES covers all
-                raise SimulationError(
-                    f"gate {operation.name!r} has no compiled opcode"
-                ) from exc
+                timing_opcode = _TIMING_ONLY_GATE_OPCODES.get(operation.name)
+                if not allow_timing_only or timing_opcode is None:
+                    raise SimulationError(
+                        f"gate {operation.name} is not Clifford; ARQ simulates the "
+                        "stabilizer subset of circuits only (compile with "
+                        "allow_timing_only=True for a machine-simulation replay)"
+                    )
+                opcodes[index] = timing_opcode
+            else:
+                try:
+                    opcodes[index] = _GATE_OPCODES[operation.name]
+                except KeyError as exc:  # pragma: no cover - CLIFFORD_GATES covers all
+                    raise SimulationError(
+                        f"gate {operation.name!r} has no compiled opcode"
+                    ) from exc
             qubit0[index] = operation.qubits[0]
             if len(operation.qubits) >= 2:
                 qubit1[index] = operation.qubits[1]
+            if len(operation.qubits) >= 3:
+                qubit2[index] = operation.qubits[2]
 
         if mapped is not None:
             plan = mapped.operations[index]
@@ -212,6 +295,7 @@ def compile_circuit(circuit: Circuit, mapper=None) -> CompiledCircuit:
         opcodes=opcodes,
         qubit0=qubit0,
         qubit1=qubit1,
+        qubit2=qubit2,
         movement_exposure=movement_exposure,
         moved_qubit=moved_qubit,
         measurement_slot=measurement_slot,

@@ -1,0 +1,223 @@
+"""The QLA machine model: existing analytic layers composed into one clock.
+
+The discrete-event simulator needs every duration as an integer cycle count.
+This module is the bridge: it takes the layers the repository already has --
+the :class:`~repro.qecc.latency.EccLatencyModel` (Equation 1 timings), the
+fault-tolerant Toffoli cost accounting (Section 5), the
+:class:`~repro.network.topology.InterconnectTopology` mesh over the Figure 1
+tile array and the :class:`~repro.network.scheduler.GreedyEprScheduler` -- and
+quantizes them onto a common cycle clock (default: one cycle per microsecond,
+the granularity of the technology table's fastest operations).
+
+:class:`MachineTimings` holds the quantized durations; :class:`QLAMachineModel`
+bundles timings, interconnect and scheduling policy into the object the
+simulator consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.toffoli import FaultTolerantToffoliCost, fault_tolerant_toffoli_cost
+from repro.exceptions import DesimError
+from repro.iontrap.parameters import IonTrapParameters
+from repro.layout.tile import LogicalQubitTile, level2_tile_geometry
+from repro.network.scheduler import GreedyEprScheduler
+from repro.network.topology import InterconnectTopology
+from repro.qecc.latency import EccLatencyModel
+
+__all__ = ["DEFAULT_CYCLE_TIME_SECONDS", "MachineTimings", "QLAMachineModel"]
+
+#: One simulation cycle per microsecond: fine enough that quantization error
+#: on millisecond-scale ECC windows is far below the 5% cross-validation bar,
+#: coarse enough that Shor-size replays stay in small-integer territory.
+DEFAULT_CYCLE_TIME_SECONDS: float = 1.0e-6
+
+
+def _to_cycles(seconds: float, cycle_time_seconds: float) -> int:
+    """Quantize a duration to the integer cycle grid (never below one cycle)."""
+    return max(1, round(seconds / cycle_time_seconds))
+
+
+@dataclass(frozen=True)
+class MachineTimings:
+    """Integer-cycle durations of the machine's logical operations.
+
+    Attributes
+    ----------
+    cycle_time_seconds:
+        Wall-clock length of one cycle.
+    level:
+        Recursion level of the logical qubits being replayed.
+    window_cycles:
+        One level-``level`` error-correction window (Equation 1 expected
+        cycle) -- also the EPR scheduling window of Section 5.
+    single_gate_cycles / two_qubit_gate_cycles:
+        One transversal logical gate *including* the error-correction step
+        that follows it (:meth:`~repro.qecc.latency.EccLatencyModel.logical_gate_time`).
+    prepare_cycles:
+        Logical ``|0>`` preparation, charged like a single-qubit step.
+    measure_cycles:
+        Transversal logical readout plus the trailing error correction.
+    toffoli_completion_cycles:
+        ECC windows to finish a fault-tolerant Toffoli once its ancilla block
+        is in hand (Section 5's "6 error correction cycles").
+    ancilla_production_cycles:
+        One ancilla-factory production of a Toffoli ancilla block (the
+        15-step preparation on the critical path; verification repetitions
+        run on parallel factory units).
+    transfer_cycles:
+        Lane occupancy of one logical-qubit EPR transfer (the window divided
+        among the transfers a lane carries per window).
+    """
+
+    cycle_time_seconds: float
+    level: int
+    window_cycles: int
+    single_gate_cycles: int
+    two_qubit_gate_cycles: int
+    prepare_cycles: int
+    measure_cycles: int
+    toffoli_completion_cycles: int
+    ancilla_production_cycles: int
+    transfer_cycles: int
+
+    @classmethod
+    def from_models(
+        cls,
+        latency: EccLatencyModel,
+        level: int = 2,
+        cycle_time_seconds: float = DEFAULT_CYCLE_TIME_SECONDS,
+        transfers_per_lane_per_window: int = 3,
+        toffoli_cost: FaultTolerantToffoliCost | None = None,
+    ) -> "MachineTimings":
+        """Quantize the analytic latency model onto the cycle grid."""
+        if cycle_time_seconds <= 0.0:
+            raise DesimError("cycle time must be positive")
+        if level < 1:
+            raise DesimError("machine replay is defined for recursion level >= 1")
+        if transfers_per_lane_per_window < 1:
+            raise DesimError("a lane carries at least one transfer per window")
+        cost = toffoli_cost if toffoli_cost is not None else fault_tolerant_toffoli_cost()
+        window = _to_cycles(latency.ecc_time(level), cycle_time_seconds)
+        return cls(
+            cycle_time_seconds=cycle_time_seconds,
+            level=level,
+            window_cycles=window,
+            single_gate_cycles=_to_cycles(
+                latency.logical_gate_time(level, two_qubit=False), cycle_time_seconds
+            ),
+            two_qubit_gate_cycles=_to_cycles(
+                latency.logical_gate_time(level, two_qubit=True), cycle_time_seconds
+            ),
+            prepare_cycles=_to_cycles(
+                latency.logical_gate_time(level, two_qubit=False), cycle_time_seconds
+            ),
+            measure_cycles=_to_cycles(
+                latency.transversal_measurement_time + latency.ecc_time(level),
+                cycle_time_seconds,
+            ),
+            toffoli_completion_cycles=cost.completion_steps * window,
+            ancilla_production_cycles=cost.preparation_steps * window,
+            transfer_cycles=max(1, window // transfers_per_lane_per_window),
+        )
+
+    def seconds(self, cycles: int) -> float:
+        """Convert a cycle count back to wall-clock seconds."""
+        return cycles * self.cycle_time_seconds
+
+
+@dataclass
+class QLAMachineModel:
+    """Everything the simulator needs to know about the machine.
+
+    Parameters
+    ----------
+    topology:
+        The island/channel mesh over the tile array (carries the bandwidth).
+    timings:
+        Quantized operation durations.
+    num_ancilla_factories:
+        Toffoli ancilla factories available machine-wide (a factory pool;
+        Section 5's pipelining assumption corresponds to "enough factories").
+    transfers_per_lane_per_window / max_deferral_windows:
+        Greedy-scheduler policy knobs, passed through to
+        :class:`~repro.network.scheduler.GreedyEprScheduler`.
+    ancilla_jitter_cycles:
+        Upper bound (inclusive) of a uniformly drawn per-production delay,
+        modelling verification retries in the factory; 0 keeps production
+        fully deterministic.  The draw comes from the simulation's seeded
+        generator, so a fixed seed still yields a bit-identical trace.
+    """
+
+    topology: InterconnectTopology
+    timings: MachineTimings
+    num_ancilla_factories: int = 4
+    transfers_per_lane_per_window: int = 3
+    max_deferral_windows: int = 4
+    ancilla_jitter_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_ancilla_factories < 1:
+            raise DesimError("the machine needs at least one ancilla factory")
+        if self.ancilla_jitter_cycles < 0:
+            raise DesimError("ancilla jitter cannot be negative")
+
+    @classmethod
+    def build(
+        cls,
+        rows: int,
+        columns: int,
+        bandwidth: int = 2,
+        level: int = 2,
+        parameters: IonTrapParameters | None = None,
+        latency: EccLatencyModel | None = None,
+        tile: LogicalQubitTile | None = None,
+        cycle_time_seconds: float = DEFAULT_CYCLE_TIME_SECONDS,
+        num_ancilla_factories: int = 4,
+        transfers_per_lane_per_window: int = 3,
+        max_deferral_windows: int = 4,
+        ancilla_jitter_cycles: int = 0,
+    ) -> "QLAMachineModel":
+        """Compose a machine from the array shape and the technology table."""
+        if latency is None:
+            latency = EccLatencyModel(parameters=parameters) if parameters is not None else EccLatencyModel()
+        elif parameters is not None:
+            raise DesimError("pass either parameters or a latency model, not both")
+        topology = InterconnectTopology(
+            rows=rows,
+            columns=columns,
+            bandwidth=bandwidth,
+            tile=tile if tile is not None else level2_tile_geometry(),
+        )
+        timings = MachineTimings.from_models(
+            latency,
+            level=level,
+            cycle_time_seconds=cycle_time_seconds,
+            transfers_per_lane_per_window=transfers_per_lane_per_window,
+        )
+        return cls(
+            topology=topology,
+            timings=timings,
+            num_ancilla_factories=num_ancilla_factories,
+            transfers_per_lane_per_window=transfers_per_lane_per_window,
+            max_deferral_windows=max_deferral_windows,
+            ancilla_jitter_cycles=ancilla_jitter_cycles,
+        )
+
+    @property
+    def num_tiles(self) -> int:
+        """Logical-qubit tiles on the array."""
+        return self.topology.num_nodes
+
+    def scheduler(self) -> GreedyEprScheduler:
+        """A greedy EPR scheduler configured with this machine's policy."""
+        return GreedyEprScheduler(
+            self.topology,
+            transfers_per_lane_per_window=self.transfers_per_lane_per_window,
+            max_deferral_windows=self.max_deferral_windows,
+        )
+
+    def placement_of(self, qubit: int) -> tuple[int, int]:
+        """Default row-major tile of a logical qubit."""
+        return self.topology.node_of_qubit(qubit)

@@ -1,0 +1,306 @@
+"""Workloads for the machine simulator: compiled circuits on the tile array.
+
+This module closes the loop between the compiled circuit IR and the machine
+model.  :func:`build_workload` takes a :class:`~repro.circuits.compiled.CompiledCircuit`
+(compiled with ``allow_timing_only=True`` so Toffoli-laden kernels such as the
+Shor adders are legal), places its logical qubits on tiles, layers it ASAP
+into error-correction windows (one logical time-step per window, exactly the
+discipline of :mod:`repro.network.circuit_traffic`), derives each operation's
+duration from the machine's quantized timings, and emits one
+:class:`~repro.network.traffic.EprDemand` per remote operand of every
+multi-qubit gate -- the traffic the greedy Section 5 scheduler then places on
+the interconnect.
+
+It also provides the workload *generators* the ``machine_sim`` experiment
+spec names:
+
+* ``adder``          -- one or more independent VBE ripple-carry adder kernels
+  (the unit of the paper's Shor modular-exponentiation datapath),
+* ``toffoli_layers`` -- the Section 5 stress workload: layers of concurrent
+  Toffoli gates with randomized operand placement (the circuit-level analogue
+  of :class:`~repro.network.traffic.ToffoliTrafficGenerator`),
+* ``ghz``            -- a Clifford GHZ chain, useful as a fully simulable
+  cross-check workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.arithmetic import ripple_carry_adder_circuit
+from repro.circuits.circuit import Circuit
+from repro.circuits.compiled import (
+    CompiledCircuit,
+    MEASUREMENT_OPCODES,
+    Opcode,
+    THREE_QUBIT_OPCODES,
+    compile_circuit,
+)
+from repro.circuits.library import ghz_circuit
+from repro.exceptions import DesimError
+from repro.network.traffic import EprDemand
+from repro.desim.machine import QLAMachineModel
+
+Node = tuple[int, int]
+
+__all__ = [
+    "LogicalOp",
+    "MachineWorkload",
+    "build_workload",
+    "adder_workload_circuit",
+    "toffoli_layer_circuit",
+    "ghz_workload_circuit",
+    "WORKLOAD_KINDS",
+]
+
+#: Workload kinds the ``machine_sim`` experiment understands.
+WORKLOAD_KINDS = ("adder", "toffoli_layers", "ghz")
+
+
+@dataclass(frozen=True)
+class LogicalOp:
+    """One operation of the replayed program, annotated for simulation.
+
+    Attributes
+    ----------
+    index:
+        Position in the compiled program.
+    opcode:
+        The :class:`~repro.circuits.compiled.Opcode` value.
+    qubits:
+        Operand logical qubits.
+    window:
+        ASAP error-correction window (logical time-step) of the operation.
+    duration_cycles:
+        Busy time of the operand qubits once the operation starts.
+    needs_ancilla:
+        True for fault-tolerant Toffoli-class gates, which must first obtain
+        an ancilla block from a factory.
+    demand_ids:
+        Ids of the EPR demands that must be delivered before the operation
+        can start (empty for local operations).
+    """
+
+    index: int
+    opcode: int
+    qubits: tuple[int, ...]
+    window: int
+    duration_cycles: int
+    needs_ancilla: bool
+    demand_ids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class MachineWorkload:
+    """A compiled program bound to a machine: ops, windows and EPR traffic."""
+
+    program: CompiledCircuit
+    placement: tuple[Node, ...]
+    ops: tuple[LogicalOp, ...]
+    demands: tuple[EprDemand, ...]
+    num_windows: int
+    #: Factory production time of one Toffoli ancilla block on the machine
+    #: the workload was built for (used by the analytic critical-path bound).
+    ancilla_production_cycles: int = 0
+
+    @property
+    def num_ops(self) -> int:
+        """Operations in the replayed program."""
+        return len(self.ops)
+
+
+def _op_duration(machine: QLAMachineModel, opcode: int, arity: int) -> int:
+    timings = machine.timings
+    if opcode in THREE_QUBIT_OPCODES:
+        return timings.toffoli_completion_cycles
+    if opcode in MEASUREMENT_OPCODES:
+        return timings.measure_cycles
+    if opcode == int(Opcode.PREPARE):
+        return timings.prepare_cycles
+    if arity >= 2:
+        return timings.two_qubit_gate_cycles
+    return timings.single_gate_cycles
+
+
+def build_workload(
+    program: CompiledCircuit,
+    machine: QLAMachineModel,
+    placement: dict[int, Node] | None = None,
+) -> MachineWorkload:
+    """Bind a compiled program to a machine model.
+
+    Parameters
+    ----------
+    program:
+        The compiled circuit (timing-only opcodes are welcome).
+    machine:
+        The machine the program replays on; its topology must hold every
+        placed qubit.
+    placement:
+        Optional map from logical qubit to tile; defaults to the topology's
+        row-major assignment (one logical qubit per tile).  Explicit
+        placements may co-locate qubits -- co-located operands exchange no
+        EPR pairs, exactly like :mod:`repro.network.circuit_traffic`.
+    """
+    topology = machine.topology
+    if placement is None:
+        if program.num_qubits > topology.num_nodes:
+            raise DesimError(
+                f"workload needs {program.num_qubits} tiles but the machine has "
+                f"{topology.num_nodes}; grow the array or supply a placement"
+            )
+        nodes = tuple(topology.node_of_qubit(q) for q in range(program.num_qubits))
+    else:
+        missing = [q for q in range(program.num_qubits) if q not in placement]
+        if missing:
+            raise DesimError(f"placement is missing logical qubits {missing[:5]}")
+        for qubit in range(program.num_qubits):
+            if not topology.contains(placement[qubit]):
+                raise DesimError(
+                    f"placement {placement[qubit]} of qubit {qubit} is off the array"
+                )
+        nodes = tuple(placement[q] for q in range(program.num_qubits))
+
+    frontier = [0] * program.num_qubits
+    ops: list[LogicalOp] = []
+    demands: list[EprDemand] = []
+    num_windows = 0
+    for index in range(program.num_operations):
+        opcode = int(program.opcodes[index])
+        qubits = program.operands(index)
+        window = max((frontier[q] for q in qubits), default=0)
+        for q in qubits:
+            frontier[q] = window + 1
+        num_windows = max(num_windows, window + 1)
+
+        demand_ids: list[int] = []
+        if len(qubits) >= 2:
+            anchor = nodes[qubits[0]]
+            for operand in qubits[1:]:
+                source = nodes[operand]
+                if source == anchor:
+                    continue
+                demand_ids.append(len(demands))
+                demands.append(
+                    EprDemand(
+                        demand_id=len(demands),
+                        source=source,
+                        destination=anchor,
+                        window=window,
+                        pairs=1,
+                    )
+                )
+        ops.append(
+            LogicalOp(
+                index=index,
+                opcode=opcode,
+                qubits=qubits,
+                window=window,
+                duration_cycles=_op_duration(machine, opcode, len(qubits)),
+                needs_ancilla=opcode in THREE_QUBIT_OPCODES,
+                demand_ids=tuple(demand_ids),
+            )
+        )
+    return MachineWorkload(
+        program=program,
+        placement=nodes,
+        ops=tuple(ops),
+        demands=tuple(demands),
+        num_windows=num_windows,
+        ancilla_production_cycles=machine.timings.ancilla_production_cycles,
+    )
+
+
+# ----------------------------------------------------------------------
+# Workload circuits
+# ----------------------------------------------------------------------
+
+
+def adder_workload_circuit(bits: int, parallel: int = 1) -> Circuit:
+    """``parallel`` independent ripple-carry adder kernels in one circuit.
+
+    Each unit occupies its own ``3*bits + 1`` qubit register (operands,
+    carries), mirroring Shor's concurrent adder datapath; units share no
+    qubits, so their Toffoli streams run in the same error-correction windows
+    and compete for interconnect bandwidth and ancilla factories.
+    """
+    if bits < 1:
+        raise DesimError("adder width must be at least 1 bit")
+    if parallel < 1:
+        raise DesimError("need at least one adder unit")
+    kernel = ripple_carry_adder_circuit(bits)
+    if parallel == 1:
+        return kernel
+    span = kernel.num_qubits
+    circuit = Circuit(parallel * span, name=f"ripple_adder_{bits}x{parallel}")
+    for unit in range(parallel):
+        for operation in kernel:
+            circuit.append(operation.shifted(unit * span))
+    return circuit
+
+
+def toffoli_layer_circuit(
+    num_qubits: int,
+    toffolis_per_layer: int,
+    layers: int,
+    seed: int = 2005,
+) -> Circuit:
+    """The Section 5 stress workload as an explicit circuit.
+
+    Every layer draws ``toffolis_per_layer`` Toffoli gates on disjoint
+    operand triples chosen by a seeded permutation of the whole register, so
+    each error-correction window carries a machine-wide burst of EPR traffic
+    -- the circuit-level analogue of the paper's 48-Toffoli-per-window
+    scheduler experiment.
+    """
+    if toffolis_per_layer < 1:
+        raise DesimError("need at least one Toffoli per layer")
+    if layers < 1:
+        raise DesimError("need at least one layer")
+    if 3 * toffolis_per_layer > num_qubits:
+        raise DesimError(
+            f"{toffolis_per_layer} disjoint Toffolis need {3 * toffolis_per_layer} "
+            f"qubits, the register has {num_qubits}"
+        )
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits, name=f"toffoli_layers_{toffolis_per_layer}x{layers}")
+    for _layer in range(layers):
+        order = rng.permutation(num_qubits)
+        for t in range(toffolis_per_layer):
+            a, b, c = (int(order[3 * t + k]) for k in range(3))
+            circuit.toffoli(a, b, c)
+    return circuit
+
+
+def ghz_workload_circuit(bits: int) -> Circuit:
+    """A GHZ preparation chain -- a fully Clifford (simulable) workload."""
+    return ghz_circuit(bits)
+
+
+def build_workload_circuit(
+    kind: str,
+    *,
+    bits: int = 8,
+    parallel: int = 1,
+    num_qubits: int | None = None,
+    toffolis_per_layer: int = 16,
+    layers: int = 20,
+    seed: int = 2005,
+) -> Circuit:
+    """Construct one of the named ``machine_sim`` workload circuits."""
+    if kind == "adder":
+        return adder_workload_circuit(bits, parallel)
+    if kind == "toffoli_layers":
+        if num_qubits is None:
+            raise DesimError("toffoli_layers needs the register size (num_qubits)")
+        return toffoli_layer_circuit(num_qubits, toffolis_per_layer, layers, seed)
+    if kind == "ghz":
+        return ghz_workload_circuit(bits)
+    raise DesimError(f"unknown workload {kind!r}; expected one of {WORKLOAD_KINDS}")
+
+
+def compile_workload_circuit(circuit: Circuit) -> CompiledCircuit:
+    """Compile a workload circuit for replay (timing-only opcodes allowed)."""
+    return compile_circuit(circuit, allow_timing_only=True)

@@ -46,3 +46,9 @@ class RoutingError(QLAError):
 
 class ParameterError(QLAError):
     """Raised for invalid technology or model parameters."""
+
+
+class DesimError(QLAError):
+    """Raised for invalid discrete-event simulations (non-integer or past
+    event times, releasing an idle resource, workloads that do not fit the
+    machine)."""

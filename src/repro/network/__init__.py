@@ -22,7 +22,11 @@ from repro.network.topology import InterconnectTopology
 from repro.network.router import Route, ShortestPathRouter
 from repro.network.traffic import EprDemand, ToffoliTrafficGenerator
 from repro.network.circuit_traffic import CircuitTrafficGenerator
-from repro.network.scheduler import GreedyEprScheduler, ScheduleResult
+from repro.network.scheduler import (
+    GreedyEprScheduler,
+    ScheduleResult,
+    StallWindowSummary,
+)
 from repro.network.metrics import ScheduleMetrics, compute_metrics
 
 __all__ = [
@@ -34,6 +38,7 @@ __all__ = [
     "CircuitTrafficGenerator",
     "GreedyEprScheduler",
     "ScheduleResult",
+    "StallWindowSummary",
     "ScheduleMetrics",
     "compute_metrics",
 ]

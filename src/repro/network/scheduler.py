@@ -52,6 +52,41 @@ class ScheduledTransfer:
         return self.window > self.demand.window
 
 
+@dataclass(frozen=True)
+class StallWindowSummary:
+    """How one requested window's demands fared (communication-stall view).
+
+    Attributes
+    ----------
+    window:
+        The *requested* error-correction window being summarized.
+    requested:
+        Demands that asked to be served in this window.
+    served_on_time:
+        Of those, how many were served inside the window.
+    deferred_out:
+        Requested here but served in a later window -- each one is a
+        communication stall of the computation running in this window.
+    deferred_in:
+        Served in this window but requested earlier (carry-over traffic that
+        competes with the window's own demands).
+    unserved:
+        Requested here and never served within the deferral horizon.
+    """
+
+    window: int
+    requested: int
+    served_on_time: int
+    deferred_out: int
+    deferred_in: int
+    unserved: int
+
+    @property
+    def stalled(self) -> int:
+        """Demands of this window that did not arrive on time."""
+        return self.deferred_out + self.unserved
+
+
 @dataclass
 class ScheduleResult:
     """Outcome of scheduling a demand list.
@@ -85,6 +120,75 @@ class ScheduleResult:
     def deferred_count(self) -> int:
         """Number of transfers that missed their requested window."""
         return sum(1 for t in self.transfers if t.deferred)
+
+    # ------------------------------------------------------------------
+    # Per-edge and per-window summaries (consumed by the machine simulator,
+    # useful standalone; computed from the fields above, so existing
+    # consumers of ScheduleResult are unaffected).
+    # ------------------------------------------------------------------
+
+    def edge_utilization(self) -> dict[Edge, float]:
+        """Mean utilization of every directed edge that carried traffic.
+
+        The fraction of the edge's total transfer slots (capacity times the
+        number of windows the schedule spans) actually used.
+        """
+        if self.capacity_per_edge <= 0:
+            return {}
+        windows = max(1, self.num_windows)
+        denominator = self.capacity_per_edge * windows
+        totals: dict[Edge, int] = {}
+        for load in self.edge_load.values():
+            for edge, used in load.items():
+                totals[edge] = totals.get(edge, 0) + used
+        return {edge: used / denominator for edge, used in sorted(totals.items())}
+
+    def peak_edge_utilization(self) -> dict[Edge, float]:
+        """Highest single-window utilization of every edge that carried traffic."""
+        peaks: dict[Edge, float] = {}
+        if self.capacity_per_edge <= 0:
+            return peaks
+        for load in self.edge_load.values():
+            for edge, used in load.items():
+                fraction = used / self.capacity_per_edge
+                if fraction > peaks.get(edge, 0.0):
+                    peaks[edge] = fraction
+        return dict(sorted(peaks.items()))
+
+    def stall_window_summary(self) -> dict[int, StallWindowSummary]:
+        """Per-requested-window stall accounting.
+
+        Windows that saw no demands are omitted; a window appears if demands
+        were requested for it or deferred traffic landed in it.
+        """
+        requested: dict[int, int] = {}
+        on_time: dict[int, int] = {}
+        deferred_out: dict[int, int] = {}
+        deferred_in: dict[int, int] = {}
+        unserved: dict[int, int] = {}
+        for transfer in self.transfers:
+            asked = transfer.demand.window
+            requested[asked] = requested.get(asked, 0) + 1
+            if transfer.deferred:
+                deferred_out[asked] = deferred_out.get(asked, 0) + 1
+                deferred_in[transfer.window] = deferred_in.get(transfer.window, 0) + 1
+            else:
+                on_time[asked] = on_time.get(asked, 0) + 1
+        for demand in self.unserved:
+            requested[demand.window] = requested.get(demand.window, 0) + 1
+            unserved[demand.window] = unserved.get(demand.window, 0) + 1
+        windows = sorted(set(requested) | set(deferred_in))
+        return {
+            window: StallWindowSummary(
+                window=window,
+                requested=requested.get(window, 0),
+                served_on_time=on_time.get(window, 0),
+                deferred_out=deferred_out.get(window, 0),
+                deferred_in=deferred_in.get(window, 0),
+                unserved=unserved.get(window, 0),
+            )
+            for window in windows
+        }
 
 
 class GreedyEprScheduler:

@@ -10,6 +10,7 @@ from repro.network import (
     GreedyEprScheduler,
     InterconnectTopology,
     ShortestPathRouter,
+    StallWindowSummary,
     ToffoliTrafficGenerator,
     compute_metrics,
 )
@@ -198,3 +199,68 @@ class TestMetrics:
         assert 0.0 <= metrics.aggregate_utilization <= 1.0
         assert 0.0 <= metrics.peak_edge_utilization <= 1.0
         assert metrics.average_route_hops > 0
+
+
+class TestScheduleResultSummaries:
+    """Per-edge utilization and stall-window summaries (machine-sim inputs)."""
+
+    def _forced_deferral_schedule(self):
+        # Bandwidth 1 with one transfer per lane per window: the second
+        # demand on the same channel must slip to the next window.
+        topo = InterconnectTopology(rows=1, columns=2, bandwidth=1)
+        scheduler = GreedyEprScheduler(topo, transfers_per_lane_per_window=1)
+        demands = [
+            EprDemand(demand_id=0, source=(0, 0), destination=(0, 1), window=0),
+            EprDemand(demand_id=1, source=(0, 0), destination=(0, 1), window=0),
+        ]
+        return scheduler.schedule(demands)
+
+    def test_edge_utilization_per_edge(self):
+        result = self._forced_deferral_schedule()
+        utilization = result.edge_utilization()
+        edge = ((0, 0), (0, 1))
+        # Two transfers over capacity 1 x num_windows windows.
+        assert utilization[edge] == pytest.approx(2 / result.num_windows)
+        peaks = result.peak_edge_utilization()
+        assert peaks[edge] == pytest.approx(1.0)
+
+    def test_stall_window_summary_counts_deferrals(self):
+        result = self._forced_deferral_schedule()
+        summary = result.stall_window_summary()
+        assert summary[0] == StallWindowSummary(
+            window=0, requested=2, served_on_time=1,
+            deferred_out=1, deferred_in=0, unserved=0,
+        )
+        assert summary[0].stalled == 1
+        assert summary[1].deferred_in == 1
+        assert summary[1].requested == 0
+
+    def test_unserved_demands_are_summarized(self):
+        topo = InterconnectTopology(rows=1, columns=2, bandwidth=1)
+        scheduler = GreedyEprScheduler(
+            topo, transfers_per_lane_per_window=1, max_deferral_windows=0
+        )
+        demands = [
+            EprDemand(demand_id=i, source=(0, 0), destination=(0, 1), window=0)
+            for i in range(3)
+        ]
+        result = scheduler.schedule(demands)
+        summary = result.stall_window_summary()
+        assert summary[0].unserved == 2
+        assert summary[0].served_on_time == 1
+        assert summary[0].stalled == 2
+
+    def test_summaries_on_a_fully_overlapped_schedule(self, topology):
+        traffic = ToffoliTrafficGenerator(topology, toffolis_per_window=6, windows=4)
+        result = GreedyEprScheduler(topology).schedule(traffic.generate())
+        if result.fully_overlapped:
+            assert all(s.stalled == 0 for s in result.stall_window_summary().values())
+        for fraction in result.edge_utilization().values():
+            assert 0.0 < fraction <= 1.0
+        total_load = sum(
+            sum(load.values()) for load in result.edge_load.values()
+        )
+        reconstructed = sum(result.edge_utilization().values())
+        assert reconstructed == pytest.approx(
+            total_load / (result.capacity_per_edge * result.num_windows)
+        )
