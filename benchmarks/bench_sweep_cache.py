@@ -1,0 +1,190 @@
+"""Design-space sweep benchmark: cold execution vs. warm cache replay.
+
+Runs the paper's interconnect/ECC design-space grid (bandwidth x recursion
+level x adder width over the Section 5 machine) twice through
+``repro.explore.run_sweep`` against a throwaway cache directory:
+
+* the **cold** pass executes every grid point through the discrete-event
+  machine simulator and stores each provenance-carrying result under its
+  content address (SHA-256 of canonical spec JSON + library version +
+  engine),
+* the **warm** pass re-runs the identical ``SweepSpec`` and must perform
+  **zero** engine executions -- every point answers from the cache with
+  bit-identical result JSON -- and finish at least ``MIN_SPEEDUP`` times
+  faster than the cold pass.
+
+A third pass grows one axis value and must compute exactly the new points
+(the incremental-exploration contract).  Results are written to
+``BENCH_sweep_cache.json`` at the repository root.  Run under pytest
+(``pytest benchmarks/bench_sweep_cache.py``) or directly
+(``python benchmarks/bench_sweep_cache.py [--smoke]``); ``--smoke`` shrinks
+the grid to CI scale while keeping every assertion.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:  # the CI smoke job runs this file directly with only numpy installed
+    import pytest
+except ImportError:  # pragma: no cover - direct execution without pytest
+    pytest = None
+
+from repro.api import (
+    ExecutionSpec,
+    ExperimentSpec,
+    MachineSpec,
+    NoiseSpec,
+    SamplingSpec,
+)
+from repro.explore import ResultCache, SweepAxis, SweepSpec, run_sweep, tidy_rows
+
+#: The warm (all-hit) pass must beat the cold pass by at least this factor.
+#: Conservative: measured warm replays are hundreds of times faster, but the
+#: floor must hold on a loaded CI box.
+MIN_SPEEDUP = 3.0
+
+SEED = 20260728
+
+_OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep_cache.json"
+
+
+def _base_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        experiment="machine_sim",
+        noise=NoiseSpec(kind="technology", parameters="expected"),
+        sampling=SamplingSpec(shots=0),
+        execution=ExecutionSpec(backend="desim"),
+        machine=MachineSpec(
+            rows=10,
+            columns=10,
+            bandwidth=2,
+            level=2,
+            workload="adder",
+            workload_bits=4,
+            workload_parallel=4,
+            num_ancilla_factories=64,
+            transfers_per_lane_per_window=1,
+            max_deferral_windows=0,
+        ),
+    )
+
+
+def _design_space(smoke: bool) -> SweepSpec:
+    bandwidths = (1, 2) if smoke else (1, 2, 4)
+    levels = (2,) if smoke else (1, 2)
+    widths = (4,) if smoke else (4, 8)
+    return SweepSpec(
+        base=_base_spec(),
+        axes=(
+            SweepAxis(path="machine.bandwidth", values=bandwidths),
+            SweepAxis(path="machine.level", values=levels),
+            SweepAxis(path="machine.workload_bits", values=widths),
+        ),
+        seed=SEED,
+    )
+
+
+def _timed_sweep(sweep: SweepSpec, cache: ResultCache) -> tuple[dict, float]:
+    start = time.perf_counter()
+    result = run_sweep(sweep, cache=cache)
+    seconds = time.perf_counter() - start
+    return result, seconds
+
+
+def _run_benchmark(smoke: bool = False) -> dict[str, object]:
+    sweep = _design_space(smoke)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cache = ResultCache(tmp)
+        cold, cold_seconds = _timed_sweep(sweep, cache)
+        warm, warm_seconds = _timed_sweep(sweep, cache)
+        grown = SweepSpec(
+            base=sweep.base,
+            axes=(
+                SweepAxis(
+                    path="machine.bandwidth",
+                    values=sweep.axes[0].values + (8,),
+                ),
+            )
+            + sweep.axes[1:],
+            seed=sweep.seed,
+        )
+        incremental, incremental_seconds = _timed_sweep(grown, cache)
+        report = {
+            "smoke": smoke,
+            "num_points": sweep.num_points,
+            "cold": {
+                "seconds": cold_seconds,
+                "cache_hits": cold.cache_hits,
+                "cache_misses": cold.cache_misses,
+            },
+            "warm": {
+                "seconds": warm_seconds,
+                "cache_hits": warm.cache_hits,
+                "cache_misses": warm.cache_misses,
+            },
+            "incremental": {
+                "seconds": incremental_seconds,
+                "num_points": grown.num_points,
+                "cache_hits": incremental.cache_hits,
+                "cache_misses": incremental.cache_misses,
+            },
+            "speedup": cold_seconds / warm_seconds if warm_seconds > 0 else float("inf"),
+            "min_speedup": MIN_SPEEDUP,
+            "rows": tidy_rows(cold),
+            "bit_identical_replay": all(
+                a.result.to_json() == b.result.to_json()
+                for a, b in zip(cold.points, warm.points)
+            ),
+        }
+    if not smoke:
+        _OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def _check(report: dict[str, object]) -> None:
+    num_points = report["num_points"]
+    cold, warm, incremental = report["cold"], report["warm"], report["incremental"]
+    # Cold pass executes the whole grid; warm pass executes nothing.
+    assert cold["cache_misses"] == num_points and cold["cache_hits"] == 0, cold
+    assert warm["cache_misses"] == 0 and warm["cache_hits"] == num_points, warm
+    assert report["bit_identical_replay"] is True
+    # Growing one bandwidth value computes exactly the new column.
+    new_points = incremental["num_points"] - num_points
+    assert incremental["cache_misses"] == new_points, incremental
+    assert incremental["cache_hits"] == num_points, incremental
+    # The all-hit replay is dramatically faster than engine execution.
+    assert report["speedup"] >= MIN_SPEEDUP, (
+        f"warm replay only {report['speedup']:.1f}x faster "
+        f"(floor {MIN_SPEEDUP}x): cold {cold['seconds']:.3f}s, "
+        f"warm {warm['seconds']:.3f}s"
+    )
+
+
+if pytest is not None:
+
+    @pytest.mark.benchmark(group="sweep-cache", min_rounds=1, max_time=0.0, warmup=False)
+    def test_sweep_cache_benchmark(benchmark):
+        report = benchmark.pedantic(_run_benchmark, kwargs={"smoke": True}, rounds=1, iterations=1)
+        _check(report)
+        print()
+        print(
+            f"sweep cache: {report['num_points']} points, "
+            f"cold {report['cold']['seconds']:.3f}s, "
+            f"warm {report['warm']['seconds']:.3f}s "
+            f"({report['speedup']:.0f}x), "
+            f"incremental misses {report['incremental']['cache_misses']}"
+        )
+
+
+if __name__ == "__main__":
+    smoke_mode = "--smoke" in sys.argv[1:]
+    result = _run_benchmark(smoke=smoke_mode)
+    _check(result)
+    print(json.dumps(result, indent=2))
+    if smoke_mode:
+        print("smoke benchmark passed: sweep cache hit/miss + speedup OK", file=sys.stderr)

@@ -14,12 +14,13 @@ _README = Path(__file__).resolve().parent / "README.md"
 
 setup(
     name="repro-qla-arq",
-    version="1.2.0",
+    version="1.3.0",
     description=(
         "Reproduction of the QLA quantum architecture study: ion-trap model, "
         "ARQ stabilizer simulator with batched execution engines behind a "
-        "pluggable backend registry, and the paper's threshold/resource "
-        "experiments driven by declarative JSON specs"
+        "pluggable backend registry, the paper's threshold/resource "
+        "experiments driven by declarative JSON specs, and a design-space "
+        "explorer with a content-addressed result cache"
     ),
     long_description=_README.read_text() if _README.exists() else "",
     long_description_content_type="text/markdown",

@@ -31,11 +31,20 @@ Experiments run through the declarative API::
     ))
     print(result.value.pseudothreshold)
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-versus-measured record of every table and figure.
+Design-space sweeps expand one spec over axis grids and answer repeated
+points from a content-addressed on-disk cache::
+
+    from repro import SweepAxis, SweepSpec, run_sweep
+
+    sweep = SweepSpec(base=result.spec.with_seed(None),  # or any base spec
+                      axes=(SweepAxis("sampling.shots", (1024, 4096)),))
+    print(run_sweep(sweep).rows())
+
+See ``docs/architecture.md`` for the layer map and ``docs/paper_map.md`` for
+the paper-section-to-code index.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.core import (
     ApplicationPerformance,
@@ -63,6 +72,18 @@ from repro.api import (
     default_registry,
     run,
 )
+from repro.explore import (
+    ResultCache,
+    SweepAxis,
+    SweepResult,
+    SweepSpec,
+    cache_key,
+    pareto_front,
+    reproduce_fig9,
+    reproduce_table2,
+    run_sweep,
+    tidy_rows,
+)
 
 __all__ = [
     # unified experiment API
@@ -76,6 +97,17 @@ __all__ = [
     "RunResult",
     "BackendRegistry",
     "default_registry",
+    # design-space exploration
+    "SweepSpec",
+    "SweepAxis",
+    "SweepResult",
+    "run_sweep",
+    "ResultCache",
+    "cache_key",
+    "tidy_rows",
+    "pareto_front",
+    "reproduce_table2",
+    "reproduce_fig9",
     "QLAMachine",
     "MachineConfiguration",
     "ApplicationProfile",

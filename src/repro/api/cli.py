@@ -1,34 +1,50 @@
-"""``repro-run``: execute a JSON experiment spec from the command line.
+"""``repro-run``: execute a JSON experiment or sweep spec from the command line.
 
 Usage::
 
     repro-run spec.json                 # run, print the result JSON to stdout
     repro-run spec.json -o result.json  # also write the result to a file
     repro-run --example threshold_sweep # print a starter spec and exit
+    repro-run --example design_space    # starter design-space sweep
 
-The spec file holds one :class:`~repro.api.specs.ExperimentSpec` JSON
-document; the command prints the full provenance-carrying
-:class:`~repro.api.results.RunResult` (spec echo included), so piping the
-``spec`` field of the output back into ``repro-run`` replays the run bit for
-bit.
+A spec file holds either one :class:`~repro.api.specs.ExperimentSpec` JSON
+document or a :class:`~repro.explore.sweep.SweepSpec` document (recognised by
+its ``"experiment": "sweep"`` marker).  Single experiments print the full
+provenance-carrying :class:`~repro.api.results.RunResult` (spec echo
+included), so piping the ``spec`` field of the output back into ``repro-run``
+replays the run bit for bit; sweeps print a
+:class:`~repro.explore.runner.SweepResult` with per-point results and exact
+cache hit/miss accounting (re-running an identical sweep is all cache hits).
+
+``--help`` enumerates the available example names, experiment kinds and
+registered execution backends; all three lists are generated from the code
+(:data:`_EXAMPLES`, :data:`~repro.api.specs.EXPERIMENT_KINDS`, the default
+:class:`~repro.api.registry.BackendRegistry`), so the help text cannot drift
+from what the library actually accepts.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
 
-from repro.exceptions import QLAError
+from repro.exceptions import ParameterError, QLAError
+from repro.api.registry import default_registry
 from repro.api.runner import run
 from repro.api.specs import (
+    EXPERIMENT_KINDS,
     ExperimentSpec,
     ExecutionSpec,
     MachineSpec,
     NoiseSpec,
     SamplingSpec,
 )
+from repro.explore.analysis import design_space_starter
+from repro.explore.runner import run_sweep
+from repro.explore.sweep import SweepSpec
 
 __all__ = ["main"]
 
@@ -58,7 +74,33 @@ _EXAMPLES = {
         machine=MachineSpec(rows=8, columns=8, bandwidth=2, level=2,
                             workload="adder", workload_bits=8),
     ),
+    # One shared definition with examples/design_space.py, so the starter
+    # file and the runnable example can never drift apart.
+    "design_space": design_space_starter(),
 }
+
+
+def _help_epilog() -> str:
+    """The generated --help inventory: examples, spec kinds, backends.
+
+    Built from the same objects the runner consults, so the lists cannot
+    drift from the code: example names come from :data:`_EXAMPLES`, spec
+    kinds from :data:`~repro.api.specs.EXPERIMENT_KINDS` (plus the sweep
+    marker), and backend names from the default registry.
+    """
+    kinds = ", ".join(EXPERIMENT_KINDS + ("sweep",))
+    backends = ", ".join(("auto",) + default_registry().names())
+    examples = "\n".join(
+        f"  repro-run --example {name}" for name in sorted(_EXAMPLES)
+    )
+    return (
+        "spec kinds (the 'experiment' field):\n"
+        f"  {kinds}\n"
+        "execution backends (ExecutionSpec.backend):\n"
+        f"  {backends}\n"
+        "starter specs:\n"
+        f"{examples}\n"
+    )
 
 
 def _emit(text: str) -> None:
@@ -82,17 +124,39 @@ def _emit(text: str) -> None:
         pass
 
 
+def _load_spec(text: str) -> ExperimentSpec | SweepSpec:
+    """Parse a spec file: the ``"experiment": "sweep"`` marker selects sweeps."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ParameterError(f"spec file is not valid JSON: {error}") from error
+    if isinstance(data, dict) and data.get("experiment") == "sweep":
+        return SweepSpec.from_dict(data)
+    return ExperimentSpec.from_dict(data)
+
+
 def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``repro-run`` console script."""
     parser = argparse.ArgumentParser(
         prog="repro-run",
-        description="Run a declarative QLA experiment spec (JSON) and print the result.",
+        description=(
+            "Run a declarative QLA experiment or design-space sweep spec "
+            "(JSON) and print the result."
+        ),
+        epilog=_help_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    parser.add_argument("spec", nargs="?", help="path to an ExperimentSpec JSON file")
+    parser.add_argument("spec", nargs="?", help="path to an ExperimentSpec or SweepSpec JSON file")
     parser.add_argument("-o", "--output", help="also write the result JSON to this file")
     parser.add_argument(
         "--example",
         choices=sorted(_EXAMPLES),
         help="print a starter spec of the given kind and exit",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="for sweeps: bypass the on-disk result cache entirely",
     )
     parser.add_argument("--quiet", action="store_true", help="suppress the result on stdout")
     args = parser.parse_args(argv)
@@ -108,8 +172,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"repro-run: spec file not found: {path}", file=sys.stderr)
         return 2
     try:
-        spec = ExperimentSpec.from_json(path.read_text())
-        result = run(spec)
+        spec = _load_spec(path.read_text())
+        if isinstance(spec, SweepSpec):
+            result = run_sweep(spec, use_cache=not args.no_cache)
+        else:
+            result = run(spec)
     except QLAError as error:
         print(f"repro-run: {error}", file=sys.stderr)
         return 1

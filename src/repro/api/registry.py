@@ -322,6 +322,7 @@ class BackendRegistry:
         del self._backends[name]
 
     def get(self, name: str) -> ExecutionBackend:
+        """The backend registered under ``name`` (unknown names raise)."""
         backend = self._backends.get(name)
         if backend is None:
             raise SimulationError(
@@ -330,6 +331,7 @@ class BackendRegistry:
         return backend
 
     def names(self) -> tuple[str, ...]:
+        """The registered backend names, in registration order."""
         return tuple(self._backends)
 
     def __contains__(self, name: str) -> bool:

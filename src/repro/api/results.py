@@ -122,6 +122,7 @@ class RunResult:
         return self.spec.to_json()
 
     def to_dict(self) -> dict:
+        """The result as a JSON-ready dictionary (:meth:`from_dict` round-trips)."""
         return {
             "spec": self.spec.to_dict(),
             "value": _value_to_jsonable(self.spec.experiment, self.value),
@@ -136,6 +137,7 @@ class RunResult:
         }
 
     def to_json(self, indent: int | None = None) -> str:
+        """Serialize the full result -- value, spec echo and provenance -- to JSON."""
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod

@@ -17,8 +17,13 @@ machine and any worker count --
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # the sweep types live above this module; import for types only
+    from repro.explore.runner import SweepResult
+    from repro.explore.sweep import SweepSpec
 
 from repro.exceptions import ParameterError
 from repro.api.registry import (
@@ -31,7 +36,7 @@ from repro.api.results import RunResult
 from repro.api.specs import CircuitSpec, ExperimentSpec
 from repro.qecc.steane import steane_code
 
-__all__ = ["run"]
+__all__ = ["run", "resolved_engine"]
 
 
 def _register_size(circuit: CircuitSpec) -> int:
@@ -67,6 +72,31 @@ def _resolve(spec: ExperimentSpec, registry: BackendRegistry) -> tuple[Execution
         num_shards=spec.execution.num_shards,
         num_qubits=_register_size(spec.circuit),
     )
+
+
+def resolved_engine(spec: ExperimentSpec, registry: BackendRegistry | None = None) -> str:
+    """The engine name :func:`run` will record for ``spec``, without running it.
+
+    A pure function of the spec and the registry, sharing the runner's own
+    dispatch rules: ``machine_sim`` always replays on ``"desim"``, an
+    analytic-only syndrome rate (``shots == 0``) runs no engine at all
+    (``"none"``), and every Monte-Carlo spec resolves through
+    :meth:`~repro.api.registry.BackendRegistry.resolve` with the same
+    arguments the execution paths use.  The result-cache keys of
+    :mod:`repro.explore` embed this name, so it must stay the single source
+    of truth for what ``RunResult.engine`` ends up recording.
+    """
+    if not isinstance(spec, ExperimentSpec):
+        raise ParameterError(
+            f"resolved_engine() takes an ExperimentSpec, got {type(spec).__name__}"
+        )
+    if spec.experiment == "machine_sim":
+        return "desim"
+    if spec.experiment == "syndrome_rate" and spec.sampling.shots == 0:
+        return "none"
+    the_registry = registry if registry is not None else default_registry()
+    _, engine = _resolve(spec, the_registry)
+    return engine
 
 
 def _estimate(strategy: ExecutionBackend, task, spec: ExperimentSpec, seed):
@@ -150,7 +180,9 @@ _EXPERIMENT_RUNNERS = {
 }
 
 
-def run(spec: ExperimentSpec, registry: BackendRegistry | None = None) -> RunResult:
+def run(
+    spec: ExperimentSpec | SweepSpec, registry: BackendRegistry | None = None
+) -> RunResult | SweepResult:
     """Execute a declarative experiment spec and return its provenance-carrying result.
 
     Parameters
@@ -164,7 +196,19 @@ def run(spec: ExperimentSpec, registry: BackendRegistry | None = None) -> RunRes
         Backend registry to resolve the execution strategy against; defaults
         to the process-wide registry with the built-in scalar / uint8 /
         packed / sharded strategies.
+
+    A :class:`~repro.explore.sweep.SweepSpec` is accepted too and dispatched
+    to :func:`repro.explore.runner.run_sweep` (returning its
+    :class:`~repro.explore.runner.SweepResult`), so ``run`` stays the single
+    entry point for every declarative description the library understands.
     """
+    # Imported lazily: repro.explore builds on this module, so the sweep
+    # dispatch must not create an import cycle.
+    from repro.explore.runner import run_sweep
+    from repro.explore.sweep import SweepSpec
+
+    if isinstance(spec, SweepSpec):
+        return run_sweep(spec, registry=registry)
     if not isinstance(spec, ExperimentSpec):
         raise ParameterError(f"run() takes an ExperimentSpec, got {type(spec).__name__}")
     the_registry = registry if registry is not None else default_registry()

@@ -485,6 +485,12 @@ class ExperimentSpec:
     # Derivation
     # ------------------------------------------------------------------
 
-    def with_seed(self, seed: int | tuple[int, ...]) -> "ExperimentSpec":
-        """A copy with the sampling seed pinned (used to materialize fresh entropy)."""
+    def with_seed(self, seed: int | tuple[int, ...] | None) -> "ExperimentSpec":
+        """A copy with the sampling seed pinned (or cleared with ``None``).
+
+        The runner uses this to materialize fresh entropy into the spec it
+        echoes; sweeps use it to pin coordinate-derived per-point seeds, and
+        ``with_seed(None)`` turns a materialized spec back into a template
+        (e.g. to use it as a sweep base).
+        """
         return replace(self, sampling=replace(self.sampling, seed=seed))

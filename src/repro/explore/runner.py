@@ -1,0 +1,309 @@
+"""Execute a design-space sweep through the registry, via the result cache.
+
+:func:`run_sweep` is to :class:`~repro.explore.sweep.SweepSpec` what
+:func:`repro.api.run` is to a single spec.  For every grid point it:
+
+1. resolves the engine the point's spec will execute on (a pure function of
+   the spec and the registry -- see :func:`resolved_engine`),
+2. computes the point's content address with
+   :func:`~repro.explore.cache.cache_key`,
+3. answers from the :class:`~repro.explore.cache.ResultCache` when the entry
+   exists, and otherwise executes the point through :func:`repro.api.run`
+   and stores the result.
+
+Only the cache misses cost engine time: re-running an identical sweep
+performs **zero** engine executions, and growing one axis computes only the
+new points (per-point seeds depend on coordinates, not grid position).
+
+Misses execute either in-process or on a bounded process-pool fan-out
+(``SweepSpec.point_workers``); like every worker knob in the library the
+fan-out can never change results, because each point's spec carries its own
+pinned seed.  Results travel between processes as the same provenance JSON
+the cache stores.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import sys
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.api.registry import BackendRegistry
+from repro.api.results import RunResult
+from repro.api.runner import resolved_engine, run
+from repro.api.specs import ExperimentSpec
+from repro.exceptions import ParameterError
+from repro.explore.cache import ResultCache, cache_key
+from repro.explore.sweep import SweepPoint, SweepSpec
+
+# resolved_engine is re-exported here because cache keys embed its answer;
+# the implementation lives next to run() in repro.api.runner so the dispatch
+# rules and the cache addressing can never drift apart.
+__all__ = ["SweepPointResult", "SweepResult", "resolved_engine", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPointResult:
+    """One grid point's outcome, with its cache identity.
+
+    Attributes
+    ----------
+    coordinates:
+        The point's axis coordinates (axis path -> value).
+    spec:
+        The fully-bound per-point spec that ran (seed pinned).
+    result:
+        The provenance-carrying :class:`~repro.api.results.RunResult`.
+    cache_key:
+        The point's content address (spec + library version + engine).
+    cached:
+        Whether the result was answered from the cache (True) or executed
+        by an engine during this sweep (False).
+    """
+
+    coordinates: dict[str, object]
+    spec: ExperimentSpec
+    result: RunResult
+    cache_key: str
+    cached: bool
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """The outcome of one :func:`run_sweep` call.
+
+    Attributes
+    ----------
+    sweep:
+        Echo of the executed sweep description.
+    points:
+        One :class:`SweepPointResult` per grid point, in grid order.
+    cache_hits / cache_misses:
+        How many points were answered from the cache versus executed; by
+        construction ``cache_misses`` equals the number of engine executions
+        the sweep performed.
+    """
+
+    sweep: SweepSpec
+    points: tuple[SweepPointResult, ...]
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def executed(self) -> int:
+        """Engine executions this sweep performed (== cache misses)."""
+        return self.cache_misses
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def rows(self) -> list[dict]:
+        """Tidy analysis rows -- one flat dictionary per grid point."""
+        from repro.explore.analysis import tidy_rows
+
+        return tidy_rows(self)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form: sweep echo, per-point results, cache counters."""
+        return {
+            "sweep": self.sweep.to_dict(),
+            "points": [
+                {
+                    "coordinates": {
+                        path: list(value) if isinstance(value, tuple) else value
+                        for path, value in point.coordinates.items()
+                    },
+                    "cache_key": point.cache_key,
+                    "cached": point.cached,
+                    "result": point.result.to_dict(),
+                }
+                for point in self.points
+            ],
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize the full sweep outcome (what ``repro-run`` prints)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: object) -> "SweepResult":
+        """Strictly rebuild a sweep result from a dictionary."""
+        if not isinstance(data, dict):
+            raise ParameterError(f"a sweep result must be a JSON object, got {type(data).__name__}")
+        required = {"sweep", "points", "cache_hits", "cache_misses"}
+        missing = sorted(required - set(data))
+        if missing:
+            raise ParameterError(f"sweep result is missing fields: {missing}")
+        unknown = sorted(set(data) - required)
+        if unknown:
+            raise ParameterError(f"unknown sweep result fields: {unknown}")
+        sweep = SweepSpec.from_dict(data["sweep"])
+        grid = {tuple(sorted(p.coordinates.items())): p for p in sweep.points()}
+        points = []
+        for entry in data["points"]:
+            result = RunResult.from_dict(entry["result"])
+            coordinates = {
+                path: tuple(value) if isinstance(value, list) else value
+                for path, value in entry["coordinates"].items()
+            }
+            marker = tuple(sorted(coordinates.items()))
+            if marker not in grid:
+                raise ParameterError(
+                    f"sweep result contains a point outside its own grid: {coordinates!r}"
+                )
+            points.append(
+                SweepPointResult(
+                    coordinates=coordinates,
+                    spec=result.spec,
+                    result=result,
+                    cache_key=entry["cache_key"],
+                    cached=entry["cached"],
+                )
+            )
+        return cls(
+            sweep=sweep,
+            points=tuple(points),
+            cache_hits=data["cache_hits"],
+            cache_misses=data["cache_misses"],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResult":
+        """Parse a JSON document produced by :meth:`to_json`."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ParameterError(f"sweep result is not valid JSON: {error}") from error
+        return cls.from_dict(data)
+
+
+def _run_point_json(spec_json: str) -> str:
+    """Worker entry: run one point's spec JSON, return its result JSON.
+
+    Module-level (picklable) so the process-pool fan-out can ship points as
+    plain strings; the JSON round trip is exact, so pooled and in-process
+    execution return identical results.
+    """
+    return run(ExperimentSpec.from_json(spec_json)).to_json()
+
+
+def _pool_context():
+    if sys.platform.startswith("linux"):
+        # Fork is cheap and safe on Linux; elsewhere take the platform
+        # default (macOS spawn), exactly as repro.parallel does.
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()  # pragma: no cover - non-Linux only
+
+
+def _execute_points(
+    to_run: list[SweepPoint],
+    registry: BackendRegistry | None,
+    point_workers: int,
+) -> list[RunResult]:
+    """Execute the missed points, in-process or on a bounded process pool."""
+    if point_workers > 1 and len(to_run) > 1 and registry is None:
+        workers = min(point_workers, len(to_run))
+        with ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context()) as pool:
+            futures = [pool.submit(_run_point_json, pt.spec.to_json()) for pt in to_run]
+            return [RunResult.from_json(future.result()) for future in futures]
+    # A caller-supplied registry cannot cross a process boundary; execute the
+    # points in-process against it (results are identical either way).
+    return [run(pt.spec, registry=registry) for pt in to_run]
+
+
+def run_sweep(
+    sweep: SweepSpec,
+    *,
+    registry: BackendRegistry | None = None,
+    cache: ResultCache | None = None,
+    use_cache: bool = True,
+) -> SweepResult:
+    """Execute a design-space sweep, answering from the cache where possible.
+
+    Parameters
+    ----------
+    sweep:
+        The sweep description; its grid, per-point seeds and cache keys are
+        all pure functions of this object (plus the library version).
+    registry:
+        Backend registry for engine resolution and execution; defaults to
+        the process-wide registry.  A custom registry forces in-process
+        point execution (it cannot be shipped to worker processes).
+    cache:
+        The result cache to consult and fill; defaults to a
+        :class:`~repro.explore.cache.ResultCache` at the standard location
+        (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
+    use_cache:
+        Set False to bypass caching entirely -- every point executes and
+        nothing is read or written on disk.
+
+    Returns
+    -------
+    SweepResult
+        Per-point results in grid order plus exact hit/miss accounting;
+        ``result.executed`` is the number of engine executions performed.
+    """
+    if not isinstance(sweep, SweepSpec):
+        raise ParameterError(f"run_sweep() takes a SweepSpec, got {type(sweep).__name__}")
+    the_cache: ResultCache | None = None
+    if use_cache:
+        the_cache = cache if cache is not None else ResultCache()
+
+    points = sweep.points()
+    keys = [
+        cache_key(pt.spec, engine=resolved_engine(pt.spec, registry)) for pt in points
+    ]
+
+    outcomes: dict[int, tuple[RunResult, bool]] = {}
+    to_run: list[tuple[int, SweepPoint]] = []
+    for index, (pt, key) in enumerate(zip(points, keys)):
+        cached = the_cache.get(key) if the_cache is not None else None
+        if cached is not None:
+            outcomes[index] = (cached, True)
+        else:
+            to_run.append((index, pt))
+
+    if to_run:
+        executed = _execute_points(
+            [pt for _, pt in to_run], registry, sweep.point_workers
+        )
+        store_failure: OSError | None = None
+        for (index, _), result in zip(to_run, executed):
+            outcomes[index] = (result, False)
+            if the_cache is not None and store_failure is None:
+                try:
+                    the_cache.put(keys[index], result)
+                except OSError as error:
+                    # An unwritable cache (read-only REPRO_CACHE_DIR, full
+                    # disk) must not discard a finished sweep: degrade to
+                    # uncached results and warn once.
+                    store_failure = error
+        if store_failure is not None:
+            warnings.warn(
+                f"result cache at {the_cache.directory} is not writable "
+                f"({store_failure}); sweep results were computed but not cached",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    point_results = tuple(
+        SweepPointResult(
+            coordinates=pt.coordinates,
+            spec=outcomes[index][0].spec,
+            result=outcomes[index][0],
+            cache_key=keys[index],
+            cached=outcomes[index][1],
+        )
+        for index, pt in enumerate(points)
+    )
+    return SweepResult(
+        sweep=sweep,
+        points=point_results,
+        cache_hits=sum(1 for p in point_results if p.cached),
+        cache_misses=sum(1 for p in point_results if not p.cached),
+    )

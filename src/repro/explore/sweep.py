@@ -1,0 +1,395 @@
+"""Declarative design-space sweeps over the experiment API.
+
+A :class:`SweepSpec` expands one base
+:class:`~repro.api.specs.ExperimentSpec` over a cartesian grid of
+:class:`SweepAxis` values -- interconnect bandwidth, ECC level, array shape,
+swept noise rates, factory capacity -- into a deterministic tuple of
+per-point specs.  Everything about the expansion is a pure function of the
+sweep description:
+
+* **Point order** is the cartesian product of the axes in declaration order
+  (last axis fastest), so a sweep file always enumerates the same grid.
+* **Per-point entropy** is derived from the sweep's root seed and the point's
+  *coordinates* (not its position in the grid): the canonical coordinate JSON
+  is hashed into a :class:`numpy.random.SeedSequence` spawn key.  Adding a
+  value to one axis therefore changes nothing about the existing points --
+  their specs, seeds and cache keys stay bit-identical, and only the new
+  points cost engine time (see :mod:`repro.explore.cache`).
+* **Validation is eager**: every point of the grid is materialized and
+  validated on construction, so a sweep object that exists can run.
+
+Like every spec in :mod:`repro.api.specs`, a sweep is frozen, strictly
+validated (unknown JSON fields raise
+:class:`~repro.exceptions.ParameterError`) and round-trips exactly through
+:meth:`SweepSpec.to_json` / :meth:`SweepSpec.from_json`.  The JSON document
+carries ``"experiment": "sweep"``, which is how :mod:`repro.api.cli`
+recognises a sweep file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import math
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.api.specs import (
+    CircuitSpec,
+    ExecutionSpec,
+    ExperimentSpec,
+    MachineSpec,
+    NoiseSpec,
+    SamplingSpec,
+)
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "SWEEP_SECTIONS",
+    "SweepAxis",
+    "SweepPoint",
+    "SweepSpec",
+    "point_seed",
+]
+
+#: Spec sections an axis path may address, mapped to their dataclasses.
+SWEEP_SECTIONS: dict[str, type] = {
+    "noise": NoiseSpec,
+    "circuit": CircuitSpec,
+    "sampling": SamplingSpec,
+    "execution": ExecutionSpec,
+    "machine": MachineSpec,
+}
+
+#: Fields that may never be swept: the sweep owns the per-point entropy.
+_FORBIDDEN_PATHS = ("sampling.seed",)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ParameterError(message)
+
+
+def _jsonable(value: object) -> object:
+    """Tuples (and nested tuples) rendered as JSON lists, scalars untouched."""
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+def _hashable(value: object) -> object:
+    """Lists (and nested lists) frozen to tuples so axis values can be compared."""
+    if isinstance(value, (tuple, list)):
+        return tuple(_hashable(item) for item in value)
+    return value
+
+
+def point_seed(
+    root_seed: int | tuple[int, ...], coordinates: dict[str, object]
+) -> tuple[int, ...]:
+    """Deterministic per-point SeedSequence entropy for a sweep point.
+
+    The canonical JSON of the point's coordinates is hashed (SHA-256) into a
+    four-word spawn key for a child of the sweep's root
+    :class:`~numpy.random.SeedSequence`.  The derivation depends only on the
+    root seed and the coordinate *values*, never on the point's position in
+    the grid, so growing an axis leaves every existing point's entropy (and
+    therefore its cache key) untouched.
+    """
+    canonical = json.dumps(
+        {path: _jsonable(value) for path, value in coordinates.items()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    digest = hashlib.sha256(canonical.encode("utf-8")).digest()
+    spawn_key = tuple(
+        int.from_bytes(digest[offset : offset + 4], "big") for offset in range(0, 16, 4)
+    )
+    entropy = list(root_seed) if isinstance(root_seed, tuple) else root_seed
+    child = np.random.SeedSequence(entropy=entropy, spawn_key=spawn_key)
+    return tuple(int(word) for word in child.generate_state(4))
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One swept dimension of the design space.
+
+    Attributes
+    ----------
+    path:
+        Dotted ``"<section>.<field>"`` address of the spec field to sweep,
+        e.g. ``"machine.bandwidth"``, ``"circuit.level"`` or
+        ``"noise.physical_rates"``.  Sections are the sub-specs of
+        :class:`~repro.api.specs.ExperimentSpec` (:data:`SWEEP_SECTIONS`);
+        ``"sampling.seed"`` is reserved -- the sweep derives per-point
+        entropy itself.
+    values:
+        Non-empty tuple of distinct values the axis takes, in sweep order.
+        A scalar swept onto ``noise.physical_rates`` is wrapped into the
+        one-element tuple the field expects, so ``values=(1e-3, 2e-3)``
+        sweeps the single-point noise rate directly.
+    """
+
+    path: str
+    values: tuple = ()
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.path, str) and bool(self.path), "an axis needs a path")
+        parts = self.path.split(".")
+        _require(
+            len(parts) == 2,
+            f"axis path must be '<section>.<field>', got {self.path!r}",
+        )
+        section, name = parts
+        _require(
+            section in SWEEP_SECTIONS,
+            f"unknown axis section {section!r}; expected one of {sorted(SWEEP_SECTIONS)}",
+        )
+        allowed = {spec_field.name for spec_field in fields(SWEEP_SECTIONS[section])}
+        _require(
+            name in allowed,
+            f"{section!r} has no field {name!r}; expected one of {sorted(allowed)}",
+        )
+        _require(
+            self.path not in _FORBIDDEN_PATHS,
+            f"{self.path!r} cannot be swept: the sweep derives per-point seeds "
+            "from its own root seed",
+        )
+        values = tuple(_hashable(value) for value in self.values)
+        object.__setattr__(self, "values", values)
+        _require(len(values) >= 1, f"axis {self.path!r} needs at least one value")
+        try:
+            unique = len(set(values)) == len(values)
+        except TypeError:
+            raise ParameterError(
+                f"axis {self.path!r} values must be JSON scalars or lists of them"
+            ) from None
+        _require(
+            unique,
+            f"axis {self.path!r} has duplicate values; each grid point must be unique",
+        )
+
+    @property
+    def section(self) -> str:
+        """The spec section the axis addresses (``"machine"``, ``"noise"``, ...)."""
+        return self.path.split(".")[0]
+
+    @property
+    def field_name(self) -> str:
+        """The field inside the section the axis sweeps."""
+        return self.path.split(".")[1]
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (tuples rendered as lists)."""
+        return {"path": self.path, "values": [_jsonable(value) for value in self.values]}
+
+    @classmethod
+    def from_dict(cls, data: object) -> "SweepAxis":
+        """Strictly rebuild an axis from a JSON mapping (unknown keys raise)."""
+        if not isinstance(data, dict):
+            raise ParameterError(f"a sweep axis must be a JSON object, got {type(data).__name__}")
+        unknown = sorted(set(data) - {"path", "values"})
+        if unknown:
+            raise ParameterError(f"unknown sweep axis fields: {unknown}")
+        if "path" not in data or "values" not in data:
+            raise ParameterError("a sweep axis needs 'path' and 'values'")
+        return cls(path=data["path"], values=tuple(data["values"]))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One expanded grid point: its coordinates and the fully-bound spec.
+
+    Attributes
+    ----------
+    coordinates:
+        Mapping of axis path to this point's value on that axis.
+    spec:
+        The per-point :class:`~repro.api.specs.ExperimentSpec`: the sweep's
+        base spec with the coordinates applied and the point's derived seed
+        pinned into ``sampling.seed``.
+    """
+
+    coordinates: dict[str, object]
+    spec: ExperimentSpec
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative design-space sweep: one base spec times a grid of axes.
+
+    Attributes
+    ----------
+    base:
+        The experiment every point starts from.  Its ``sampling.seed`` must
+        be ``None``: per-point entropy is derived from the sweep's own
+        ``seed`` (see :func:`point_seed`), which is what makes point
+        identities stable as the grid grows.
+    axes:
+        The swept dimensions, expanded as a cartesian product in declaration
+        order (last axis fastest).
+    seed:
+        Root entropy (non-negative int, or tuple of them) from which every
+        point's seed is derived.
+    point_workers:
+        Worker processes for executing independent grid points;
+        ``0``/``1`` runs them in-process.  Like
+        :attr:`~repro.api.specs.ExecutionSpec.num_workers` it can never
+        affect results, only wall-clock time.
+    """
+
+    base: ExperimentSpec
+    axes: tuple[SweepAxis, ...] = ()
+    seed: int | tuple[int, ...] = 0
+    point_workers: int = 0
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.base, ExperimentSpec), "base must be an ExperimentSpec")
+        _require(
+            self.base.sampling.seed is None,
+            "the sweep derives per-point seeds from its own seed; "
+            "leave base.sampling.seed unset",
+        )
+        axes = tuple(self.axes)
+        object.__setattr__(self, "axes", axes)
+        _require(len(axes) >= 1, "a sweep needs at least one axis")
+        for axis in axes:
+            _require(isinstance(axis, SweepAxis), "axes must be SweepAxis instances")
+        paths = [axis.path for axis in axes]
+        _require(
+            len(set(paths)) == len(paths),
+            f"duplicate axis paths: {sorted(p for p in paths if paths.count(p) > 1)}",
+        )
+        seed = self.seed
+        if isinstance(seed, list):
+            seed = tuple(seed)
+            object.__setattr__(self, "seed", seed)
+        if isinstance(seed, tuple):
+            _require(
+                len(seed) > 0 and all(isinstance(word, int) and word >= 0 for word in seed),
+                "a tuple sweep seed must contain non-negative ints",
+            )
+        else:
+            _require(
+                isinstance(seed, int) and seed >= 0,
+                "sweep seed must be a non-negative int",
+            )
+        _require(
+            isinstance(self.point_workers, int)
+            and not isinstance(self.point_workers, bool)
+            and self.point_workers >= 0,
+            "point_workers must be a non-negative int",
+        )
+        # Eager validation: a sweep that constructs can run every point.
+        self.points()
+
+    @property
+    def num_points(self) -> int:
+        """Size of the cartesian grid."""
+        return math.prod(len(axis.values) for axis in self.axes)
+
+    def point(self, coordinates: dict[str, object]) -> SweepPoint:
+        """Materialize the grid point at the given axis coordinates.
+
+        The coordinates must name every axis of the sweep exactly once; the
+        returned point is identical to the corresponding element of
+        :meth:`points` (same spec, same derived seed) without expanding the
+        rest of the grid.
+        """
+        _require(
+            set(coordinates) == {axis.path for axis in self.axes},
+            f"coordinates must name exactly the sweep's axes "
+            f"{sorted(axis.path for axis in self.axes)}, got {sorted(coordinates)}",
+        )
+        # to_dict() builds a fresh nested structure on every call, so the
+        # per-point overrides below can mutate it in place.
+        data = self.base.to_dict()
+        for path, value in coordinates.items():
+            section, name = path.split(".")
+            if name == "physical_rates" and not isinstance(value, (tuple, list)):
+                value = (value,)
+            data.setdefault(section, {})[name] = _jsonable(value)
+        try:
+            spec = ExperimentSpec.from_dict(data)
+        except ParameterError as error:
+            raise ParameterError(
+                f"sweep point {coordinates!r} is not a valid experiment: {error}"
+            ) from error
+        spec = spec.with_seed(point_seed(self.seed, coordinates))
+        return SweepPoint(coordinates=dict(coordinates), spec=spec)
+
+    def points(self) -> tuple[SweepPoint, ...]:
+        """Expand the full grid, in cartesian order (last axis fastest).
+
+        The expansion is memoized on the (frozen) sweep, so eager validation,
+        :func:`~repro.explore.runner.run_sweep` and result reconstruction all
+        share one pass over the grid.
+        """
+        cached = self.__dict__.get("_points")
+        if cached is None:
+            expanded = []
+            for combo in itertools.product(*(axis.values for axis in self.axes)):
+                coordinates = {
+                    axis.path: value for axis, value in zip(self.axes, combo)
+                }
+                expanded.append(self.point(coordinates))
+            cached = tuple(expanded)
+            object.__setattr__(self, "_points", cached)
+        return cached
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The sweep as a JSON-ready dictionary (``"experiment": "sweep"``)."""
+        return {
+            "experiment": "sweep",
+            "base": self.base.to_dict(),
+            "axes": [axis.to_dict() for axis in self.axes],
+            "seed": list(self.seed) if isinstance(self.seed, tuple) else self.seed,
+            "point_workers": self.point_workers,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize to JSON; :meth:`from_json` round-trips exactly."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: object) -> "SweepSpec":
+        """Strictly rebuild a sweep from a dictionary (unknown keys raise)."""
+        if not isinstance(data, dict):
+            raise ParameterError(f"a sweep spec must be a JSON object, got {type(data).__name__}")
+        allowed = {"experiment", "base", "axes", "seed", "point_workers"}
+        unknown = sorted(set(data) - allowed)
+        if unknown:
+            raise ParameterError(f"unknown sweep spec fields: {unknown}")
+        if data.get("experiment") != "sweep":
+            raise ParameterError(
+                f"a sweep spec must carry experiment='sweep', got {data.get('experiment')!r}"
+            )
+        if "base" not in data or "axes" not in data:
+            raise ParameterError("a sweep spec needs 'base' and 'axes'")
+        axes_data = data["axes"]
+        if not isinstance(axes_data, list):
+            raise ParameterError(f"axes must be a JSON array, got {type(axes_data).__name__}")
+        seed = data.get("seed", 0)
+        if isinstance(seed, list):
+            seed = tuple(seed)
+        return cls(
+            base=ExperimentSpec.from_dict(data["base"]),
+            axes=tuple(SweepAxis.from_dict(axis) for axis in axes_data),
+            seed=seed,
+            point_workers=data.get("point_workers", 0),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        """Parse a JSON document produced by :meth:`to_json`."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ParameterError(f"sweep spec is not valid JSON: {error}") from error
+        return cls.from_dict(data)

@@ -1,0 +1,170 @@
+"""Documentation gate: relative links resolve, fenced doctests pass.
+
+Scans ``README.md`` and every ``docs/*.md`` page and enforces two
+properties the CI docs job relies on:
+
+1. **Links resolve.** Every relative markdown link ``[text](target)`` must
+   point at an existing file or directory (resolved against the page's own
+   location), and an anchor fragment (``file.md#heading`` or ``#heading``)
+   must match a heading in the target page, using GitHub's slug rules.
+   External links (``http(s)://``, ``mailto:``) are not checked -- the gate
+   must not depend on the network.
+2. **Doctests pass.** Every fenced code block containing ``>>>`` prompts is
+   executed with :mod:`doctest` (fresh globals per block, ELLIPSIS
+   enabled).  Blocks without prompts are illustrative and skipped.
+
+Run from the repository root (the CI invocation)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exits non-zero with a per-problem report on any broken link or failing
+doctest; prints a one-line summary on success.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+from urllib.parse import unquote
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown inline link: [text](target), [text](target "title"), or
+#: [text](<target>).  Images ![alt](target) match too (the leading ! simply
+#: precedes the match), which is what we want.
+_LINK_RE = re.compile(
+    r"""\[[^\]\n]*\]\(\s*<?([^)<>\s]+)>?(?:\s+["'][^)]*["'])?\s*\)"""
+)
+
+#: ATX heading at the start of a line.
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$", re.MULTILINE)
+
+#: Fenced code block: ```lang\n ... \n```
+_FENCE_RE = re.compile(r"^```([^\n`]*)\n(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def doc_pages() -> list[Path]:
+    """The pages the gate covers: README.md plus every docs/*.md."""
+    pages = [REPO_ROOT / "README.md"]
+    pages.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [page for page in pages if page.exists()]
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading: lowercase, punctuation stripped,
+    spaces to hyphens (inline code/emphasis markers removed first)."""
+    text = re.sub(r"[`*_]", "", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(page: Path) -> set[str]:
+    """Every anchor a page exposes (duplicate headings get -1, -2, ...)."""
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    for match in _HEADING_RE.finditer(page.read_text()):
+        slug = github_slug(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_links(page: Path) -> list[str]:
+    """Broken-relative-link report for one page (empty when clean)."""
+    problems = []
+    for match in _LINK_RE.finditer(page.read_text()):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL_PREFIXES):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            resolved = (page.parent / unquote(path_part)).resolve()
+            if not resolved.exists():
+                problems.append(f"{page.relative_to(REPO_ROOT)}: broken link -> {target}")
+                continue
+            anchor_page = resolved
+        else:
+            anchor_page = page
+        if fragment:
+            if anchor_page.suffix != ".md" or not anchor_page.is_file():
+                problems.append(
+                    f"{page.relative_to(REPO_ROOT)}: anchor on non-markdown target -> {target}"
+                )
+            elif fragment not in heading_slugs(anchor_page):
+                problems.append(
+                    f"{page.relative_to(REPO_ROOT)}: missing anchor -> {target}"
+                )
+    return problems
+
+
+def doctest_blocks(page: Path) -> list[tuple[int, str]]:
+    """(starting line, source) of every fenced block containing >>> prompts."""
+    text = page.read_text()
+    blocks = []
+    for match in _FENCE_RE.finditer(text):
+        body = match.group(2)
+        if ">>>" in body:
+            line = text.count("\n", 0, match.start()) + 2  # first body line
+            blocks.append((line, body))
+    return blocks
+
+
+def run_doctests(page: Path) -> tuple[int, list[str]]:
+    """Execute a page's doctest blocks; returns (examples run, problems)."""
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner(
+        optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+        verbose=False,
+    )
+    ran = 0
+    problems = []
+    for line, body in doctest_blocks(page):
+        name = f"{page.relative_to(REPO_ROOT)}:{line}"
+        test = parser.get_doctest(body, {}, name, str(page), line)
+        output: list[str] = []
+        runner.run(test, out=output.append)
+        ran += len(test.examples)
+        if runner.failures:
+            problems.append("".join(output) or f"{name}: doctest failed")
+            # DocTestRunner accumulates; reset so later blocks report cleanly.
+            runner = doctest.DocTestRunner(
+                optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+                verbose=False,
+            )
+    return ran, problems
+
+
+def main() -> int:
+    pages = doc_pages()
+    if len(pages) < 2:
+        print("check_docs: expected README.md plus docs/*.md pages", file=sys.stderr)
+        return 2
+    link_count = 0
+    example_count = 0
+    problems: list[str] = []
+    for page in pages:
+        page_problems = check_links(page)
+        link_count += sum(1 for _ in _LINK_RE.finditer(page.read_text()))
+        problems.extend(page_problems)
+        ran, doctest_problems = run_doctests(page)
+        example_count += ran
+        problems.extend(doctest_problems)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"check_docs OK: {len(pages)} pages, {link_count} links checked, "
+        f"{example_count} doctest examples passed"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
