@@ -1,0 +1,197 @@
+"""Throughput of the fused kernel tier vs the packed engine (Figure 7 workload).
+
+The fused tier exists to remove the per-operation Python/numpy dispatch that
+dominates the bit-packed engine once states are small and batches are wide: it
+pre-samples the noise stream and then executes the whole compiled circuit in
+one native loop over the packed bit-planes.  This benchmark times both
+backends on the level-1 Steane logical-gate + error-correction trial (the
+Figure 7 workload) at a batch size of 4096, checks the fused tier clears a
+>= 5x speedup when a native kernel (numba or the bundled C extension) is
+available, and validates the reproducibility contract: a seeded
+``ExperimentSpec`` must produce **bit-for-bit** identical sweep results on
+``"packed"`` and ``"packed-fused"``, at every shard count.
+
+Results are written to ``BENCH_fused_throughput.json`` at the repository
+root.  Run under pytest (``pytest benchmarks/bench_fused_throughput.py``) or
+directly (``python benchmarks/bench_fused_throughput.py [--smoke]``);
+``--smoke`` runs tiny shot counts and skips the timing assertion -- the CI
+regression gate for the fused kernels and the packed-equivalence contract.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:  # the CI smoke job runs this file directly with only numpy installed
+    import pytest
+except ImportError:  # pragma: no cover - direct execution without pytest
+    pytest = None
+
+from repro.api import ExecutionSpec, ExperimentSpec, NoiseSpec, SamplingSpec, run
+from repro.arq.experiments import Level1EccExperiment, _noise_for_rate
+from repro.iontrap.parameters import EXPECTED_PARAMETERS
+from repro.stabilizer.fused import kernel_tier, native_kernel_available
+
+#: Component failure rate of the throughput workload (mid-sweep Figure 7 point).
+WORKLOAD_RATE = 2.0e-3
+#: Lanes per batched call; the acceptance criterion pins B=4096.
+BATCH_SIZE = 4096
+#: Shots timed per engine.
+TIMED_SHOTS = 8192
+#: Required speedup of the fused tier over the packed engine (native kernel).
+REQUIRED_SPEEDUP = 5.0
+
+#: Packed-equivalence replay configuration.
+REPLAY_RATES = (2.0e-3, 1.0e-2)
+REPLAY_TRIALS = 1024
+REPLAY_SEED = 20260807
+REPLAY_SHARD_COUNTS = (1, 4)
+
+_OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fused_throughput.json"
+
+
+def _time_backend(backend: str, shots: int, batch_size: int) -> dict[str, float]:
+    experiment = Level1EccExperiment(
+        noise=_noise_for_rate(WORKLOAD_RATE, EXPECTED_PARAMETERS), backend=backend
+    )
+    rng = np.random.default_rng(11)
+    # Warm the compiled-circuit / kernel / schedule caches before timing.
+    experiment.run_trial_batch(rng, min(64, batch_size))
+    start = time.perf_counter()
+    completed = 0
+    while completed < shots:
+        experiment.run_trial_batch(rng, batch_size)
+        completed += batch_size
+    seconds = time.perf_counter() - start
+    return {
+        "backend": backend,
+        "batch_size": batch_size,
+        "shots": completed,
+        "seconds": seconds,
+        "shots_per_second": completed / seconds,
+    }
+
+
+def _measure_throughput(shots: int, batch_size: int) -> dict[str, object]:
+    packed = _time_backend("packed", shots, batch_size)
+    fused = _time_backend("packed-fused", shots, batch_size)
+    return {
+        "workload_rate": WORKLOAD_RATE,
+        "kernel_tier": kernel_tier(),
+        "packed": packed,
+        "packed_fused": fused,
+        "speedup": fused["shots_per_second"] / packed["shots_per_second"],
+    }
+
+
+def _replay_spec(backend: str, trials: int, num_shards: int) -> ExperimentSpec:
+    return ExperimentSpec(
+        experiment="threshold_sweep",
+        noise=NoiseSpec(kind="uniform", physical_rates=REPLAY_RATES),
+        sampling=SamplingSpec(shots=trials, seed=REPLAY_SEED, batch_size=512),
+        execution=ExecutionSpec(backend=backend, num_shards=num_shards),
+    )
+
+
+def _packed_equivalence(trials: int, shard_counts) -> dict[str, object]:
+    """Same seed, ``packed`` vs ``packed-fused``: must be bit-for-bit equal."""
+    runs = []
+    for num_shards in shard_counts:
+        packed_run = run(_replay_spec("packed", trials, num_shards))
+        fused_run = run(_replay_spec("packed-fused", trials, num_shards))
+        packed, fused = packed_run.value, fused_run.value
+        points = [
+            {
+                "physical_rate": rate,
+                "packed": {"failures": p.failures, "trials": p.trials},
+                "packed_fused": {"failures": f.failures, "trials": f.trials},
+                "bit_for_bit": bool(p == f),
+            }
+            for rate, p, f in zip(REPLAY_RATES, packed.level1, fused.level1)
+        ]
+        runs.append(
+            {
+                "num_shards": num_shards,
+                "seed_entropy": fused_run.seed_entropy,
+                "engines": {"packed": packed_run.engine, "fused": fused_run.engine},
+                "packed_pseudothreshold": packed.pseudothreshold,
+                "fused_pseudothreshold": fused.pseudothreshold,
+                "bit_for_bit": all(point["bit_for_bit"] for point in points)
+                and packed.concatenation_coefficient == fused.concatenation_coefficient,
+                "points": points,
+            }
+        )
+    return {
+        "trials_per_point": trials,
+        "bit_for_bit": all(r["bit_for_bit"] for r in runs),
+        "runs": runs,
+    }
+
+
+def _run_benchmark(smoke: bool = False) -> dict[str, object]:
+    if smoke:
+        throughput = _measure_throughput(shots=256, batch_size=128)
+        equivalence = _packed_equivalence(trials=96, shard_counts=(1, 2))
+    else:
+        throughput = _measure_throughput(shots=TIMED_SHOTS, batch_size=BATCH_SIZE)
+        equivalence = _packed_equivalence(
+            trials=REPLAY_TRIALS, shard_counts=REPLAY_SHARD_COUNTS
+        )
+    report = {
+        "smoke": smoke,
+        "native_kernel": native_kernel_available(),
+        "throughput": throughput,
+        "packed_equivalence": equivalence,
+    }
+    if not smoke:
+        _OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def _check(report: dict[str, object], smoke: bool) -> None:
+    throughput = report["throughput"]
+    if not smoke and report["native_kernel"]:
+        assert throughput["speedup"] >= REQUIRED_SPEEDUP, (
+            f"fused tier ({throughput['kernel_tier']}) is only "
+            f"{throughput['speedup']:.1f}x the packed engine"
+        )
+    assert report["packed_equivalence"]["bit_for_bit"], report["packed_equivalence"]
+
+
+if pytest is not None:
+
+    @pytest.mark.benchmark(
+        group="fused-throughput", min_rounds=1, max_time=0.0, warmup=False
+    )
+    def test_fused_tier_throughput_and_packed_equivalence(benchmark):
+        report = benchmark.pedantic(_run_benchmark, rounds=1, iterations=1)
+        _check(report, smoke=False)
+
+        throughput = report["throughput"]
+        print()
+        print(
+            f"packed-fused ({throughput['kernel_tier']}): "
+            f"{throughput['packed_fused']['shots_per_second']:.0f} shots/s, "
+            f"packed: {throughput['packed']['shots_per_second']:.0f} shots/s "
+            f"(B={BATCH_SIZE}), speedup {throughput['speedup']:.1f}x"
+        )
+        print(
+            "packed equivalence bit-for-bit: "
+            f"{report['packed_equivalence']['bit_for_bit']} "
+            f"(shard counts {list(REPLAY_SHARD_COUNTS)})"
+        )
+        print(f"report written to {_OUTPUT_PATH}")
+
+
+if __name__ == "__main__":
+    smoke_mode = "--smoke" in sys.argv[1:]
+    result = _run_benchmark(smoke=smoke_mode)
+    _check(result, smoke=smoke_mode)
+    print(json.dumps(result, indent=2))
+    if smoke_mode:
+        print("smoke benchmark passed: fused kernels + packed equivalence OK", file=sys.stderr)

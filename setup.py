@@ -28,7 +28,12 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy"],
-    extras_require={"test": ["pytest", "pytest-benchmark"]},
+    extras_require={
+        "test": ["pytest", "pytest-benchmark"],
+        # Optional JIT tier for the fused packed kernel; without it the
+        # engine compiles the bundled C kernel or falls back to numpy.
+        "numba": ["numba"],
+    },
     entry_points={
         "console_scripts": [
             # Run a JSON ExperimentSpec file: `repro-run spec.json`.

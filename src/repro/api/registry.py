@@ -10,9 +10,11 @@ a named :class:`ExecutionBackend` with :class:`BackendCapabilities`, and
 * ``num_shards > 1`` requires (and selects) a backend with
   ``supports_sharding`` -- the ``"sharded"`` strategy;
 * otherwise ``"auto"`` picks the batching engine whose ``min_auto_batch``
-  threshold is the highest one the effective batch still clears, which makes
-  the bit-packed engine the automatic choice from 64 lanes (one full word)
-  upward and the uint8 engine the small-batch fallback;
+  threshold is the highest one the effective batch still clears (ties broken
+  by ``auto_priority``), which makes the fused native kernel tier the
+  automatic choice from 64 lanes (one full word) upward when a native kernel
+  is available, the bit-packed engine the 64-lane choice otherwise, and the
+  uint8 engine the small-batch fallback;
 * a backend advertising ``max_qubits`` is never selected (and refuses to be
   chosen explicitly) for registers it cannot hold.
 
@@ -64,7 +66,7 @@ AUTO_PACKED_MIN_BATCH = 64
 
 #: Engine names the batched tableau layer understands (see
 #: :func:`repro.arq.simulator.create_batch_tableau`).
-TABLEAU_ENGINES = ("uint8", "packed")
+TABLEAU_ENGINES = ("uint8", "packed", "packed-fused")
 
 
 def task_engine_name(engine: str) -> str:
@@ -96,12 +98,20 @@ class BackendCapabilities:
         Smallest effective batch at which ``"auto"`` prefers this backend
         over lower-threshold engines (the packed engine advertises
         :data:`AUTO_PACKED_MIN_BATCH`).
+    auto_priority:
+        Tie-break among backends sharing a ``min_auto_batch`` threshold:
+        higher wins.  The fused kernel tier registers with priority 1 when a
+        native kernel (numba or a C compiler) is available and -1 when only
+        its numpy fallback would run, so ``auto`` degrades cleanly to the
+        packed engine on machines without a native toolchain while the fused
+        backend stays requestable by name.
     """
 
     supports_batching: bool = True
     supports_sharding: bool = False
     max_qubits: int | None = None
     min_auto_batch: int = 1
+    auto_priority: int = 0
 
     def admits(self, num_qubits: int | None) -> bool:
         """Whether a register of ``num_qubits`` fits this backend."""
@@ -190,7 +200,7 @@ class ScalarBackend:
 
 @dataclass(frozen=True)
 class EngineBackend:
-    """A vectorized single-process engine (``"uint8"`` or ``"packed"``).
+    """A vectorized single-process engine (``"uint8"``, ``"packed"`` or ``"packed-fused"``).
 
     The engine name is pinned onto the task by the runner before execution;
     this strategy only supplies the chunked estimate loop.
@@ -348,6 +358,43 @@ class BackendRegistry:
         per_shard = math.ceil(shots / num_shards) if num_shards > 0 else shots
         return max(1, min(batch_size, per_shard))
 
+    def describe_exclusions(
+        self,
+        effective_batch: int,
+        num_qubits: int | None = None,
+        tableau_only: bool = False,
+    ) -> str:
+        """One line per registered backend: eligible, or which capability excludes it.
+
+        The diagnostic body of capability-mismatch errors raised by
+        :meth:`select_engine` and :meth:`resolve`, so a failed resolution
+        names every registered backend together with the specific capability
+        that ruled it out rather than just the requested name.
+        """
+        lines = []
+        for backend in self:
+            caps = backend.capabilities
+            if not caps.supports_batching:
+                reason = "excluded: supports_batching=False (request it by name)"
+            elif caps.supports_sharding:
+                reason = (
+                    "excluded: supports_sharding=True (a sharding strategy, "
+                    "not a single-process engine)"
+                )
+            elif not caps.admits(num_qubits):
+                reason = f"excluded: max_qubits={caps.max_qubits} < {num_qubits} qubits"
+            elif caps.min_auto_batch > effective_batch:
+                reason = (
+                    f"excluded: min_auto_batch={caps.min_auto_batch} > "
+                    f"effective batch {effective_batch}"
+                )
+            elif tableau_only and backend.name not in TABLEAU_ENGINES:
+                reason = "excluded: not a built-in tableau engine"
+            else:
+                reason = "eligible"
+            lines.append(f"{backend.name!r}: {reason}")
+        return "; ".join(lines) if lines else "no backends registered"
+
     def select_engine(
         self,
         effective_batch: int,
@@ -358,7 +405,8 @@ class BackendRegistry:
 
         Among registered batching, non-sharding backends that admit the
         register, the one with the highest ``min_auto_batch`` threshold the
-        batch still clears wins -- packed at 64+, uint8 below.  With
+        batch still clears wins, ``auto_priority`` breaking ties -- the fused
+        kernel tier (when native) or packed at 64+, uint8 below.  With
         ``tableau_only`` the choice is restricted to the built-in tableau
         engines (:data:`TABLEAU_ENGINES`): that is the mode used wherever the
         winner's *name* is handed to the batched-tableau layer, which a
@@ -376,9 +424,17 @@ class BackendRegistry:
         if not candidates:
             raise SimulationError(
                 f"no registered engine accepts a batch of {effective_batch} lanes "
-                f"on {num_qubits} qubits (registered: {self.names()})"
+                f"on {num_qubits} qubits -- "
+                + self.describe_exclusions(effective_batch, num_qubits, tableau_only)
             )
-        return max(candidates, key=lambda backend: backend.capabilities.min_auto_batch)
+        # getattr: third-party capability objects may predate auto_priority.
+        return max(
+            candidates,
+            key=lambda backend: (
+                backend.capabilities.min_auto_batch,
+                getattr(backend.capabilities, "auto_priority", 0),
+            ),
+        )
 
     def resolve(
         self,
@@ -407,7 +463,9 @@ class BackendRegistry:
             if not explicit.capabilities.admits(num_qubits):
                 raise SimulationError(
                     f"backend {backend!r} holds at most "
-                    f"{explicit.capabilities.max_qubits} qubits; the workload needs {num_qubits}"
+                    f"{explicit.capabilities.max_qubits} qubits; the workload "
+                    f"needs {num_qubits}.  Registered backends: "
+                    + self.describe_exclusions(batch, num_qubits)
                 )
             if explicit.capabilities.supports_sharding:
                 # An explicitly-requested sharding strategy still needs a
@@ -458,6 +516,21 @@ def default_registry() -> BackendRegistry:
                 ),
             )
         )
+        # Imported lazily so the registry stays importable before the
+        # stabilizer layer; the probe compiles/loads the native kernel once
+        # and decides whether auto-selection should prefer the fused tier.
+        from repro.stabilizer.fused import native_kernel_available
+
+        registry.register(
+            EngineBackend(
+                name="packed-fused",
+                capabilities=BackendCapabilities(
+                    supports_batching=True,
+                    min_auto_batch=AUTO_PACKED_MIN_BATCH,
+                    auto_priority=1 if native_kernel_available() else -1,
+                ),
+            )
+        )
         registry.register(ShardedBackend())
         registry.register(DesimBackend())
         _DEFAULT_REGISTRY = registry
@@ -471,9 +544,10 @@ def resolve_engine(backend: str, batch_size: int) -> str:
     """Concrete engine name for a per-chunk batched-tableau request.
 
     The compatibility hook behind
-    :func:`repro.arq.simulator.resolve_backend`: ``"uint8"`` and ``"packed"``
-    are honoured verbatim, ``"auto"`` consults the registry's capability
-    thresholds (packed from :data:`AUTO_PACKED_MIN_BATCH` lanes up).
+    :func:`repro.arq.simulator.resolve_backend`: ``"uint8"``, ``"packed"``
+    and ``"packed-fused"`` are honoured verbatim, ``"auto"`` consults the
+    registry's capability thresholds (the fused tier or packed from
+    :data:`AUTO_PACKED_MIN_BATCH` lanes up, by ``auto_priority``).
     """
     registry = default_registry()
     if backend == "auto":
@@ -485,6 +559,7 @@ def resolve_engine(backend: str, batch_size: int) -> str:
     backend_obj = registry.get(backend)
     if not backend_obj.capabilities.supports_batching or backend_obj.capabilities.supports_sharding:
         raise SimulationError(
-            f"backend {backend!r} is not a batched tableau engine; expected 'auto', 'uint8' or 'packed'"
+            f"backend {backend!r} is not a batched tableau engine; expected "
+            f"'auto' or one of {TABLEAU_ENGINES}"
         )
     return backend

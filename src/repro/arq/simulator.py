@@ -41,12 +41,14 @@ from repro.exceptions import SimulationError
 from repro.pauli import PauliString, PauliTerm
 from repro.stabilizer import (
     BatchTableau,
+    FusedPackedBatchTableau,
     NoiseModel,
     NoiselessModel,
     PackedBatchTableau,
     StabilizerTableau,
     unpack_bits,
 )
+from repro.stabilizer.fused import execute_fused
 
 __all__ = [
     "BACKENDS",
@@ -60,7 +62,7 @@ __all__ = [
 ]
 
 #: Valid values of the batched executor's ``backend`` knob.
-BACKENDS = ("auto", "packed", "uint8")
+BACKENDS = ("auto", "packed", "packed-fused", "uint8")
 
 #: Smallest batch size at which ``backend="auto"`` picks the bit-packed
 #: engine.  The backend registry owns this threshold as the packed engine's
@@ -88,7 +90,12 @@ def create_batch_tableau(
 ) -> BatchTableau | PackedBatchTableau:
     """Create the batch tableau matching a (possibly ``"auto"``) backend."""
     resolved = resolve_backend(backend, batch_size)
-    cls = PackedBatchTableau if resolved == "packed" else BatchTableau
+    if resolved == "packed-fused":
+        cls = FusedPackedBatchTableau
+    elif resolved == "packed":
+        cls = PackedBatchTableau
+    else:
+        cls = BatchTableau
     return cls(num_qubits, batch_size, rng=rng)
 
 
@@ -315,9 +322,13 @@ class BatchedNoisyCircuitExecutor:
         Simulation engine: ``"uint8"`` drives the byte-per-bit
         :class:`~repro.stabilizer.batch.BatchTableau`, ``"packed"`` the
         64-lanes-per-word :class:`~repro.stabilizer.packed.PackedBatchTableau`,
-        and ``"auto"`` (default) picks the packed engine for batches of at
-        least ``AUTO_PACKED_MIN_BATCH`` lanes.  Both engines implement the
-        same CHP semantics; they differ only in throughput.
+        ``"packed-fused"`` the same packed state executed by the fused native
+        kernel tier (:mod:`repro.stabilizer.fused`), and ``"auto"`` (default)
+        picks the fastest engine for batches of at least
+        ``AUTO_PACKED_MIN_BATCH`` lanes -- the fused tier when a native
+        kernel (numba or a C compiler) is available, the packed engine
+        otherwise.  All engines implement the same CHP semantics and consume
+        identical RNG streams; they differ only in throughput.
     """
 
     def __init__(
@@ -392,7 +403,12 @@ class BatchedNoisyCircuitExecutor:
         requested = backend if backend is not None else self._backend
         if tableau is not None:
             state = tableau
-            resolved = "packed" if isinstance(state, PackedBatchTableau) else "uint8"
+            if isinstance(state, FusedPackedBatchTableau):
+                resolved = "packed-fused"
+            elif isinstance(state, PackedBatchTableau):
+                resolved = "packed"
+            else:
+                resolved = "uint8"
             if requested != "auto" and requested != resolved:
                 raise SimulationError(
                     f"backend {requested!r} conflicts with a pre-initialised "
@@ -411,9 +427,31 @@ class BatchedNoisyCircuitExecutor:
                 f"tableau has {state.num_qubits} qubits but the circuit needs "
                 f"{program.num_qubits}"
             )
+        if resolved == "packed-fused":
+            return self._run_fused(program, batch_size, rng, state)
         if resolved == "packed":
             return self._run_packed(program, batch_size, rng, state)
         return self._run_uint8(program, batch_size, rng, state)
+
+    def _run_fused(
+        self,
+        program: CompiledCircuit,
+        batch_size: int,
+        rng: np.random.Generator,
+        state: PackedBatchTableau,
+    ) -> BatchExecutionResult:
+        """Drive the fused kernel tier (whole circuit in one native loop).
+
+        Bit-for-bit identical to :meth:`_run_packed` on the same seeds: the
+        fused module pre-samples all measurement randomness and noise in the
+        packed engine's exact RNG order before launching the kernel.
+        """
+        measurements, error_count = execute_fused(
+            program, batch_size, rng, state, self._noise
+        )
+        return BatchExecutionResult(
+            tableau=state, measurements=measurements, error_count=error_count
+        )
 
     def _run_uint8(
         self,

@@ -167,6 +167,25 @@ class CompiledCircuit:
         """True when every opcode is executable on the stabilizer engines."""
         return not np.isin(self.opcodes, list(TIMING_ONLY_OPCODES)).any()
 
+    def kernel_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The program as contiguous int32 arrays for a native kernel.
+
+        Returns ``(opcodes, qubit0, qubit1, movement_exposure, moved_qubit,
+        measurement_slot)``, each C-contiguous int32 so a compiled consumer
+        (numba or ctypes) can walk them without per-element conversion.  The
+        views share memory with the originals whenever dtypes already match.
+        """
+        return (
+            np.ascontiguousarray(self.opcodes, dtype=np.int32),
+            np.ascontiguousarray(self.qubit0, dtype=np.int32),
+            np.ascontiguousarray(self.qubit1, dtype=np.int32),
+            np.ascontiguousarray(self.movement_exposure, dtype=np.int32),
+            np.ascontiguousarray(self.moved_qubit, dtype=np.int32),
+            np.ascontiguousarray(self.measurement_slot, dtype=np.int32),
+        )
+
     def operands(self, index: int) -> tuple[int, ...]:
         """The operand qubits of one operation, in slot order."""
         qubits = [int(self.qubit0[index])]

@@ -19,6 +19,12 @@ from repro.stabilizer.packed import (
     popcount,
     unpack_bits,
 )
+from repro.stabilizer.fused import (
+    FusedPackedBatchTableau,
+    execute_fused,
+    kernel_tier,
+    native_kernel_available,
+)
 from repro.stabilizer.noise import (
     NoiseModel,
     DepolarizingNoise,
@@ -35,6 +41,10 @@ __all__ = [
     "StabilizerTableau",
     "BatchTableau",
     "PackedBatchTableau",
+    "FusedPackedBatchTableau",
+    "execute_fused",
+    "kernel_tier",
+    "native_kernel_available",
     "MeasurementResult",
     "lane_mask_words",
     "num_words",

@@ -253,7 +253,7 @@ class PackedBatchTableau:
 
     def copy(self) -> "PackedBatchTableau":
         """An independent deep copy sharing the same random generator."""
-        clone = PackedBatchTableau.__new__(PackedBatchTableau)
+        clone = type(self).__new__(type(self))
         clone._n = self._n
         clone._batch = self._batch
         clone._words = self._words

@@ -37,7 +37,12 @@ from repro.api import (
 )
 from repro.api.cli import main as cli_main
 from repro.exceptions import ParameterError, SimulationError
+from repro.stabilizer.fused import native_kernel_available
 from repro.stabilizer.monte_carlo import MonteCarloResult
+
+#: What ``auto`` resolves to at a word-filling batch: the fused kernel tier
+#: when a native kernel (numba or a C compiler) is available, packed otherwise.
+FAST_ENGINE = "packed-fused" if native_kernel_available() else "packed"
 
 
 def sweep_spec(**overrides) -> ExperimentSpec:
@@ -169,10 +174,20 @@ class TestSpecJsonRoundTrip:
 
 
 class TestRegistrySelection:
-    def test_packed_chosen_at_64_lanes(self):
+    def test_packed_tier_chosen_at_64_lanes(self):
         registry = default_registry()
         strategy, engine = registry.resolve("auto", shots=64, batch_size=1024, num_shards=1)
-        assert (strategy.name, engine) == ("packed", "packed")
+        assert (strategy.name, engine) == (FAST_ENGINE, FAST_ENGINE)
+
+    def test_fused_beats_packed_only_with_a_native_kernel(self):
+        registry = default_registry()
+        fused = registry.get("packed-fused")
+        packed = registry.get("packed")
+        assert fused.capabilities.min_auto_batch == packed.capabilities.min_auto_batch
+        if native_kernel_available():
+            assert fused.capabilities.auto_priority > packed.capabilities.auto_priority
+        else:
+            assert fused.capabilities.auto_priority < packed.capabilities.auto_priority
 
     def test_uint8_below_64_lanes(self):
         registry = default_registry()
@@ -185,7 +200,7 @@ class TestRegistrySelection:
     def test_sharded_only_when_shards_exceed_one(self):
         registry = default_registry()
         strategy, engine = registry.resolve("auto", shots=4096, batch_size=1024, num_shards=4)
-        assert (strategy.name, engine) == ("sharded", "packed")
+        assert (strategy.name, engine) == ("sharded", FAST_ENGINE)
         strategy, _ = registry.resolve("auto", shots=4096, batch_size=1024, num_shards=1)
         assert strategy.name != "sharded"
 
@@ -256,11 +271,11 @@ class TestRegistrySelection:
         registry = default_registry()
         registry.register(FancyBackend())
         try:
-            assert resolve_backend("auto", 1024) == "packed"
+            assert resolve_backend("auto", 1024) == FAST_ENGINE
             assert isinstance(create_batch_tableau("auto", 7, 1024), PackedBatchTableau)
             # Shard tasks always pin a real tableau engine.
             _, engine = registry.resolve("auto", shots=4096, batch_size=1024, num_shards=2)
-            assert engine == "packed"
+            assert engine == FAST_ENGINE
             # But the custom strategy does win unsharded strategy selection.
             strategy, _ = registry.resolve("auto", shots=4096, batch_size=1024, num_shards=1)
             assert strategy.name == "fancy"
@@ -298,7 +313,7 @@ class TestRunAndReplay:
     def test_sharded_packed_sweep_replays_bit_for_bit(self):
         result = run(sweep_spec())
         assert result.backend == "sharded"
-        assert result.engine == "packed"
+        assert result.engine == FAST_ENGINE
         replay = run(ExperimentSpec.from_json(result.spec_json))
         assert replay.value == result.value
         assert replay.seed_entropy == result.seed_entropy

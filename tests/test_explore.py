@@ -282,9 +282,12 @@ class TestResolvedEngine:
         assert resolved_engine(spec) == "none"
 
     def test_monte_carlo_specs_resolve_through_the_registry(self):
+        from repro.stabilizer.fused import native_kernel_available
+
+        fast = "packed-fused" if native_kernel_available() else "packed"
         assert resolved_engine(failure_base()) == "uint8"
         auto = dataclasses.replace(failure_base(), execution=ExecutionSpec(backend="auto"))
-        assert resolved_engine(auto) == "packed"
+        assert resolved_engine(auto) == fast
 
     def test_prediction_matches_what_run_records_for_every_kind(self):
         """Drift guard: cache keys embed resolved_engine, so its answer must

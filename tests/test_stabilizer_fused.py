@@ -1,0 +1,345 @@
+"""The fused native kernel tier: tiers, opcode coverage, and replay contracts.
+
+Three things are pinned here:
+
+* kernel-tier selection (``REPRO_FUSED_KERNEL``) and the numpy fallback's
+  exact agreement with the active native tier;
+* the IR <-> kernel opcode contract: every opcode the fused kernel claims to
+  support is exercised against the packed engine, and timing-only opcodes are
+  rejected with a clear :class:`SimulationError` rather than mis-executed;
+* the reproducibility contract: a seeded :class:`ExperimentSpec` replays bit
+  for bit across the ``"packed"`` and ``"packed-fused"`` engines and across
+  shard counts.
+
+The randomized packed-vs-fused fuzz lives with the other cross-validation
+oracles in ``test_stabilizer_packed.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ExecutionSpec,
+    ExperimentSpec,
+    NoiseSpec,
+    SamplingSpec,
+    default_registry,
+    run,
+)
+from repro.arq import BatchedNoisyCircuitExecutor, LayoutMapper
+from repro.circuits import Circuit, Gate
+from repro.circuits.compiled import Opcode, compile_circuit
+from repro.exceptions import SimulationError
+from repro.pauli import PauliString
+from repro.stabilizer import (
+    FusedPackedBatchTableau,
+    OperationNoise,
+    PackedBatchTableau,
+    kernel_tier,
+    native_kernel_available,
+)
+from repro.stabilizer import fused as fused_module
+from repro.stabilizer.fused import (
+    KERNEL_TIERS,
+    SUPPORTED_OPCODES,
+    execute_fused,
+    fused_kernel_numpy,
+    fused_kernel_python,
+)
+
+RAGGED_BATCHES = (1, 63, 64, 65, 130)
+
+NOISE = OperationNoise(
+    p_single=0.02, p_double=0.04, p_measure=0.01, p_prepare=0.02, p_move_per_cell=0.002
+)
+
+
+def _all_opcode_circuit() -> Circuit:
+    """One circuit containing every opcode the fused kernel supports."""
+    circuit = Circuit(3)
+    for qubit in range(3):
+        circuit.prepare(qubit)
+    circuit.append(Gate.gate("I", 0))
+    circuit.h(0)
+    circuit.s(1)
+    circuit.append(Gate.gate("SDG", 1))
+    circuit.x(2)
+    circuit.y(0)
+    circuit.z(1)
+    circuit.cnot(0, 1)
+    circuit.cz(1, 2)
+    circuit.swap(0, 2)
+    circuit.measure(0, label="mz")
+    circuit.measure_x(1, label="mx")
+    circuit.prepare(2)
+    circuit.measure(2, label="reset")
+    return circuit
+
+
+def _run_both(circuit, batch, seed, noise=NOISE, mapper=None):
+    packed = BatchedNoisyCircuitExecutor(
+        noise=noise, mapper=mapper, backend="packed"
+    ).run(circuit, batch, np.random.default_rng(seed))
+    fused = BatchedNoisyCircuitExecutor(
+        noise=noise, mapper=mapper, backend="packed-fused"
+    ).run(circuit, batch, np.random.default_rng(seed))
+    return packed, fused
+
+
+def _assert_identical(packed, fused):
+    assert set(packed.measurements) == set(fused.measurements)
+    for label in packed.measurements:
+        assert np.array_equal(packed.measurements[label], fused.measurements[label]), label
+    assert np.array_equal(packed.error_count, fused.error_count)
+    assert np.array_equal(packed.tableau._x, fused.tableau._x)
+    assert np.array_equal(packed.tableau._z, fused.tableau._z)
+    assert np.array_equal(packed.tableau._r, fused.tableau._r)
+
+
+class TestKernelTiers:
+    def test_active_tier_is_valid(self):
+        assert kernel_tier() in KERNEL_TIERS
+
+    def test_native_probe_matches_tier(self):
+        assert native_kernel_available() == (kernel_tier() in ("numba", "cext"))
+
+    def test_numpy_tier_forcible(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FUSED_KERNEL", "numpy")
+        monkeypatch.setattr(fused_module, "_TIER_CACHE", {})
+        assert kernel_tier() == "numpy"
+        assert not native_kernel_available()
+
+    def test_unknown_tier_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FUSED_KERNEL", "fortran")
+        monkeypatch.setattr(fused_module, "_TIER_CACHE", {})
+        with pytest.raises(SimulationError, match="fortran"):
+            kernel_tier()
+
+    def test_forcing_unavailable_tier_raises(self, monkeypatch):
+        # numba is absent unless installed; a forced tier must fail loudly
+        # instead of silently running a different kernel.
+        monkeypatch.setattr(fused_module, "_TIER_CACHE", {})
+        if fused_module._numba_kernel() is None:
+            monkeypatch.setenv("REPRO_FUSED_KERNEL", "numba")
+            with pytest.raises(SimulationError, match="numba"):
+                kernel_tier()
+        else:
+            monkeypatch.setenv("REPRO_FUSED_KERNEL", "numba")
+            assert kernel_tier() == "numba"
+
+    def test_numpy_fallback_matches_active_tier(self, monkeypatch):
+        """The vectorized fallback and the active tier are interchangeable."""
+        circuit = _all_opcode_circuit()
+        reference = BatchedNoisyCircuitExecutor(
+            noise=NOISE, backend="packed-fused"
+        ).run(circuit, 130, np.random.default_rng(8))
+        monkeypatch.setenv("REPRO_FUSED_KERNEL", "numpy")
+        monkeypatch.setattr(fused_module, "_TIER_CACHE", {})
+        fallback = BatchedNoisyCircuitExecutor(
+            noise=NOISE, backend="packed-fused"
+        ).run(circuit, 130, np.random.default_rng(8))
+        _assert_identical(reference, fallback)
+
+    def test_python_reference_loop_matches_numpy_kernel(self):
+        """fused_kernel_python (the njit target) agrees with the numpy kernel.
+
+        Exercised directly because in a numba-less environment the Python
+        loop never runs in production -- but it is exactly what numba
+        compiles, so its semantics must stay pinned.
+        """
+        program = compile_circuit(_all_opcode_circuit())
+        plan = fused_module._plan_for(program)
+        n, batch = 3, 70
+        words = 2
+        rng = np.random.default_rng(3)
+        results = []
+        for kernel in (fused_kernel_python, fused_kernel_numpy):
+            state = PackedBatchTableau(n, batch, rng=np.random.default_rng(5))
+            xb, zb = fused_module._extract_bool_planes(state)
+            sched, draw_index, draw_count = fused_module._schedule_for(
+                plan, n, xb, zb, "numpy"
+            )
+            pre = fused_module._presample(
+                plan, NOISE, sched, draw_index, draw_count,
+                (n, xb.tobytes(), zb.tobytes()), batch, words, n,
+                np.random.default_rng(9), state._rng,
+            )
+            out = np.zeros((max(program.num_measurements, 1), words), dtype=np.uint64)
+            status = kernel(
+                n, words, plan.opcodes, plan.qubit0, plan.qubit1, plan.slots,
+                draw_index, pre.pre_inj, pre.post_inj, pre.inj_start,
+                pre.inj_qubit, pre.inj_x, pre.inj_z, pre.drawn, out,
+                xb, zb, state._r, 0, sched,
+                np.zeros(n, dtype=np.uint8), np.zeros(n, dtype=np.uint8),
+                np.zeros(words, dtype=np.uint64), np.zeros(words, dtype=np.uint64),
+            )
+            assert status == 0
+            results.append((out.copy(), xb.copy(), zb.copy(), state._r.copy()))
+        for a, b in zip(results[0], results[1]):
+            assert np.array_equal(a, b)
+
+
+class TestOpcodeCoverage:
+    def test_coverage_circuit_exercises_every_supported_opcode(self):
+        """Guard: the all-opcode circuit really contains the full kernel ISA."""
+        program = compile_circuit(_all_opcode_circuit())
+        seen = set(int(op) for op in np.unique(program.opcodes))
+        assert seen == set(SUPPORTED_OPCODES)
+
+    @pytest.mark.parametrize("batch", RAGGED_BATCHES)
+    def test_every_opcode_matches_packed(self, batch):
+        packed, fused = _run_both(_all_opcode_circuit(), batch, seed=21)
+        _assert_identical(packed, fused)
+
+    @pytest.mark.parametrize(
+        "timing_gate",
+        [
+            lambda c: c.toffoli(0, 1, 2),
+            lambda c: c.t(0),
+            lambda c: c.tdg(1),
+        ],
+    )
+    def test_timing_only_opcodes_rejected(self, timing_gate):
+        circuit = Circuit(3)
+        timing_gate(circuit)
+        circuit.measure(0, label="m")
+        program = compile_circuit(circuit, allow_timing_only=True)
+        state = FusedPackedBatchTableau(3, 64, rng=np.random.default_rng(0))
+        with pytest.raises(SimulationError, match="timing-only"):
+            execute_fused(program, 64, np.random.default_rng(0), state, NOISE)
+
+    def test_plan_rejects_unsupported_opcodes_directly(self):
+        """Defense in depth: the kernel plan re-checks the opcode set."""
+        circuit = Circuit(3).toffoli(0, 1, 2)
+        program = compile_circuit(circuit, allow_timing_only=True)
+        with pytest.raises(SimulationError, match="TOFFOLI"):
+            fused_module._plan_for(program)
+
+    def test_kernel_arrays_are_contiguous_int32(self):
+        program = compile_circuit(_all_opcode_circuit())
+        arrays = program.kernel_arrays()
+        assert len(arrays) == 6
+        for array in arrays:
+            assert array.dtype == np.int32
+            assert array.flags["C_CONTIGUOUS"]
+        opcodes, qubit0, qubit1, exposure, moved, slots = arrays
+        assert np.array_equal(opcodes, program.opcodes)
+        assert np.array_equal(slots, program.measurement_slot)
+
+
+class TestFusedState:
+    def test_lane_uniformity_preserved_after_fused_run(self):
+        """The packed invariant the kernel relies on survives the kernel."""
+        _, fused = _run_both(_all_opcode_circuit(), 130, seed=4)
+        for plane in (fused.tableau._x, fused.tableau._z):
+            first = plane[:, :, :1] != 0
+            expected = np.where(first, np.uint64(0xFFFFFFFFFFFFFFFF), np.uint64(0))
+            assert np.array_equal(plane, np.broadcast_to(expected, plane.shape))
+
+    def test_expectation_override_matches_packed(self):
+        circuit = (
+            Circuit(3).prepare(0).prepare(1).prepare(2).h(0).cnot(0, 1).cnot(1, 2)
+        )
+        packed, fused = _run_both(circuit, 70, seed=11)
+        assert isinstance(fused.tableau, FusedPackedBatchTableau)
+        for label in ("ZZI", "IZZ", "XXX", "ZII", "XYY", "YXY", "ZZZ"):
+            observable = PauliString.from_label(label)
+            assert np.array_equal(
+                packed.tableau.expectation(observable),
+                fused.tableau.expectation(observable),
+            ), label
+
+    def test_expectation_override_validation_matches_packed(self):
+        state = FusedPackedBatchTableau(2, 8, rng=np.random.default_rng(0))
+        with pytest.raises(SimulationError, match="acts on"):
+            state.expectation(PauliString.from_label("ZZZ"))
+
+    def test_copy_preserves_fused_type(self):
+        state = FusedPackedBatchTableau(2, 8, rng=np.random.default_rng(0))
+        clone = state.copy()
+        assert type(clone) is FusedPackedBatchTableau
+        clone.h(0)
+        assert np.array_equal(state._x, FusedPackedBatchTableau(2, 8)._x)
+
+    def test_executor_routes_passed_fused_tableau(self):
+        circuit = Circuit(1).x(0).measure(0, label="m")
+        state = FusedPackedBatchTableau(1, 8, rng=np.random.default_rng(0))
+        result = BatchedNoisyCircuitExecutor().run(
+            circuit, 8, np.random.default_rng(0), tableau=state
+        )
+        assert result.tableau is state
+        assert (result.measurements["m"] == 1).all()
+
+    def test_fused_backend_conflicts_with_plain_packed_tableau(self):
+        circuit = Circuit(1).measure(0)
+        state = PackedBatchTableau(1, 8, rng=np.random.default_rng(0))
+        with pytest.raises(SimulationError, match="conflicts"):
+            BatchedNoisyCircuitExecutor(backend="packed-fused").run(
+                circuit, 8, np.random.default_rng(0), tableau=state
+            )
+
+
+def _sweep_spec(backend: str, num_shards: int = 1) -> ExperimentSpec:
+    return ExperimentSpec(
+        experiment="threshold_sweep",
+        noise=NoiseSpec(kind="uniform", physical_rates=(2.0e-3, 1.0e-2)),
+        sampling=SamplingSpec(shots=512, seed=77, batch_size=128),
+        execution=ExecutionSpec(backend=backend, num_shards=num_shards, num_workers=0),
+    )
+
+
+class TestSeededReplay:
+    def test_spec_replays_bit_for_bit_across_engines(self):
+        """The acceptance contract: packed and fused runs are interchangeable."""
+        packed = run(_sweep_spec("packed"))
+        fused = run(_sweep_spec("packed-fused"))
+        assert fused.engine == "packed-fused"
+        assert fused.value == packed.value
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_spec_replays_bit_for_bit_at_every_shard_count(self, num_shards):
+        """Shard tasks pin the fused engine and still match packed exactly.
+
+        (Different shard counts are deliberately different seed-spawn plans;
+        the invariant is engine interchangeability within each plan, plus the
+        worker-count independence pinned by the api suite.)
+        """
+        packed = run(_sweep_spec("packed", num_shards=num_shards))
+        fused = run(_sweep_spec("packed-fused", num_shards=num_shards))
+        assert fused.value == packed.value
+        replay = run(ExperimentSpec.from_json(fused.spec_json))
+        assert replay.value == fused.value
+
+    def test_registry_diagnostics_name_every_backend(self):
+        """A capability mismatch lists each backend with its excluding flag."""
+        registry = default_registry()
+        description = registry.describe_exclusions(effective_batch=32)
+        for name in registry.names():
+            assert f"{name!r}" in description
+        assert "min_auto_batch=64 > effective batch 32" in description
+        assert "supports_batching=False" in description
+        with pytest.raises(SimulationError, match="supports_sharding=True"):
+            registry.select_engine(0)
+
+    def test_explicit_capability_mismatch_error_lists_backends(self):
+        registry = default_registry()
+        from repro.api import BackendCapabilities
+        from repro.stabilizer.monte_carlo import MonteCarloResult
+
+        class TinyBackend:
+            name = "tiny-fused-test"
+            capabilities = BackendCapabilities(supports_batching=True, max_qubits=4)
+
+            def estimate(self, task, shots, **kwargs):
+                return MonteCarloResult(failures=0, trials=shots)
+
+        registry.register(TinyBackend())
+        try:
+            with pytest.raises(SimulationError, match="'packed-fused'"):
+                registry.resolve(
+                    "tiny-fused-test", shots=100, batch_size=64, num_qubits=21
+                )
+        finally:
+            registry.unregister("tiny-fused-test")

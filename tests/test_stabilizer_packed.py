@@ -286,6 +286,84 @@ class TestRandomizedCrossValidation:
                         checked += 1
         assert checked > 50  # the fuzz must actually exercise deterministic paths
 
+    @staticmethod
+    def _random_measured_circuit(seed: int) -> Circuit:
+        """A random Clifford circuit interleaved with prepare/measure ops."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 7))
+        circuit = Circuit(n)
+        for qubit in range(n):
+            circuit.prepare(qubit)
+        measured = 0
+        for _ in range(int(rng.integers(20, 60))):
+            roll = rng.random()
+            if roll < 0.35 and n >= 2:
+                a, b = map(int, rng.choice(n, 2, replace=False))
+                circuit.append(
+                    Gate.gate(str(rng.choice(("CNOT", "CZ", "SWAP"))), a, b)
+                )
+            elif roll < 0.7:
+                circuit.append(
+                    Gate.gate(
+                        str(rng.choice(("H", "S", "SDG", "X", "Y", "Z", "I"))),
+                        int(rng.integers(n)),
+                    )
+                )
+            elif roll < 0.8:
+                circuit.prepare(int(rng.integers(n)))
+            elif roll < 0.9:
+                circuit.measure(int(rng.integers(n)), label=f"m{measured}")
+                measured += 1
+            else:
+                circuit.measure_x(int(rng.integers(n)), label=f"m{measured}")
+                measured += 1
+        for qubit in range(n):
+            circuit.measure(qubit, label=f"final{qubit}")
+        return circuit
+
+    @pytest.mark.parametrize("batch", RAGGED_BATCHES)
+    def test_fused_tier_matches_packed_bit_for_bit(self, batch):
+        """Random circuits + random noise: packed and fused agree exactly.
+
+        Not a statistical check -- the fused tier pre-samples noise and
+        measurement randomness in the packed engine's exact RNG order, so
+        every measurement word, error count and final tableau plane
+        (ghost lanes included) must be identical on the same seed.
+        """
+        from repro.stabilizer import FusedPackedBatchTableau
+
+        for seed in range(6):
+            circuit = self._random_measured_circuit(seed=1000 + seed)
+            rng = np.random.default_rng(seed)
+            if seed % 3 == 0:
+                noise = NoiselessModel()
+            else:
+                noise = OperationNoise(
+                    p_single=float(rng.uniform(0, 0.08)),
+                    p_double=float(rng.uniform(0, 0.08)),
+                    p_measure=float(rng.uniform(0, 0.05)),
+                    p_prepare=float(rng.uniform(0, 0.05)),
+                    p_move_per_cell=float(rng.uniform(0, 0.01)),
+                )
+            mapper = LayoutMapper() if seed % 2 else None
+            packed = BatchedNoisyCircuitExecutor(
+                noise=noise, mapper=mapper, backend="packed"
+            ).run(circuit, batch, np.random.default_rng(77 + seed))
+            fused = BatchedNoisyCircuitExecutor(
+                noise=noise, mapper=mapper, backend="packed-fused"
+            ).run(circuit, batch, np.random.default_rng(77 + seed))
+            assert isinstance(fused.tableau, FusedPackedBatchTableau)
+            assert set(packed.measurements) == set(fused.measurements)
+            for label in packed.measurements:
+                assert np.array_equal(
+                    packed.measurements[label], fused.measurements[label]
+                ), (seed, batch, label)
+            assert np.array_equal(packed.error_count, fused.error_count), (seed, batch)
+            # Full final state equality, ghost bits of the ragged word included.
+            assert np.array_equal(packed.tableau._x, fused.tableau._x), (seed, batch)
+            assert np.array_equal(packed.tableau._z, fused.tableau._z), (seed, batch)
+            assert np.array_equal(packed.tableau._r, fused.tableau._r), (seed, batch)
+
 
 class TestPackedExecutor:
     def test_deterministic_circuit_matches_per_shot_exactly(self):
@@ -306,9 +384,13 @@ class TestPackedExecutor:
         assert (batch.measurements["zero"] == scalar.measurements["zero"]).all()
 
     def test_auto_backend_selection(self):
-        assert resolve_backend("auto", 64) == "packed"
+        from repro.stabilizer.fused import native_kernel_available
+
+        fast = "packed-fused" if native_kernel_available() else "packed"
+        assert resolve_backend("auto", 64) == fast
         assert resolve_backend("auto", 63) == "uint8"
         assert resolve_backend("packed", 1) == "packed"
+        assert resolve_backend("packed-fused", 1) == "packed-fused"
         assert resolve_backend("uint8", 10**6) == "uint8"
         with pytest.raises(SimulationError):
             resolve_backend("simd", 64)
