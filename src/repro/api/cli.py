@@ -4,6 +4,9 @@ Usage::
 
     repro-run spec.json                 # run, print the result JSON to stdout
     repro-run spec.json -o result.json  # also write the result to a file
+    repro-run sweep.json --resume       # re-run an interrupted sweep (cache
+                                        # restores every finished point)
+    repro-run sweep.json --point-timeout 60 --max-retries 3
     repro-run --example threshold_sweep # print a starter spec and exit
     repro-run --example design_space    # starter design-space sweep
 
@@ -15,6 +18,20 @@ included), so piping the ``spec`` field of the output back into ``repro-run``
 replays the run bit for bit; sweeps print a
 :class:`~repro.explore.runner.SweepResult` with per-point results and exact
 cache hit/miss accounting (re-running an identical sweep is all cache hits).
+
+Sweeps execute fault-tolerantly (see ``docs/robustness.md``): every finished
+point is cached immediately, so an interrupted sweep re-run with ``--resume``
+recomputes only the unfinished tail and produces a result bit-for-bit
+identical to an uninterrupted run.  ``--point-timeout`` bounds each point's
+wall clock (pooled sweeps only), ``--max-retries`` bounds the retry budget,
+and ``--on-error raise`` upgrades any terminal point failure to a hard error.
+
+Exit codes: 0 success; 1 the run raised a
+:class:`~repro.exceptions.QLAError` (including ``--on-error raise``
+failures); 2 usage errors (missing spec file, sweep-only flags on a single
+experiment); 3 the sweep completed but some points failed terminally -- the
+partial result is still printed/written, and a failure summary goes to
+stderr.
 
 ``--help`` enumerates the available example names, experiment kinds and
 registered execution backends; all three lists are generated from the code
@@ -158,6 +175,42 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="for sweeps: bypass the on-disk result cache entirely",
     )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "for sweeps: resume an interrupted run -- finished points are "
+            "restored from the cache and only the unfinished tail executes; "
+            "reports the resume accounting on stderr"
+        ),
+    )
+    parser.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "for pooled sweeps (point_workers > 1): kill and retry any point "
+            "that exceeds this wall-clock budget"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="for sweeps: retries per point after its first attempt (default: 2)",
+    )
+    parser.add_argument(
+        "--on-error",
+        choices=("partial", "raise"),
+        default="partial",
+        help=(
+            "for sweeps: 'partial' (default) records failed points inside a "
+            "partial result and exits 3; 'raise' turns any terminal point "
+            "failure into a hard error (exit 1)"
+        ),
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress the result on stdout")
     args = parser.parse_args(argv)
 
@@ -166,6 +219,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if not args.spec:
         parser.error("a spec file is required (or --example to print a starter spec)")
+    if args.resume and args.no_cache:
+        print("repro-run: --resume needs the cache; drop --no-cache", file=sys.stderr)
+        return 2
 
     path = Path(args.spec)
     if not path.exists():
@@ -174,8 +230,36 @@ def main(argv: list[str] | None = None) -> int:
     try:
         spec = _load_spec(path.read_text())
         if isinstance(spec, SweepSpec):
-            result = run_sweep(spec, use_cache=not args.no_cache)
+            result = run_sweep(
+                spec,
+                use_cache=not args.no_cache,
+                point_timeout=args.point_timeout,
+                max_retries=args.max_retries,
+                on_error=args.on_error,
+            )
+            if args.resume:
+                print(
+                    f"repro-run: resumed {result.cache_hits} of {len(result)} "
+                    f"points from the cache; executed {result.executed}",
+                    file=sys.stderr,
+                )
         else:
+            sweep_only = [
+                flag
+                for flag, used in (
+                    ("--resume", args.resume),
+                    ("--point-timeout", args.point_timeout is not None),
+                    ("--max-retries", args.max_retries != 2),
+                    ("--on-error", args.on_error != "partial"),
+                )
+                if used
+            ]
+            if sweep_only:
+                print(
+                    f"repro-run: {', '.join(sweep_only)} only apply to sweep specs",
+                    file=sys.stderr,
+                )
+                return 2
             result = run(spec)
     except QLAError as error:
         print(f"repro-run: {error}", file=sys.stderr)
@@ -188,6 +272,21 @@ def main(argv: list[str] | None = None) -> int:
         Path(args.output).write_text(text + "\n")
     if not args.quiet:
         _emit(text)
+    if isinstance(spec, SweepSpec) and result.failed:
+        # The partial result above is complete and cached; the summary and
+        # the nonzero exit make the failures impossible to miss in CI.
+        print(
+            f"repro-run: {result.failed} of {len(result)} sweep points failed:",
+            file=sys.stderr,
+        )
+        for point in result.failures():
+            print(
+                f"repro-run:   {point.coordinates!r}: "
+                f"{point.error.exception_type}: {point.error.message} "
+                f"(after {point.error.attempts} attempts)",
+                file=sys.stderr,
+            )
+        return 3
     return 0
 
 

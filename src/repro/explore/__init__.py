@@ -15,6 +15,9 @@ Shor-kernel runtime.  This package turns the single-point experiment API
 * :mod:`repro.explore.runner` -- :func:`run_sweep` executes the grid through
   the backend registry with a bounded process fan-out, answering every
   previously-computed point from the cache,
+* :mod:`repro.explore.supervisor` -- the fault-tolerant execution layer
+  under :func:`run_sweep`: per-point timeouts, bounded retry with backoff,
+  and dead-pool recovery (see ``docs/robustness.md``),
 * :mod:`repro.explore.analysis` -- tidy row extraction, Pareto-front
   selection and the paper drivers :func:`reproduce_table2` /
   :func:`reproduce_fig9`.
@@ -61,10 +64,18 @@ from repro.explore.cache import (
     default_cache_dir,
 )
 from repro.explore.runner import (
+    SweepExecutionError,
+    SweepPointError,
     SweepPointResult,
     SweepResult,
     resolved_engine,
     run_sweep,
+)
+from repro.explore.supervisor import (
+    PointTimeoutError,
+    RetryPolicy,
+    WorkerCrashError,
+    execute_supervised,
 )
 from repro.explore.sweep import (
     SWEEP_SECTIONS,
@@ -85,9 +96,15 @@ __all__ = [
     "cache_key",
     "ResultCache",
     "resolved_engine",
+    "SweepExecutionError",
+    "SweepPointError",
     "SweepPointResult",
     "SweepResult",
     "run_sweep",
+    "RetryPolicy",
+    "PointTimeoutError",
+    "WorkerCrashError",
+    "execute_supervised",
     "tidy_rows",
     "pareto_front",
     "reproduce_table2",

@@ -79,23 +79,53 @@ def tidy_rows(sweep_result) -> list[dict]:
 
     Every row carries the point's axis coordinates under their axis paths
     (``"machine.bandwidth"``, ``"circuit.level"``, ...), the experiment
-    kind, the resolved backend/engine, the cache status, the wall time, and
+    kind, the resolved backend/engine, the cache status, the retry/failure
+    accounting (``failed``, ``attempts``), the per-point wall times, and
     the experiment's headline metrics -- makespan/stalls for ``machine_sim``,
     failure counts and rate for ``logical_failure``, the fitted threshold
     for ``threshold_sweep``, the analytic (and measured, if sampled) rate
     for ``syndrome_rate``.
+
+    Two wall-time columns, with different provenance: ``wall_time_seconds``
+    is the engine-measured execution time recorded inside the
+    :class:`~repro.api.results.RunResult` (stable across cache replays),
+    while ``point_wall_seconds`` is what *this sweep* spent on the point
+    across all attempts (``0.0`` for cache hits) -- the column that makes
+    slow grid regions visible without re-running anything.
+
+    Failed points (partial results) produce rows too: coordinates plus
+    ``failed=True``, the error type/message, and the attempt accounting --
+    no backend/engine/metric columns, because nothing executed to
+    completion.
     """
     rows = []
     for point in sweep_result.points:
-        experiment = point.result.spec.experiment
         row = dict(point.coordinates)
+        if not point.ok:
+            row.update(
+                {
+                    "experiment": point.spec.experiment,
+                    "cached": point.cached,
+                    "failed": True,
+                    "error_type": point.error.exception_type,
+                    "error_message": point.error.message,
+                    "attempts": point.attempts,
+                    "point_wall_seconds": point.wall_time_seconds,
+                }
+            )
+            rows.append(row)
+            continue
+        experiment = point.result.spec.experiment
         row.update(
             {
                 "experiment": experiment,
                 "backend": point.result.backend,
                 "engine": point.result.engine,
                 "cached": point.cached,
+                "failed": False,
+                "attempts": point.attempts,
                 "wall_time_seconds": point.result.wall_time_seconds,
+                "point_wall_seconds": point.wall_time_seconds,
             }
         )
         row.update(_METRIC_EXTRACTORS[experiment](point.result.value))

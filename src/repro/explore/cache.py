@@ -47,6 +47,7 @@ import os
 import tempfile
 from pathlib import Path
 
+from repro import faults
 from repro.api.results import RunResult
 from repro.api.specs import ExperimentSpec
 from repro.exceptions import ParameterError
@@ -108,6 +109,12 @@ class ResultCache:
     hits / misses / stores:
         Monotone counters of this instance's traffic (a corrupt or
         unreadable entry counts as a miss).
+    corrupt_evictions:
+        How many entries were found corrupt on read (truncated JSON,
+        foreign schema) and evicted; each such read also counts as a miss.
+        Surfaced per-sweep as ``SweepResult.corrupt_evictions`` -- a
+        nonzero value on healthy storage usually means a torn write from a
+        crashed process, which the next read heals automatically.
     """
 
     def __init__(self, directory: str | os.PathLike | None = None) -> None:
@@ -115,6 +122,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt_evictions = 0
 
     def path_for(self, key: str) -> Path:
         """Where the entry for ``key`` lives (two-character fan-out)."""
@@ -148,6 +156,7 @@ class ResultCache:
             except OSError:
                 pass
             self.misses += 1
+            self.corrupt_evictions += 1
             return None
         self.hits += 1
         return result
@@ -177,6 +186,12 @@ class ResultCache:
                 pass
             raise
         self.stores += 1
+        if faults.should_fire(faults.CACHE_CORRUPT, key):
+            # Fault injection (REPRO_FAULTS / repro.faults): truncate the
+            # entry we just committed, simulating a torn write that survived
+            # the atomic rename -- e.g. a power loss after replace but before
+            # the data blocks hit disk.  The next get() must evict and heal.
+            path.write_text(result.to_json()[: max(1, len(result.to_json()) // 3)])
         return path
 
     def __contains__(self, key: str) -> bool:
@@ -204,4 +219,9 @@ class ResultCache:
     @property
     def stats(self) -> dict[str, int]:
         """This instance's traffic counters as a plain dictionary."""
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt_evictions": self.corrupt_evictions,
+        }

@@ -15,34 +15,114 @@ Only the cache misses cost engine time: re-running an identical sweep
 performs **zero** engine executions, and growing one axis computes only the
 new points (per-point seeds depend on coordinates, not grid position).
 
-Misses execute either in-process or on a bounded process-pool fan-out
-(``SweepSpec.point_workers``); like every worker knob in the library the
-fan-out can never change results, because each point's spec carries its own
-pinned seed.  Results travel between processes as the same provenance JSON
-the cache stores.
+Execution is **fault-tolerant** (see :mod:`repro.explore.supervisor` and
+``docs/robustness.md``): misses run under a supervised process pool (or
+in-process with the same retry semantics), every finished point is cached
+*immediately* -- so a crashed or interrupted sweep resumes from the cache
+for free -- hung points are cancelled by a per-point timeout, failed
+attempts are retried with bounded exponential backoff, and dead worker
+pools are respawned.  A point that exhausts its retries degrades to a
+structured :class:`SweepPointError` inside a *partial* result instead of
+aborting the sweep; pass ``on_error="raise"`` to make any failure raise
+:class:`SweepExecutionError` after the surviving points have been cached.
+
+Like every worker knob in the library, the fan-out (and any retries) can
+never change results, because each point's spec carries its own pinned
+seed.  Results travel between processes as the same provenance JSON the
+cache stores.
 """
 
 from __future__ import annotations
 
 import json
-import multiprocessing
-import sys
 import warnings
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.api.registry import BackendRegistry
 from repro.api.results import RunResult
-from repro.api.runner import resolved_engine, run
+from repro.api.runner import resolved_engine
 from repro.api.specs import ExperimentSpec
-from repro.exceptions import ParameterError
+from repro.exceptions import ParameterError, QLAError
 from repro.explore.cache import ResultCache, cache_key
-from repro.explore.sweep import SweepPoint, SweepSpec
+from repro.explore.supervisor import RetryPolicy, execute_supervised
+from repro.explore.sweep import SweepSpec
 
 # resolved_engine is re-exported here because cache keys embed its answer;
 # the implementation lives next to run() in repro.api.runner so the dispatch
 # rules and the cache addressing can never drift apart.
-__all__ = ["SweepPointResult", "SweepResult", "resolved_engine", "run_sweep"]
+__all__ = [
+    "SweepPointError",
+    "SweepExecutionError",
+    "SweepPointResult",
+    "SweepResult",
+    "resolved_engine",
+    "run_sweep",
+]
+
+
+class SweepExecutionError(QLAError):
+    """Raised by ``on_error="raise"`` when any sweep point fails terminally.
+
+    The partial :class:`SweepResult` -- every completed point included and
+    already cached -- is attached as :attr:`result`, so strict callers can
+    still inspect or persist what succeeded.
+    """
+
+    def __init__(self, message: str, result: "SweepResult") -> None:
+        super().__init__(message)
+        self.result = result
+
+
+@dataclass(frozen=True)
+class SweepPointError:
+    """Structured record of one grid point's terminal failure.
+
+    Attributes
+    ----------
+    exception_type:
+        Class name of the final exception (``"PointTimeoutError"``,
+        ``"WorkerCrashError"``, ``"SimulationError"``, ...).
+    message:
+        The final exception's message.
+    attempts:
+        Executions charged to the point before giving up
+        (``max_retries + 1`` when retries were exhausted).
+    elapsed_seconds:
+        Total wall-clock spent on the point across all attempts.
+    """
+
+    exception_type: str
+    message: str
+    attempts: int
+    elapsed_seconds: float
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (:meth:`from_dict` round-trips exactly)."""
+        return {
+            "exception_type": self.exception_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: object) -> "SweepPointError":
+        """Strictly rebuild a point error from a JSON mapping."""
+        if not isinstance(data, dict):
+            raise ParameterError(f"a point error must be a JSON object, got {type(data).__name__}")
+        required = {"exception_type", "message", "attempts", "elapsed_seconds"}
+        missing = sorted(required - set(data))
+        if missing:
+            raise ParameterError(f"point error is missing fields: {missing}")
+        unknown = sorted(set(data) - required)
+        if unknown:
+            raise ParameterError(f"unknown point error fields: {unknown}")
+        return cls(
+            exception_type=data["exception_type"],
+            message=data["message"],
+            attempts=data["attempts"],
+            elapsed_seconds=data["elapsed_seconds"],
+        )
 
 
 @dataclass(frozen=True)
@@ -56,46 +136,90 @@ class SweepPointResult:
     spec:
         The fully-bound per-point spec that ran (seed pinned).
     result:
-        The provenance-carrying :class:`~repro.api.results.RunResult`.
+        The provenance-carrying :class:`~repro.api.results.RunResult`, or
+        ``None`` when the point failed terminally.
     cache_key:
         The point's content address (spec + library version + engine).
     cached:
         Whether the result was answered from the cache (True) or executed
         by an engine during this sweep (False).
+    error:
+        The structured :class:`SweepPointError` when the point exhausted
+        its retries; ``None`` on success.
+    attempts:
+        Executions this sweep charged to the point (``0`` for cache hits).
+    wall_time_seconds:
+        Wall-clock this sweep spent executing the point, summed over every
+        attempt (``0.0`` for cache hits) -- the column that makes slow
+        grid regions visible without re-running anything.
     """
 
     coordinates: dict[str, object]
     spec: ExperimentSpec
-    result: RunResult
+    result: RunResult | None
     cache_key: str
     cached: bool
+    error: SweepPointError | None = None
+    attempts: int = 0
+    wall_time_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the point carries a result (True) or a failure record."""
+        return self.error is None
+
+    def __post_init__(self) -> None:
+        if (self.result is None) == (self.error is None):
+            raise ParameterError(
+                "a sweep point carries exactly one of a result or an error"
+            )
 
 
 @dataclass(frozen=True)
 class SweepResult:
-    """The outcome of one :func:`run_sweep` call.
+    """The outcome of one :func:`run_sweep` call (possibly partial).
 
     Attributes
     ----------
     sweep:
         Echo of the executed sweep description.
     points:
-        One :class:`SweepPointResult` per grid point, in grid order.
+        One :class:`SweepPointResult` per grid point, in grid order --
+        failed points included, carrying :class:`SweepPointError` records
+        instead of results.
     cache_hits / cache_misses:
-        How many points were answered from the cache versus executed; by
-        construction ``cache_misses`` equals the number of engine executions
-        the sweep performed.
+        How many points were answered from the cache versus handed to an
+        engine; ``cache_misses`` counts execution *attempts were made for*
+        (completed and failed alike).
+    corrupt_evictions:
+        Cache entries found corrupt (truncated JSON, foreign schema) and
+        evicted during this sweep's reads; each one was recomputed.
     """
 
     sweep: SweepSpec
     points: tuple[SweepPointResult, ...]
     cache_hits: int
     cache_misses: int
+    corrupt_evictions: int = 0
 
     @property
     def executed(self) -> int:
-        """Engine executions this sweep performed (== cache misses)."""
+        """Points handed to an engine this sweep (== cache misses)."""
         return self.cache_misses
+
+    @property
+    def completed(self) -> int:
+        """Points carrying a result (cache hits included)."""
+        return sum(1 for point in self.points if point.ok)
+
+    @property
+    def failed(self) -> int:
+        """Points that exhausted their retries and carry an error record."""
+        return sum(1 for point in self.points if not point.ok)
+
+    def failures(self) -> tuple[SweepPointResult, ...]:
+        """The failed points, in grid order."""
+        return tuple(point for point in self.points if not point.ok)
 
     def __len__(self) -> int:
         return len(self.points)
@@ -118,12 +242,16 @@ class SweepResult:
                     },
                     "cache_key": point.cache_key,
                     "cached": point.cached,
-                    "result": point.result.to_dict(),
+                    "result": None if point.result is None else point.result.to_dict(),
+                    "error": None if point.error is None else point.error.to_dict(),
+                    "attempts": point.attempts,
+                    "wall_time_seconds": point.wall_time_seconds,
                 }
                 for point in self.points
             ],
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "corrupt_evictions": self.corrupt_evictions,
         }
 
     def to_json(self, indent: int | None = None) -> str:
@@ -132,21 +260,34 @@ class SweepResult:
 
     @classmethod
     def from_dict(cls, data: object) -> "SweepResult":
-        """Strictly rebuild a sweep result from a dictionary."""
+        """Strictly rebuild a sweep result from a dictionary.
+
+        Accepts the pre-1.4 schema too (no ``error`` / ``attempts`` /
+        ``wall_time_seconds`` / ``corrupt_evictions`` fields): the new
+        per-point fields default to a clean, instantaneous success.
+        """
         if not isinstance(data, dict):
             raise ParameterError(f"a sweep result must be a JSON object, got {type(data).__name__}")
         required = {"sweep", "points", "cache_hits", "cache_misses"}
         missing = sorted(required - set(data))
         if missing:
             raise ParameterError(f"sweep result is missing fields: {missing}")
-        unknown = sorted(set(data) - required)
+        unknown = sorted(set(data) - required - {"corrupt_evictions"})
         if unknown:
             raise ParameterError(f"unknown sweep result fields: {unknown}")
         sweep = SweepSpec.from_dict(data["sweep"])
         grid = {tuple(sorted(p.coordinates.items())): p for p in sweep.points()}
+        point_keys = {"coordinates", "cache_key", "cached", "result",
+                      "error", "attempts", "wall_time_seconds"}
         points = []
         for entry in data["points"]:
-            result = RunResult.from_dict(entry["result"])
+            if not isinstance(entry, dict):
+                raise ParameterError(
+                    f"a sweep result point must be a JSON object, got {type(entry).__name__}"
+                )
+            unknown = sorted(set(entry) - point_keys)
+            if unknown:
+                raise ParameterError(f"unknown sweep result point fields: {unknown}")
             coordinates = {
                 path: tuple(value) if isinstance(value, list) else value
                 for path, value in entry["coordinates"].items()
@@ -156,13 +297,20 @@ class SweepResult:
                 raise ParameterError(
                     f"sweep result contains a point outside its own grid: {coordinates!r}"
                 )
+            result_data = entry.get("result")
+            error_data = entry.get("error")
+            result = None if result_data is None else RunResult.from_dict(result_data)
+            error = None if error_data is None else SweepPointError.from_dict(error_data)
             points.append(
                 SweepPointResult(
                     coordinates=coordinates,
-                    spec=result.spec,
+                    spec=result.spec if result is not None else grid[marker].spec,
                     result=result,
                     cache_key=entry["cache_key"],
                     cached=entry["cached"],
+                    error=error,
+                    attempts=entry.get("attempts", 0),
+                    wall_time_seconds=entry.get("wall_time_seconds", 0.0),
                 )
             )
         return cls(
@@ -170,6 +318,7 @@ class SweepResult:
             points=tuple(points),
             cache_hits=data["cache_hits"],
             cache_misses=data["cache_misses"],
+            corrupt_evictions=data.get("corrupt_evictions", 0),
         )
 
     @classmethod
@@ -182,46 +331,16 @@ class SweepResult:
         return cls.from_dict(data)
 
 
-def _run_point_json(spec_json: str) -> str:
-    """Worker entry: run one point's spec JSON, return its result JSON.
-
-    Module-level (picklable) so the process-pool fan-out can ship points as
-    plain strings; the JSON round trip is exact, so pooled and in-process
-    execution return identical results.
-    """
-    return run(ExperimentSpec.from_json(spec_json)).to_json()
-
-
-def _pool_context():
-    if sys.platform.startswith("linux"):
-        # Fork is cheap and safe on Linux; elsewhere take the platform
-        # default (macOS spawn), exactly as repro.parallel does.
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()  # pragma: no cover - non-Linux only
-
-
-def _execute_points(
-    to_run: list[SweepPoint],
-    registry: BackendRegistry | None,
-    point_workers: int,
-) -> list[RunResult]:
-    """Execute the missed points, in-process or on a bounded process pool."""
-    if point_workers > 1 and len(to_run) > 1 and registry is None:
-        workers = min(point_workers, len(to_run))
-        with ProcessPoolExecutor(max_workers=workers, mp_context=_pool_context()) as pool:
-            futures = [pool.submit(_run_point_json, pt.spec.to_json()) for pt in to_run]
-            return [RunResult.from_json(future.result()) for future in futures]
-    # A caller-supplied registry cannot cross a process boundary; execute the
-    # points in-process against it (results are identical either way).
-    return [run(pt.spec, registry=registry) for pt in to_run]
-
-
 def run_sweep(
     sweep: SweepSpec,
     *,
     registry: BackendRegistry | None = None,
     cache: ResultCache | None = None,
     use_cache: bool = True,
+    point_timeout: float | None = None,
+    max_retries: int = 2,
+    backoff_base: float = 0.05,
+    on_error: str = "partial",
 ) -> SweepResult:
     """Execute a design-space sweep, answering from the cache where possible.
 
@@ -237,73 +356,148 @@ def run_sweep(
     cache:
         The result cache to consult and fill; defaults to a
         :class:`~repro.explore.cache.ResultCache` at the standard location
-        (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
+        (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).  Every completed
+        point is stored the moment it finishes, so an interrupted sweep
+        resumes from the cache with only the unfinished tail re-executed.
     use_cache:
         Set False to bypass caching entirely -- every point executes and
         nothing is read or written on disk.
+    point_timeout:
+        Per-point wall-clock budget in seconds; a point that exceeds it is
+        cancelled (its worker killed) and retried.  Requires pooled
+        execution (``sweep.point_workers > 1`` and no custom registry) --
+        an in-process point cannot be preempted.
+    max_retries:
+        Retries after each point's first attempt, with bounded
+        exponential backoff (``backoff_base * 2**k``, capped at 5 s)
+        between attempts.
+    backoff_base:
+        First retry delay in seconds (``0`` disables the backoff wait).
+    on_error:
+        ``"partial"`` (default) records points that exhaust their retries
+        as :class:`SweepPointError` entries inside a partial result;
+        ``"raise"`` raises :class:`SweepExecutionError` instead -- after
+        every surviving point has been executed and cached.
 
     Returns
     -------
     SweepResult
-        Per-point results in grid order plus exact hit/miss accounting;
-        ``result.executed`` is the number of engine executions performed.
+        Per-point results in grid order plus exact hit/miss, failure and
+        corrupt-eviction accounting; ``result.executed`` is the number of
+        points handed to an engine.
     """
     if not isinstance(sweep, SweepSpec):
         raise ParameterError(f"run_sweep() takes a SweepSpec, got {type(sweep).__name__}")
+    if on_error not in ("partial", "raise"):
+        raise ParameterError(f"on_error must be 'partial' or 'raise', got {on_error!r}")
+    policy = RetryPolicy(
+        point_timeout=point_timeout, max_retries=max_retries, backoff_base=backoff_base
+    )
+    pooled = sweep.point_workers > 1 and registry is None
+    if point_timeout is not None and not pooled:
+        raise ParameterError(
+            "point_timeout requires pooled execution (sweep.point_workers > 1 "
+            "and no custom registry): an in-process point cannot be preempted"
+        )
     the_cache: ResultCache | None = None
     if use_cache:
         the_cache = cache if cache is not None else ResultCache()
+    evictions_before = the_cache.corrupt_evictions if the_cache is not None else 0
 
     points = sweep.points()
     keys = [
         cache_key(pt.spec, engine=resolved_engine(pt.spec, registry)) for pt in points
     ]
 
-    outcomes: dict[int, tuple[RunResult, bool]] = {}
-    to_run: list[tuple[int, SweepPoint]] = []
+    outcomes: dict[int, SweepPointResult] = {}
+    to_run: list[int] = []
     for index, (pt, key) in enumerate(zip(points, keys)):
         cached = the_cache.get(key) if the_cache is not None else None
         if cached is not None:
-            outcomes[index] = (cached, True)
+            outcomes[index] = SweepPointResult(
+                coordinates=pt.coordinates,
+                spec=cached.spec,
+                result=cached,
+                cache_key=key,
+                cached=True,
+            )
         else:
-            to_run.append((index, pt))
+            to_run.append(index)
 
     if to_run:
-        executed = _execute_points(
-            [pt for _, pt in to_run], registry, sweep.point_workers
+        store_failures: list[OSError] = []
+
+        def on_outcome(position: int, outcome) -> None:
+            # Streamed back as points finish: persist each completed point
+            # immediately, so a crash of this process loses nothing but the
+            # in-flight tail (crash => resume from the cache for free).
+            index = to_run[position]
+            if outcome.ok:
+                if the_cache is not None and not store_failures:
+                    try:
+                        the_cache.put(keys[index], outcome.result)
+                    except OSError as error:
+                        # An unwritable cache (read-only REPRO_CACHE_DIR, full
+                        # disk) must not discard a finished sweep: degrade to
+                        # uncached results and warn once.
+                        store_failures.append(error)
+                outcomes[index] = SweepPointResult(
+                    coordinates=points[index].coordinates,
+                    spec=outcome.result.spec,
+                    result=outcome.result,
+                    cache_key=keys[index],
+                    cached=False,
+                    attempts=outcome.attempts,
+                    wall_time_seconds=outcome.elapsed_seconds,
+                )
+            else:
+                outcomes[index] = SweepPointResult(
+                    coordinates=points[index].coordinates,
+                    spec=points[index].spec,
+                    result=None,
+                    cache_key=keys[index],
+                    cached=False,
+                    error=SweepPointError(
+                        exception_type=type(outcome.error).__name__,
+                        message=str(outcome.error),
+                        attempts=outcome.attempts,
+                        elapsed_seconds=outcome.elapsed_seconds,
+                    ),
+                    attempts=outcome.attempts,
+                    wall_time_seconds=outcome.elapsed_seconds,
+                )
+
+        execute_supervised(
+            [points[index].spec for index in to_run],
+            policy=policy,
+            point_workers=sweep.point_workers if pooled else 0,
+            registry=registry,
+            on_outcome=on_outcome,
         )
-        store_failure: OSError | None = None
-        for (index, _), result in zip(to_run, executed):
-            outcomes[index] = (result, False)
-            if the_cache is not None and store_failure is None:
-                try:
-                    the_cache.put(keys[index], result)
-                except OSError as error:
-                    # An unwritable cache (read-only REPRO_CACHE_DIR, full
-                    # disk) must not discard a finished sweep: degrade to
-                    # uncached results and warn once.
-                    store_failure = error
-        if store_failure is not None:
+        if store_failures:
             warnings.warn(
                 f"result cache at {the_cache.directory} is not writable "
-                f"({store_failure}); sweep results were computed but not cached",
+                f"({store_failures[0]}); sweep results were computed but not cached",
                 RuntimeWarning,
                 stacklevel=2,
             )
 
-    point_results = tuple(
-        SweepPointResult(
-            coordinates=pt.coordinates,
-            spec=outcomes[index][0].spec,
-            result=outcomes[index][0],
-            cache_key=keys[index],
-            cached=outcomes[index][1],
-        )
-        for index, pt in enumerate(points)
-    )
-    return SweepResult(
+    point_results = tuple(outcomes[index] for index in range(len(points)))
+    result = SweepResult(
         sweep=sweep,
         points=point_results,
         cache_hits=sum(1 for p in point_results if p.cached),
         cache_misses=sum(1 for p in point_results if not p.cached),
+        corrupt_evictions=(
+            the_cache.corrupt_evictions - evictions_before if the_cache is not None else 0
+        ),
     )
+    if result.failed and on_error == "raise":
+        worst = result.failures()[0]
+        raise SweepExecutionError(
+            f"{result.failed} of {len(result)} sweep points failed "
+            f"(first: {worst.coordinates!r} -> {worst.error.exception_type}: "
+            f"{worst.error.message}); completed points are cached",
+            result,
+        )
+    return result

@@ -56,6 +56,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import faults
 from repro.circuits.compiled import (
     CompiledCircuit,
     Opcode,
@@ -778,14 +779,35 @@ def kernel_tier() -> str:
     the recorded reason.
     """
     requested = os.environ.get("REPRO_FUSED_KERNEL", "auto").strip().lower() or "auto"
-    cached = _TIER_CACHE.get(requested)
-    if cached is not None:
-        return cached
+    # Fault injection (repro.faults, KERNEL_NATIVE site): while a profile
+    # with a nonzero kernel rate is active, the tier cache is bypassed so
+    # fault decisions are re-evaluated per call and never pollute the
+    # steady-state cache.
+    profile = faults.active_profile()
+    fault_gated = profile is not None and profile.kernel > 0.0
+    if not fault_gated:
+        cached = _TIER_CACHE.get(requested)
+        if cached is not None:
+            return cached
     if requested not in ("auto",) + KERNEL_TIERS:
         raise SimulationError(
             f"REPRO_FUSED_KERNEL={requested!r} is not a kernel tier; "
             f"expected 'auto' or one of {KERNEL_TIERS}"
         )
+    if fault_gated and faults.should_fire(
+        faults.KERNEL_NATIVE,
+        faults.fault_key(f"kernel_tier:{requested}"),
+        profile=profile,
+    ):
+        # Behave exactly as if no native kernel had compiled: explicit
+        # native requests fail loudly, "auto"/"numpy" degrade to the
+        # pure-numpy fallback (which is bit-identical, just slower).
+        if requested in ("numba", "cext"):
+            raise SimulationError(
+                f"REPRO_FUSED_KERNEL={requested}: injected native-kernel "
+                "failure (repro.faults kernel.native site)"
+            )
+        return "numpy"
     if requested == "numba" and _numba_kernel() is None:
         raise SimulationError(f"REPRO_FUSED_KERNEL=numba: {_NUMBA_ERROR}")
     if requested == "cext" and _cext_kernel() is None:
@@ -799,7 +821,8 @@ def kernel_tier() -> str:
             tier = "numpy"
     else:
         tier = requested
-    _TIER_CACHE[requested] = tier
+    if not fault_gated:
+        _TIER_CACHE[requested] = tier
     return tier
 
 

@@ -5,8 +5,36 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import faults
 from repro.qecc.steane import steane_code
 from repro.stabilizer import StabilizerTableau
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "no_chaos: test pins exact no-fault accounting; fault injection is "
+        "disabled for it even when REPRO_FAULTS selects a chaos profile",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _no_chaos_marker(request):
+    """Honor the ``no_chaos`` marker under a ``REPRO_FAULTS`` chaos run.
+
+    The CI fault-injection job runs the whole explorer suite with
+    ``REPRO_FAULTS=chaos`` to prove that injected transient failures and
+    corrupt cache entries never change computed *values*.  Cache hit/miss
+    *accounting*, however, legitimately shifts under corruption (an evicted
+    entry is recomputed), so tests that pin exact counters opt out via the
+    marker; everything else runs under whatever profile the environment
+    selects.
+    """
+    if request.node.get_closest_marker("no_chaos") is not None:
+        with faults.no_faults():
+            yield
+    else:
+        yield
 
 
 @pytest.fixture
