@@ -1,0 +1,112 @@
+"""Run experiments through the service: submit, stream, replay from cache.
+
+The experiment service (``repro.service``, ``docs/service.md``) fronts
+the spec pipeline with an HTTP API over a durable SQLite job queue.  This
+example drives one end to end, in-process on an ephemeral port:
+
+1. boot an :class:`~repro.service.ExperimentService` (the same composition
+   root ``repro-serve`` runs),
+2. submit the paper's Figure-9 interconnect-bandwidth sweep as a job over
+   HTTP,
+3. stream its per-point progress from ``GET /v1/jobs/{id}/events`` as the
+   sweep's incremental harvest lands each point,
+4. fetch the finished :class:`~repro.explore.SweepResult` and print the
+   bandwidth trend,
+5. resubmit the identical sweep -- the idempotency key dedups it onto the
+   finished job, zero new compute -- and then submit it to a *fresh* queue
+   sharing the result cache, where every point replays as a cache hit.
+
+Run with::
+
+    python examples/experiment_service.py
+
+The job database and result cache land under a temporary directory here;
+a real deployment uses ``repro-serve`` with the default durable locations
+(``$REPRO_SERVICE_DB``, ``$REPRO_CACHE_DIR``).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.api import ExecutionSpec, ExperimentSpec, MachineSpec, NoiseSpec, SamplingSpec
+from repro.explore import FIG9_MACHINE, SweepAxis, SweepSpec
+from repro.service import ExperimentService, ServiceClient
+
+
+def fig9_sweep(bandwidths=(1, 2, 4), seed: int = 2005) -> SweepSpec:
+    """The Figure-9 bandwidth sweep as a submittable spec document."""
+    base = ExperimentSpec(
+        experiment="machine_sim",
+        noise=NoiseSpec(kind="technology", parameters="expected"),
+        sampling=SamplingSpec(shots=0, seed=None),
+        execution=ExecutionSpec(backend="desim"),
+        machine=MachineSpec(**FIG9_MACHINE),
+    )
+    return SweepSpec(
+        base=base,
+        axes=(SweepAxis(path="machine.bandwidth", values=tuple(bandwidths)),),
+        seed=seed,
+    )
+
+
+def submit_and_stream(client: ServiceClient, sweep: SweepSpec) -> str:
+    job = client.submit(sweep.to_dict())
+    print(f"submitted {job['id']} (kind={job['kind']}, deduplicated={job['deduplicated']})")
+    for event in client.events(job["id"]):
+        if event["type"] == "point":
+            source = "cache hit" if event["cached"] else "engine"
+            print(
+                f"  point {event['index'] + 1}/{event['total']}"
+                f" {event['coordinates']} -> {source}"
+            )
+        elif event["type"] in ("done", "failed", "cancelled"):
+            print(f"  -> {event['type']}")
+    return job["id"]
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-service-example-"))
+    cache_dir = workdir / "cache"
+
+    with ExperimentService(db_path=workdir / "jobs.sqlite3", cache_dir=cache_dir, port=0) as service:
+        client = ServiceClient(service.url)
+        print(f"service up at {service.url} (healthz: {client.healthz()['status']})")
+
+        sweep = fig9_sweep()
+        print("\nFirst submission -- every point executes:")
+        job_id = submit_and_stream(client, sweep)
+
+        result = client.result_object(job_id)
+        print("\nFigure 9 trend (runtime vs interconnect bandwidth):")
+        for row in sorted(result.rows(), key=lambda r: r["machine.bandwidth"]):
+            print(
+                f"  bandwidth {row['machine.bandwidth']}: "
+                f"{row['makespan_seconds']:.3f}s, {row['stall_cycles']} stall cycles"
+            )
+
+        print("\nResubmission -- the idempotency key answers it:")
+        again = client.submit(sweep.to_dict())
+        print(
+            f"  {again['id']} deduplicated={again['deduplicated']}"
+            f" state={again['state']} (zero new compute)"
+        )
+
+    # A fresh queue sharing the result cache: the job is new, but every
+    # point is already cached -- the sweep replays without one engine run.
+    print("\nFresh job queue, shared result cache -- a pure cache replay:")
+    with ExperimentService(db_path=workdir / "jobs2.sqlite3", cache_dir=cache_dir, port=0) as service:
+        client = ServiceClient(service.url)
+        job_id = submit_and_stream(client, fig9_sweep())
+        document = client.job(job_id)
+        replay = client.result(job_id)
+        print(
+            f"  executed_points={document['executed_points']}"
+            f" cached_points={document['cached_points']}"
+            f" cache_misses={replay['cache_misses']}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -14,13 +14,14 @@ _README = Path(__file__).resolve().parent / "README.md"
 
 setup(
     name="repro-qla-arq",
-    version="1.4.0",
+    version="1.5.0",
     description=(
         "Reproduction of the QLA quantum architecture study: ion-trap model, "
         "ARQ stabilizer simulator with batched execution engines behind a "
         "pluggable backend registry, the paper's threshold/resource "
-        "experiments driven by declarative JSON specs, and a design-space "
-        "explorer with a content-addressed result cache"
+        "experiments driven by declarative JSON specs, a design-space "
+        "explorer with a content-addressed result cache, and an HTTP "
+        "experiment service over a durable job queue"
     ),
     long_description=_README.read_text() if _README.exists() else "",
     long_description_content_type="text/markdown",
@@ -33,11 +34,18 @@ setup(
         # Optional JIT tier for the fused packed kernel; without it the
         # engine compiles the bundled C kernel or falls back to numpy.
         "numba": ["numba"],
+        # The experiment service (repro.service / repro-serve) is pure
+        # stdlib -- http.server + sqlite3 -- so the extra is empty on
+        # purpose: `pip install repro-qla-arq[service]` documents intent
+        # without pulling a single new dependency.
+        "service": [],
     },
     entry_points={
         "console_scripts": [
             # Run a JSON ExperimentSpec file: `repro-run spec.json`.
             "repro-run=repro.api.cli:main",
+            # Serve the pipeline over HTTP: `repro-serve --port 8642`.
+            "repro-serve=repro.service.cli:main",
         ],
     },
 )

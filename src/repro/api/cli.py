@@ -31,7 +31,10 @@ Exit codes: 0 success; 1 the run raised a
 failures); 2 usage errors (missing spec file, sweep-only flags on a single
 experiment); 3 the sweep completed but some points failed terminally -- the
 partial result is still printed/written, and a failure summary goes to
-stderr.
+stderr; 4 ``--resume`` was requested but the result cache directory is not
+writable -- resuming *needs* the cache, so silently degrading to the
+uncached warn-once path would re-execute every point and then lose the
+results again.  The full table lives in ``docs/robustness.md``.
 
 ``--help`` enumerates the available example names, experiment kinds and
 registered execution backends; all three lists are generated from the code
@@ -141,6 +144,32 @@ def _emit(text: str) -> None:
         pass
 
 
+def _cache_unwritable_reason() -> str | None:
+    """Why the default result cache cannot be written, or None if it can.
+
+    ``--resume`` restores finished points from the cache and persists the
+    re-executed tail back into it; with an unwritable cache directory the
+    flag would silently degrade to recomputing everything (the warn-once
+    path of :func:`~repro.explore.runner.run_sweep`) *and* losing the new
+    results -- the opposite of what resuming promises.  The probe mirrors
+    what :meth:`~repro.explore.cache.ResultCache.put` does: create the
+    directory and open a scratch file inside it.
+    """
+    import tempfile
+
+    from repro.explore.cache import default_cache_dir
+
+    directory = default_cache_dir()
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        handle, probe = tempfile.mkstemp(dir=directory, prefix=".writable-", suffix=".tmp")
+        os.close(handle)
+        os.unlink(probe)
+    except OSError as error:
+        return f"result cache directory {directory} is not writable ({error})"
+    return None
+
+
 def _load_spec(text: str) -> ExperimentSpec | SweepSpec:
     """Parse a spec file: the ``"experiment": "sweep"`` marker selects sweeps."""
     try:
@@ -230,6 +259,16 @@ def main(argv: list[str] | None = None) -> int:
     try:
         spec = _load_spec(path.read_text())
         if isinstance(spec, SweepSpec):
+            if args.resume:
+                reason = _cache_unwritable_reason()
+                if reason is not None:
+                    print(
+                        f"repro-run: cannot --resume: {reason}; fix the "
+                        "directory permissions or point REPRO_CACHE_DIR at a "
+                        "writable location",
+                        file=sys.stderr,
+                    )
+                    return 4
             result = run_sweep(
                 spec,
                 use_cache=not args.no_cache,

@@ -45,6 +45,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
 
 from repro import faults
@@ -108,7 +109,9 @@ class ResultCache:
     ----------
     hits / misses / stores:
         Monotone counters of this instance's traffic (a corrupt or
-        unreadable entry counts as a miss).
+        unreadable entry counts as a miss).  Counter updates are guarded
+        by a lock, so one cache instance can be shared by the experiment
+        service's worker loop and HTTP threads without losing counts.
     corrupt_evictions:
         How many entries were found corrupt on read (truncated JSON,
         foreign schema) and evicted; each such read also counts as a miss.
@@ -123,6 +126,10 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.corrupt_evictions = 0
+        # Counter updates must be atomic: the service shares one cache
+        # instance between its worker loop and every HTTP thread, and a
+        # bare `+=` under concurrency silently drops increments.
+        self._counter_lock = threading.Lock()
 
     def path_for(self, key: str) -> Path:
         """Where the entry for ``key`` lives (two-character fan-out)."""
@@ -142,7 +149,8 @@ class ResultCache:
         try:
             text = path.read_text()
         except OSError:
-            self.misses += 1
+            with self._counter_lock:
+                self.misses += 1
             return None
         try:
             result = RunResult.from_json(text)
@@ -155,10 +163,12 @@ class ResultCache:
                 path.unlink()
             except OSError:
                 pass
-            self.misses += 1
-            self.corrupt_evictions += 1
+            with self._counter_lock:
+                self.misses += 1
+                self.corrupt_evictions += 1
             return None
-        self.hits += 1
+        with self._counter_lock:
+            self.hits += 1
         return result
 
     def put(self, key: str, result: RunResult) -> Path:
@@ -185,7 +195,8 @@ class ResultCache:
             except OSError:
                 pass
             raise
-        self.stores += 1
+        with self._counter_lock:
+            self.stores += 1
         if faults.should_fire(faults.CACHE_CORRUPT, key):
             # Fault injection (REPRO_FAULTS / repro.faults): truncate the
             # entry we just committed, simulating a torn write that survived
@@ -218,10 +229,11 @@ class ResultCache:
 
     @property
     def stats(self) -> dict[str, int]:
-        """This instance's traffic counters as a plain dictionary."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "stores": self.stores,
-            "corrupt_evictions": self.corrupt_evictions,
-        }
+        """A consistent snapshot of this instance's traffic counters."""
+        with self._counter_lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "corrupt_evictions": self.corrupt_evictions,
+            }

@@ -341,6 +341,7 @@ def run_sweep(
     max_retries: int = 2,
     backoff_base: float = 0.05,
     on_error: str = "partial",
+    progress=None,
 ) -> SweepResult:
     """Execute a design-space sweep, answering from the cache where possible.
 
@@ -378,6 +379,18 @@ def run_sweep(
         as :class:`SweepPointError` entries inside a partial result;
         ``"raise"`` raises :class:`SweepExecutionError` instead -- after
         every surviving point has been executed and cached.
+    progress:
+        Optional callback invoked with one JSON-ready dictionary per grid
+        point the moment the point resolves: cache hits during the initial
+        scan, executed points streamed from the incremental harvest (the
+        experiment service's per-job event feed -- see
+        :mod:`repro.service`).  Keys: ``index``, ``total``,
+        ``coordinates``, ``cache_key``, ``cached``, ``ok``, ``attempts``,
+        ``wall_time_seconds``, ``error``.  An exception raised by the
+        callback aborts the sweep and propagates -- every point already
+        resolved has been cached, so an aborted sweep resumes from the
+        cache like a crashed one (this is the service's cancellation
+        hook).
 
     Returns
     -------
@@ -410,6 +423,30 @@ def run_sweep(
     ]
 
     outcomes: dict[int, SweepPointResult] = {}
+
+    def notify(index: int) -> None:
+        # One JSON-ready progress record per resolved point; a raising
+        # callback aborts the sweep (already-resolved points stay cached).
+        if progress is None:
+            return
+        point = outcomes[index]
+        progress(
+            {
+                "index": index,
+                "total": len(points),
+                "coordinates": {
+                    path: list(value) if isinstance(value, tuple) else value
+                    for path, value in point.coordinates.items()
+                },
+                "cache_key": point.cache_key,
+                "cached": point.cached,
+                "ok": point.ok,
+                "attempts": point.attempts,
+                "wall_time_seconds": point.wall_time_seconds,
+                "error": None if point.error is None else point.error.to_dict(),
+            }
+        )
+
     to_run: list[int] = []
     for index, (pt, key) in enumerate(zip(points, keys)):
         cached = the_cache.get(key) if the_cache is not None else None
@@ -421,6 +458,7 @@ def run_sweep(
                 cache_key=key,
                 cached=True,
             )
+            notify(index)
         else:
             to_run.append(index)
 
@@ -450,6 +488,7 @@ def run_sweep(
                     attempts=outcome.attempts,
                     wall_time_seconds=outcome.elapsed_seconds,
                 )
+                notify(index)
             else:
                 outcomes[index] = SweepPointResult(
                     coordinates=points[index].coordinates,
@@ -466,6 +505,7 @@ def run_sweep(
                     attempts=outcome.attempts,
                     wall_time_seconds=outcome.elapsed_seconds,
                 )
+                notify(index)
 
         execute_supervised(
             [points[index].spec for index in to_run],

@@ -26,6 +26,12 @@ Fault **sites** are the places the library consults the harness:
 :data:`KERNEL_NATIVE`   report the native (numba / compiled-C) fused
                         kernel tiers as unavailable (exercises the
                         pure-numpy fallback path).
+:data:`SERVICE_WORKER`  kill a service worker's job execution mid-job
+                        (exercises the durable queue's attempt
+                        accounting and requeue-on-crash recovery).
+:data:`SERVICE_STORE`   fail the job store's terminal result write
+                        (exercises the worker's retry of a computed but
+                        uncommitted job).
 ================== ====================================================
 
 A :class:`FaultProfile` holds one rate per site plus the shared knobs.  A
@@ -75,6 +81,8 @@ __all__ = [
     "POINT_TRANSIENT",
     "CACHE_CORRUPT",
     "KERNEL_NATIVE",
+    "SERVICE_WORKER",
+    "SERVICE_STORE",
     "SITES",
     "PROFILES",
     "InjectedFault",
@@ -96,6 +104,8 @@ WORKER_HANG = "worker.hang"
 POINT_TRANSIENT = "point.transient"
 CACHE_CORRUPT = "cache.corrupt"
 KERNEL_NATIVE = "kernel.native"
+SERVICE_WORKER = "service.worker"
+SERVICE_STORE = "service.store"
 
 #: Fault site -> the :class:`FaultProfile` rate field that controls it.
 SITES: dict[str, str] = {
@@ -104,6 +114,8 @@ SITES: dict[str, str] = {
     POINT_TRANSIENT: "transient",
     CACHE_CORRUPT: "corrupt",
     KERNEL_NATIVE: "kernel",
+    SERVICE_WORKER: "service",
+    SERVICE_STORE: "store",
 }
 
 
@@ -126,10 +138,12 @@ class FaultProfile:
     seed:
         Root of every injection decision; two runs with the same profile
         make identical decisions at every site.
-    crash / hang / transient / corrupt / kernel:
+    crash / hang / transient / corrupt / kernel / service / store:
         Per-site selection rates in ``[0, 1]``: the fraction of keys each
         site fires for.  Selection is by key hash, so the *same* keys are
-        selected on every run.
+        selected on every run.  ``service`` and ``store`` drive the
+        experiment service's sites (worker death mid-job, job-store
+        result-write failure -- see :mod:`repro.service`).
     fail_attempts:
         How many leading attempts of a selected key fire: ``1`` (default)
         fails only the first attempt, so one retry recovers; ``-1`` fails
@@ -145,13 +159,15 @@ class FaultProfile:
     transient: float = 0.0
     corrupt: float = 0.0
     kernel: float = 0.0
+    service: float = 0.0
+    store: float = 0.0
     fail_attempts: int = 1
     hang_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         if not isinstance(self.seed, int) or isinstance(self.seed, bool) or self.seed < 0:
             raise ParameterError(f"fault profile seed must be a non-negative int, got {self.seed!r}")
-        for name in ("crash", "hang", "transient", "corrupt", "kernel"):
+        for name in ("crash", "hang", "transient", "corrupt", "kernel", "service", "store"):
             rate = getattr(self, name)
             if not isinstance(rate, (int, float)) or isinstance(rate, bool) or not 0.0 <= rate <= 1.0:
                 raise ParameterError(f"fault rate {name!r} must be in [0, 1], got {rate!r}")
@@ -220,9 +236,15 @@ class FaultProfile:
 #: Named presets usable directly as ``REPRO_FAULTS`` values.
 PROFILES: dict[str, FaultProfile] = {
     # The CI chaos gate: a quarter of sweep points fail transiently on
-    # their first attempt (one retry recovers them) and a quarter of cache
-    # writes are torn (the corruption-tolerant reader recomputes them).
-    "chaos": FaultProfile(seed=20050, transient=0.25, corrupt=0.25, fail_attempts=1),
+    # their first attempt (one retry recovers them), a quarter of cache
+    # writes are torn (the corruption-tolerant reader recomputes them),
+    # a quarter of service jobs lose their worker mid-job and a quarter
+    # lose their first terminal job-store write (the durable queue must
+    # requeue and converge in both cases).
+    "chaos": FaultProfile(
+        seed=20050, transient=0.25, corrupt=0.25, service=0.25, store=0.25,
+        fail_attempts=1,
+    ),
     # Every point's first worker attempt is SIGKILLed: the supervised pool
     # must respawn and retry everything exactly once.
     "crashy": FaultProfile(seed=20051, crash=1.0, fail_attempts=1),

@@ -1,0 +1,177 @@
+"""A thin stdlib HTTP client for the experiment service.
+
+:class:`ServiceClient` wraps the endpoint set of
+:mod:`repro.service.http` with typed helpers used by the test-suite,
+``examples/experiment_service.py`` and scripts -- ``urllib`` only, no new
+dependencies.  Responses are returned as parsed JSON dictionaries (the
+same documents ``curl`` shows); :meth:`result_object` additionally
+rebuilds the library's provenance-carrying result types, so a service
+answer can be compared bit-for-bit against an in-process run::
+
+    client = ServiceClient(service.url)
+    job = client.submit(sweep.to_dict())
+    client.wait(job["id"])
+    remote = client.result_object(job["id"])     # SweepResult
+    assert remote.to_json() == run_sweep(sweep).to_json()
+
+Streaming: :meth:`events` yields per-point progress records as the
+worker's incremental harvest lands them, following the job to its
+terminal event (pass ``follow=False`` for a snapshot of the log so far).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.api.results import RunResult
+from repro.exceptions import ParameterError, QLAError
+from repro.explore.runner import SweepResult
+
+__all__ = ["ServiceError", "ServiceClient"]
+
+
+class ServiceError(QLAError):
+    """An HTTP error response from the experiment service.
+
+    Attributes
+    ----------
+    status:
+        The HTTP status code.
+    payload:
+        The parsed JSON error document when the server sent one.
+    """
+
+    def __init__(self, status: int, message: str, payload: dict | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServiceClient:
+    """Client for one ``repro-serve`` endpoint (``http://host:port``)."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        if not isinstance(base_url, str) or not base_url.startswith(("http://", "https://")):
+            raise ParameterError(f"base_url must be an http(s) URL, got {base_url!r}")
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            payload: dict | None = None
+            message = f"{method} {path} -> HTTP {error.code}"
+            try:
+                payload = json.loads(raw)
+                message = f"{message}: {payload.get('error', raw.decode('utf-8', 'replace'))}"
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                pass
+            raise ServiceError(error.code, message, payload) from None
+
+    def _json(self, method: str, path: str, body: dict | None = None) -> dict:
+        with self._request(method, path, body) as response:
+            return json.loads(response.read())
+
+    # -- endpoints -----------------------------------------------------------
+
+    def submit(self, spec_document: dict, *, max_attempts: int | None = None) -> dict:
+        """``POST /v1/jobs``: submit a spec document; returns the job doc.
+
+        ``spec_document`` is the ``to_dict()`` form of an
+        :class:`~repro.api.specs.ExperimentSpec` or
+        :class:`~repro.explore.sweep.SweepSpec`.  The returned document's
+        ``deduplicated`` field is True when an existing job with the same
+        idempotency key answered the submission.
+        """
+        body: dict = spec_document
+        if max_attempts is not None:
+            body = {"spec": spec_document, "max_attempts": max_attempts}
+        return self._json("POST", "/v1/jobs", body)
+
+    def job(self, job_id: str) -> dict:
+        """``GET /v1/jobs/{id}``: the full job status document."""
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self, state: str | None = None) -> list[dict]:
+        """``GET /v1/jobs``: job listing, optionally filtered by state."""
+        suffix = f"?state={state}" if state else ""
+        return self._json("GET", f"/v1/jobs{suffix}")["jobs"]
+
+    def result(self, job_id: str) -> dict:
+        """``GET /v1/jobs/{id}/result``: the raw result document."""
+        return self._json("GET", f"/v1/jobs/{job_id}/result")
+
+    def result_object(self, job_id: str) -> "RunResult | SweepResult":
+        """The job's result rebuilt as the library's result type.
+
+        A sweep job yields a :class:`~repro.explore.runner.SweepResult`,
+        an experiment job a :class:`~repro.api.results.RunResult` --
+        both reconstructed from the exact JSON the worker stored, so
+        round-trip comparisons against in-process runs are bit-for-bit.
+        """
+        document = self.result(job_id)
+        if document.get("sweep") is not None:
+            return SweepResult.from_dict(document)
+        return RunResult.from_dict(document)
+
+    def events(self, job_id: str, *, since: int = -1, follow: bool = True):
+        """``GET /v1/jobs/{id}/events``: yield event records as they land.
+
+        A generator over the NDJSON stream; each record carries a ``seq``
+        cursor (pass it back as ``since`` to resume after a disconnect).
+        With ``follow=True`` (default) the stream ends at the job's
+        terminal event; with ``follow=False`` it is a snapshot of the log.
+        """
+        follow_arg = "1" if follow else "0"
+        path = f"/v1/jobs/{job_id}/events?since={since}&follow={follow_arg}"
+        with self._request("GET", path) as response:
+            for raw in response:
+                line = raw.strip()
+                if line:
+                    yield json.loads(line)
+
+    def cancel(self, job_id: str) -> dict:
+        """``DELETE /v1/jobs/{id}``: cancel the job; returns the new state."""
+        return self._json("DELETE", f"/v1/jobs/{job_id}")
+
+    def healthz(self) -> dict:
+        """``GET /healthz``: liveness, uptime, queue depth by state."""
+        return self._json("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics``: the Prometheus exposition document."""
+        with self._request("GET", "/metrics") as response:
+            return response.read().decode("utf-8")
+
+    def wait(self, job_id: str, *, timeout: float = 120.0, poll: float = 0.05) -> dict:
+        """Poll until the job reaches a terminal state; returns its document.
+
+        Raises :class:`ServiceError` (status 504) when ``timeout`` elapses
+        first -- the job itself keeps running server-side.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            document = self.job(job_id)
+            if document["state"] in ("done", "failed", "cancelled"):
+                return document
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    504,
+                    f"job {job_id} still {document['state']!r} after {timeout:g}s",
+                )
+            time.sleep(poll)

@@ -1,0 +1,187 @@
+"""Service observability: counters and the ``/metrics`` Prometheus text.
+
+The service's metrics surface combines three sources:
+
+* **in-memory counters** on :class:`ServiceMetrics` (jobs finished by
+  outcome, attempts, per-point engine/cache traffic, engine seconds) --
+  process-lifetime, updated under a lock by the worker loop;
+* the **job store** (queue depth by state -- durable, so a freshly
+  restarted server reports its recovered backlog immediately);
+* the shared **result cache** counters (hits / misses / stores /
+  corrupt evictions -- the satellite thread-safety lock on
+  :class:`~repro.explore.cache.ResultCache` exists precisely so these are
+  exact under concurrent HTTP scrapes and worker writes).
+
+Rendering follows the Prometheus text exposition format (version 0.0.4):
+``# HELP`` / ``# TYPE`` headers, one sample per line, label values escaped.
+Counter metrics end in ``_total``; gauges are instantaneous.  The glossary
+lives in ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["ServiceMetrics", "render_metrics"]
+
+
+class ServiceMetrics:
+    """Lock-guarded process-lifetime counters for the experiment service."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        self._monotonic_start = time.monotonic()
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.jobs_cancelled = 0
+        self.job_attempts = 0
+        self.points_executed = 0
+        self.points_cached = 0
+        self.points_failed = 0
+        self.engine_seconds = 0.0
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since this service process started serving."""
+        return time.monotonic() - self._monotonic_start
+
+    def record_attempt(self) -> None:
+        """A worker claimed a job (one execution attempt started)."""
+        with self._lock:
+            self.job_attempts += 1
+
+    def record_outcome(self, state: str) -> None:
+        """A job reached a terminal state (``done``/``failed``/``cancelled``)."""
+        with self._lock:
+            if state == "done":
+                self.jobs_completed += 1
+            elif state == "failed":
+                self.jobs_failed += 1
+            elif state == "cancelled":
+                self.jobs_cancelled += 1
+
+    def record_point(self, event: dict) -> None:
+        """Fold one per-point sweep progress record into the counters."""
+        with self._lock:
+            if event.get("cached"):
+                self.points_cached += 1
+            elif event.get("ok"):
+                self.points_executed += 1
+                self.engine_seconds += float(event.get("wall_time_seconds") or 0.0)
+            else:
+                self.points_failed += 1
+                self.engine_seconds += float(event.get("wall_time_seconds") or 0.0)
+
+    def record_single(self, *, cached: bool, wall_time_seconds: float = 0.0) -> None:
+        """Fold a single-spec job's execution into the per-point counters."""
+        with self._lock:
+            if cached:
+                self.points_cached += 1
+            else:
+                self.points_executed += 1
+                self.engine_seconds += wall_time_seconds
+
+    def snapshot(self) -> dict[str, float]:
+        """A consistent copy of every counter (for ``/healthz`` and tests)."""
+        with self._lock:
+            return {
+                "jobs_completed": self.jobs_completed,
+                "jobs_failed": self.jobs_failed,
+                "jobs_cancelled": self.jobs_cancelled,
+                "job_attempts": self.job_attempts,
+                "points_executed": self.points_executed,
+                "points_cached": self.points_cached,
+                "points_failed": self.points_failed,
+                "engine_seconds": self.engine_seconds,
+            }
+
+
+def _sample(lines: list[str], name: str, kind: str, help_text: str, values) -> None:
+    """Append one metric family: HELP/TYPE headers plus its samples.
+
+    ``values`` is either a bare number or a list of ``(labels, number)``
+    pairs with ``labels`` a dict (possibly empty).
+    """
+    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} {kind}")
+    if isinstance(values, (int, float)):
+        values = [({}, values)]
+    for labels, value in values:
+        if labels:
+            rendered = ",".join(
+                '{}="{}"'.format(key, str(val).replace("\\", "\\\\").replace('"', '\\"'))
+                for key, val in sorted(labels.items())
+            )
+            lines.append(f"{name}{{{rendered}}} {value:g}")
+        else:
+            lines.append(f"{name} {value:g}")
+
+
+_CACHE_OPS = {
+    "hits": "hit",
+    "misses": "miss",
+    "stores": "store",
+    "corrupt_evictions": "corrupt_eviction",
+}
+
+
+def render_metrics(
+    metrics: ServiceMetrics,
+    job_counts: dict[str, int],
+    cache_stats: dict[str, int],
+) -> str:
+    """The full ``/metrics`` document in Prometheus text format."""
+    snap = metrics.snapshot()
+    lines: list[str] = []
+    _sample(
+        lines, "repro_service_uptime_seconds", "gauge",
+        "Seconds since this server process started.", metrics.uptime_seconds,
+    )
+    _sample(
+        lines, "repro_service_jobs", "gauge",
+        "Jobs in the durable queue by state (queue depth).",
+        [({"state": state}, count) for state, count in sorted(job_counts.items())],
+    )
+    _sample(
+        lines, "repro_service_jobs_finished_total", "counter",
+        "Jobs that reached a terminal state in this process, by outcome.",
+        [
+            ({"outcome": "done"}, snap["jobs_completed"]),
+            ({"outcome": "failed"}, snap["jobs_failed"]),
+            ({"outcome": "cancelled"}, snap["jobs_cancelled"]),
+        ],
+    )
+    _sample(
+        lines, "repro_service_job_attempts_total", "counter",
+        "Job execution attempts started by the worker loop.",
+        snap["job_attempts"],
+    )
+    _sample(
+        lines, "repro_service_points_total", "counter",
+        "Sweep points (and single-spec runs) resolved, by how.",
+        [
+            ({"source": "engine"}, snap["points_executed"]),
+            ({"source": "cache"}, snap["points_cached"]),
+            ({"source": "failed"}, snap["points_failed"]),
+        ],
+    )
+    _sample(
+        lines, "repro_service_engine_seconds_total", "counter",
+        "Wall-clock seconds spent executing engines (throughput = "
+        "rate(repro_service_points_total{source=\"engine\"}[..]) against this).",
+        snap["engine_seconds"],
+    )
+    _sample(
+        lines, "repro_cache_operations_total", "counter",
+        "Shared result-cache traffic (corrupt_eviction is a torn entry "
+        "healed on read).",
+        [
+            # Singular op labels, per Prometheus naming conventions; the
+            # stats dict keys stay plural for backwards compatibility.
+            ({"op": _CACHE_OPS.get(op, op)}, count)
+            for op, count in sorted(cache_stats.items())
+        ],
+    )
+    return "\n".join(lines) + "\n"
