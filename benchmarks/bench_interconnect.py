@@ -1,0 +1,177 @@
+"""Stochastic-interconnect benchmark: the price of noisy EPR links.
+
+One study through the declarative ``machine_sim`` experiment: the adder
+kernel replayed at interconnect bandwidths 1 and 2, first under the
+scheduled-delivery (ideal) interconnect and then under the stochastic one
+(heralded generation at 90% success, elementary fidelity 0.95 pumped to a
+0.96 target).  The quantities of interest are the makespan penalty the
+noisy physics adds at each bandwidth and the stall attribution split into
+generation and purification cycles.
+
+The acceptance contract: the noisy replay is strictly slower than the ideal
+one at every bandwidth (purification consumes real bandwidth windows), the
+ideal bandwidth-2 advantage survives the noise, and both replays are
+deterministic (same spec JSON -> bit-identical trace digest).
+
+Results are written to ``BENCH_interconnect.json`` at the repository root.
+Run under pytest (``pytest benchmarks/bench_interconnect.py``) or directly
+(``python benchmarks/bench_interconnect.py [--smoke]``); ``--smoke`` shrinks
+the workload to CI scale while keeping every assertion.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+try:  # the CI smoke job runs this file directly with only numpy installed
+    import pytest
+except ImportError:  # pragma: no cover - direct execution without pytest
+    pytest = None
+
+from repro.api import (
+    ExecutionSpec,
+    ExperimentSpec,
+    MachineSpec,
+    NoiseSpec,
+    SamplingSpec,
+    run,
+)
+
+#: Full-mode replay: a 32-bit adder kernel on a 10x10 tile sub-array.
+ADDER_BITS = 32
+ROWS, COLUMNS = 10, 10
+LEVEL = 2
+
+#: The stochastic link policy under test (one Bennett pumping round).
+LINK_FIELDS = {
+    "link_attempt_success_probability": 0.9,
+    "link_base_fidelity": 0.95,
+    "link_target_fidelity": 0.96,
+}
+
+SEED = 20260807
+
+_OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_interconnect.json"
+
+
+def _replay(machine: MachineSpec) -> dict[str, object]:
+    spec = ExperimentSpec(
+        experiment="machine_sim",
+        noise=NoiseSpec(kind="technology", parameters="expected"),
+        sampling=SamplingSpec(shots=0, seed=SEED),
+        execution=ExecutionSpec(backend="desim"),
+        machine=machine,
+    )
+    start = time.perf_counter()
+    result = run(spec)
+    seconds = time.perf_counter() - start
+    value = dict(result.value)
+    value["host_seconds"] = seconds
+    return value
+
+
+def _study(bits: int, rows: int, columns: int, level: int) -> dict[str, object]:
+    study: dict[str, object] = {
+        "bits": bits,
+        "rows": rows,
+        "columns": columns,
+        "level": level,
+        "link": dict(LINK_FIELDS),
+    }
+    for bandwidth in (1, 2):
+        base = dict(
+            rows=rows,
+            columns=columns,
+            bandwidth=bandwidth,
+            level=level,
+            workload="adder",
+            workload_bits=bits,
+        )
+        study[f"ideal_bandwidth_{bandwidth}"] = _replay(MachineSpec(**base))
+        study[f"noisy_bandwidth_{bandwidth}"] = _replay(
+            MachineSpec(**base, **LINK_FIELDS)
+        )
+    # Determinism: the same noisy spec must reproduce its digest.
+    repeat = _replay(
+        MachineSpec(
+            rows=rows,
+            columns=columns,
+            bandwidth=2,
+            level=level,
+            workload="adder",
+            workload_bits=bits,
+            **LINK_FIELDS,
+        )
+    )
+    study["noisy_bandwidth_2_replay_digest"] = repeat["trace_digest"]
+    return study
+
+
+def _run_benchmark(smoke: bool = False) -> dict[str, object]:
+    if smoke:
+        study = _study(bits=4, rows=5, columns=5, level=1)
+    else:
+        study = _study(bits=ADDER_BITS, rows=ROWS, columns=COLUMNS, level=LEVEL)
+    report = {"smoke": smoke, "adder_replay": study}
+    if not smoke:
+        _OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def _check(report: dict[str, object]) -> None:
+    study = report["adder_replay"]
+    for bandwidth in (1, 2):
+        ideal = study[f"ideal_bandwidth_{bandwidth}"]
+        noisy = study[f"noisy_bandwidth_{bandwidth}"]
+        # Purification consumes real windows: the noisy replay always pays.
+        assert noisy["makespan_cycles"] > ideal["makespan_cycles"], (bandwidth, noisy)
+        assert noisy["link_generation_attempts"] > 0
+        assert noisy["link_purification_rounds"] > 0
+        assert noisy["link_mean_delivered_fidelity"] < 1.0
+        assert ideal["link_generation_attempts"] == 0
+    # The ideal interconnect keeps the paper's bandwidth conclusion ...
+    assert (
+        study["ideal_bandwidth_2"]["makespan_cycles"]
+        <= study["ideal_bandwidth_1"]["makespan_cycles"]
+    )
+    # ... and the noisy one does not invert it.
+    assert (
+        study["noisy_bandwidth_2"]["makespan_cycles"]
+        <= study["noisy_bandwidth_1"]["makespan_cycles"]
+    )
+    # Determinism: bit-identical digest on replay of the same noisy spec.
+    assert (
+        study["noisy_bandwidth_2_replay_digest"]
+        == study["noisy_bandwidth_2"]["trace_digest"]
+    )
+
+
+if pytest is not None:
+
+    @pytest.mark.benchmark(group="interconnect", min_rounds=1, max_time=0.0, warmup=False)
+    def test_interconnect_benchmark(benchmark):
+        report = benchmark.pedantic(_run_benchmark, kwargs={"smoke": True}, rounds=1, iterations=1)
+        _check(report)
+
+        study = report["adder_replay"]
+        ideal = study["ideal_bandwidth_2"]
+        noisy = study["noisy_bandwidth_2"]
+        print()
+        print(
+            f"bandwidth 2: ideal makespan={ideal['makespan_cycles']} vs "
+            f"noisy={noisy['makespan_cycles']} "
+            f"({noisy['link_purification_rounds']} pump rounds, "
+            f"mean fidelity {noisy['link_mean_delivered_fidelity']:.4f})"
+        )
+
+
+if __name__ == "__main__":
+    smoke_mode = "--smoke" in sys.argv[1:]
+    result = _run_benchmark(smoke=smoke_mode)
+    _check(result)
+    print(json.dumps(result, indent=2))
+    if smoke_mode:
+        print("smoke benchmark passed: noisy-link makespan penalty + determinism OK", file=sys.stderr)

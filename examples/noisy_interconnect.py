@@ -1,0 +1,158 @@
+"""Stochastic interconnect: noisy EPR links, purification, and multi-chip arrays.
+
+The machine simulator's scheduled-delivery model assumes every EPR pair
+arrives on time at full fidelity.  This example turns on the stochastic
+interconnect (``repro.desim.links``): heralded generation that fails and
+retries, Werner-state fidelities degraded by the channel, entanglement
+pumping until a target fidelity is met, and repeater segments for links
+that cross chip boundaries.  The multi-chip sizing comes from the paper's
+Section 6 models (``repro.layout.multichip``): a fabrication-yield model
+decides how many spare tiles a die needs, and the partition model decides
+how many dies the machine spans -- each die crossing becomes a repeater
+segment on the links of the simulated machine.
+
+Run with::
+
+    python examples/noisy_interconnect.py [bits]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.api import (
+    ExecutionSpec,
+    ExperimentSpec,
+    MachineSpec,
+    NoiseSpec,
+    SamplingSpec,
+    run,
+)
+from repro.core.report import format_table
+from repro.desim import (
+    LinkParameters,
+    QLAMachineModel,
+    adder_workload_circuit,
+    simulate_circuit,
+)
+from repro.layout.area import ChipAreaModel
+from repro.layout.multichip import MultiChipPartition, YieldModel
+
+ROWS = 5
+COLUMNS = 5
+
+
+def size_the_multichip_array() -> int:
+    """Section 6 sizing: dies, spares, and the repeater segments they imply."""
+    logical_qubits = ROWS * COLUMNS
+    # A pessimistic process: high defect density, and dies capped at ten
+    # tiles' worth of area -- small enough that the 5x5 array cannot fit on
+    # one die, which is exactly the regime where the paper reaches for
+    # photonic inter-chip links.
+    yields = YieldModel(defect_density_per_square_metre=5.0e4)
+    fabricate = yields.tiles_to_fabricate(logical_qubits)
+    partition = MultiChipPartition(
+        max_chip_area_square_metres=10 * ChipAreaModel().area_per_logical_qubit()
+    )
+    chips = partition.num_chips(logical_qubits)
+    print(f"Machine: {logical_qubits} logical-qubit tiles "
+          f"(tile yield {yields.tile_yield:.1%} -> fabricate {fabricate} tiles)")
+    print(f"Partition: {chips} dies of <= "
+          f"{partition.max_chip_area_square_metres * 1e4:.2f} cm^2, "
+          f"{partition.qubits_per_chip()} tiles per die")
+    # A link that crosses a die boundary is a chain of elementary segments:
+    # one per die crossed.  Use the worst case -- a link spanning the whole
+    # partition -- as the repeater depth of the simulated interconnect.
+    segments = max(1, chips - 1)
+    print(f"Inter-chip links run as repeater chains of {segments} segment(s) per hop")
+    return segments
+
+
+def replay_through_the_api(bits: int, segments: int) -> None:
+    """One machine_sim spec per interconnect physics: ideal vs noisy."""
+    print(f"Replaying a {bits}-bit adder kernel under both interconnects ...")
+    table = []
+    configs = [
+        ("scheduled (ideal)", {}),
+        (
+            "noisy + purified",
+            {
+                "link_attempt_success_probability": 0.9,
+                "link_base_fidelity": 0.95,
+                "link_target_fidelity": 0.96,
+                "link_repeater_segments": segments,
+            },
+        ),
+    ]
+    for label, link_fields in configs:
+        spec = ExperimentSpec(
+            experiment="machine_sim",
+            noise=NoiseSpec(kind="technology", parameters="expected"),
+            sampling=SamplingSpec(shots=0, seed=11),
+            execution=ExecutionSpec(backend="desim"),
+            machine=MachineSpec(
+                rows=ROWS,
+                columns=COLUMNS,
+                bandwidth=2,
+                level=1,
+                workload="adder",
+                workload_bits=bits,
+                **link_fields,
+            ),
+        )
+        value = run(spec).value
+        table.append(
+            {
+                "interconnect": label,
+                "makespan (s)": f"{value['makespan_seconds']:.2f}",
+                "stall cycles": value["stall_cycles"],
+                "gen attempts": value["link_generation_attempts"],
+                "pump rounds": value["link_purification_rounds"],
+                "mean fidelity": f"{value['link_mean_delivered_fidelity']:.4f}",
+                "digest": value["trace_digest"][:12] + "...",
+            }
+        )
+    print(format_table(table))
+    print()
+    print("Same spec JSON, same seed -> same digest: the noisy replay is as "
+          "reproducible as the ideal one.")
+
+
+def inspect_the_link_pipeline(bits: int, segments: int) -> None:
+    """The imperative route: build the machine, look at the link records."""
+    link = LinkParameters(
+        attempt_success_probability=0.9,
+        base_fidelity=0.95,
+        target_fidelity=0.96,
+        repeater_segments=segments,
+    )
+    print(f"Link policy: pump {link.pumping_rounds()} round(s) from elementary "
+          f"fidelity {link.elementary_fidelity:.3f} to >= {link.target_fidelity}")
+    machine = QLAMachineModel.build(
+        rows=ROWS, columns=COLUMNS, bandwidth=2, level=1, link=link
+    )
+    report = simulate_circuit(adder_workload_circuit(bits), machine, seed=11)
+    counts = report.trace.counts()
+    link_counts = {kind: n for kind, n in sorted(counts.items()) if kind.startswith("link_")}
+    print("Link trace records:", link_counts)
+    metrics = report.metrics
+    print(f"Stall attribution: {metrics.link_generation_stall_cycles} generation + "
+          f"{metrics.link_purification_stall_cycles} purification cycles "
+          f"(of {metrics.stall_cycles} total EPR stall)")
+    deliveries = report.trace.filter("link_delivery")[:3]
+    for record in deliveries:
+        data = dict(record.data)
+        print(f"  cycle {record.cycle:>8}  {record.subject}: "
+              f"fidelity {data['fidelity']:.4f}, swap levels {data['swap_levels']}")
+
+
+def main(bits: int) -> None:
+    segments = size_the_multichip_array()
+    print()
+    replay_through_the_api(bits, segments)
+    print()
+    inspect_the_link_pipeline(bits, segments)
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4)

@@ -94,6 +94,17 @@ _EXAMPLES = {
         machine=MachineSpec(rows=8, columns=8, bandwidth=2, level=2,
                             workload="adder", workload_bits=8),
     ),
+    "noisy_interconnect": ExperimentSpec(
+        experiment="machine_sim",
+        noise=NoiseSpec(kind="technology", parameters="expected"),
+        sampling=SamplingSpec(shots=0, seed=11),
+        execution=ExecutionSpec(backend="desim"),
+        machine=MachineSpec(rows=5, columns=5, bandwidth=2, level=1,
+                            workload="adder", workload_bits=4,
+                            link_attempt_success_probability=0.9,
+                            link_base_fidelity=0.95,
+                            link_target_fidelity=0.96),
+    ),
     # One shared definition with examples/design_space.py, so the starter
     # file and the runnable example can never drift apart.
     "design_space": design_space_starter(),

@@ -245,6 +245,7 @@ class DesimBackend:
         # Imported lazily: the registry must stay importable without pulling
         # the whole simulator (and desim imports network/layout/qecc layers).
         from repro.desim import (
+            LinkParameters,
             QLAMachineModel,
             build_workload_circuit,
             compile_workload_circuit,
@@ -263,6 +264,15 @@ class DesimBackend:
             transfers_per_lane_per_window=machine_spec.transfers_per_lane_per_window,
             max_deferral_windows=machine_spec.max_deferral_windows,
             ancilla_jitter_cycles=machine_spec.ancilla_jitter_cycles,
+            link=LinkParameters(
+                attempt_success_probability=machine_spec.link_attempt_success_probability,
+                base_fidelity=machine_spec.link_base_fidelity,
+                target_fidelity=machine_spec.link_target_fidelity,
+                purification_protocol=machine_spec.link_purification_protocol,
+                repeater_segments=machine_spec.link_repeater_segments,
+                channel_error_per_hop=machine_spec.link_channel_error_per_hop,
+                memory_decay_per_cycle=machine_spec.link_memory_decay_per_cycle,
+            ),
         )
         circuit = build_workload_circuit(
             machine_spec.workload,

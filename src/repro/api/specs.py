@@ -33,15 +33,21 @@ from repro.iontrap.parameters import (
     EXPECTED_PARAMETERS,
     IonTrapParameters,
 )
+from repro.teleport.purification import (
+    pumping_fixpoint_fidelity,
+    purification_rounds_needed,
+)
 
 __all__ = [
     "PARAMETER_SETS",
     "EXPERIMENT_KINDS",
     "MACHINE_WORKLOADS",
+    "LINK_PROTOCOLS",
     "NoiseSpec",
     "CircuitSpec",
     "SamplingSpec",
     "ExecutionSpec",
+    "LinkSpec",
     "MachineSpec",
     "ExperimentSpec",
 ]
@@ -64,6 +70,11 @@ MACHINE_WORKLOADS = ("adder", "toffoli_layers", "ghz")
 #: movement rate pinned to the parameter set's expected value (the Figure 7
 #: procedure); ``"technology"`` applies the parameter set's rates verbatim.
 NOISE_KINDS = ("uniform", "technology")
+
+#: Purification protocols a stochastic link may pump with (mirrors
+#: :data:`repro.desim.links.PURIFICATION_PROTOCOLS`; kept literal here so
+#: spec validation does not import the simulator).
+LINK_PROTOCOLS = ("bennett", "deutsch")
 
 
 def _require(condition: bool, message: str) -> None:
@@ -246,6 +257,103 @@ class ExecutionSpec:
 
 
 @dataclass(frozen=True)
+class LinkSpec:
+    """Grouped view of a machine spec's stochastic interconnect fields.
+
+    Built by :meth:`MachineSpec.link` from the flat ``link_*`` fields (they
+    stay flat on :class:`MachineSpec` so sweep axes can address them as
+    ``machine.link_base_fidelity`` etc.).  The defaults describe the
+    deterministic interconnect: every generation attempt succeeds, pairs are
+    perfect, nothing is purified -- exactly today's scheduled-delivery
+    model, bit for bit.
+
+    Attributes
+    ----------
+    attempt_success_probability:
+        Probability one heralded EPR generation attempt yields a pair.
+    base_fidelity:
+        Werner fidelity of a freshly generated pair, before transport.
+    target_fidelity:
+        Fidelity each channel segment is pumped to before swapping.
+    purification_protocol:
+        ``"bennett"`` or ``"deutsch"`` (:data:`LINK_PROTOCOLS`).
+    repeater_segments:
+        Repeater segments per route hop (>1 models subdivided long links,
+        e.g. the photonic interconnect of a multi-chip array).
+    channel_error_per_hop:
+        Depolarizing probability per hop of channel transport.
+    memory_decay_per_cycle:
+        Depolarizing probability per cycle of memory wait.
+    """
+
+    attempt_success_probability: float = 1.0
+    base_fidelity: float = 1.0
+    target_fidelity: float = 1.0
+    purification_protocol: str = "bennett"
+    repeater_segments: int = 1
+    channel_error_per_hop: float = 0.0
+    memory_decay_per_cycle: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(
+            0.0 < self.attempt_success_probability <= 1.0,
+            f"link attempt success probability must be in (0, 1], got {self.attempt_success_probability}",
+        )
+        _require(
+            0.25 <= self.base_fidelity <= 1.0,
+            f"link base fidelity must be in [0.25, 1], got {self.base_fidelity}",
+        )
+        _require(
+            0.25 <= self.target_fidelity <= 1.0,
+            f"link target fidelity must be in [0.25, 1], got {self.target_fidelity}",
+        )
+        _require(
+            self.purification_protocol in LINK_PROTOCOLS,
+            f"unknown link purification protocol {self.purification_protocol!r}; "
+            f"expected one of {LINK_PROTOCOLS}",
+        )
+        _require(self.repeater_segments >= 1, "a link needs at least one repeater segment per hop")
+        _require(
+            0.0 <= self.channel_error_per_hop < 1.0,
+            f"link channel error per hop must be in [0, 1), got {self.channel_error_per_hop}",
+        )
+        _require(
+            0.0 <= self.memory_decay_per_cycle < 1.0,
+            f"link memory decay per cycle must be in [0, 1), got {self.memory_decay_per_cycle}",
+        )
+        elementary = self.elementary_fidelity
+        rounds = purification_rounds_needed(
+            initial_fidelity=elementary,
+            target_fidelity=self.target_fidelity,
+            elementary_fidelity=elementary,
+            protocol=self.purification_protocol,
+        )
+        if rounds is None:
+            fixpoint = pumping_fixpoint_fidelity(elementary, protocol=self.purification_protocol)
+            raise ParameterError(
+                f"link target fidelity {self.target_fidelity} is unreachable: pumping "
+                f"{self.purification_protocol} pairs of elementary fidelity "
+                f"{elementary:.6f} converges to {fixpoint:.6f}"
+            )
+
+    @property
+    def is_deterministic(self) -> bool:
+        """True when the link reduces to the scheduled-delivery model."""
+        return (
+            self.attempt_success_probability == 1.0
+            and self.base_fidelity == 1.0
+            and self.channel_error_per_hop == 0.0
+            and self.memory_decay_per_cycle == 0.0
+        )
+
+    @property
+    def elementary_fidelity(self) -> float:
+        """Fidelity of a fresh segment pair after transport (Werner map)."""
+        error = 1.0 - (1.0 - self.channel_error_per_hop) ** (1.0 / self.repeater_segments)
+        return (1.0 - error) * self.base_fidelity + error / 4.0
+
+
+@dataclass(frozen=True)
 class MachineSpec:
     """The QLA machine and workload of a ``machine_sim`` replay.
 
@@ -276,6 +384,15 @@ class MachineSpec:
     ancilla_jitter_cycles:
         Inclusive upper bound of the seeded per-production delay (0 keeps
         factory production fully deterministic).
+    link_attempt_success_probability / link_base_fidelity /
+    link_target_fidelity / link_purification_protocol /
+    link_repeater_segments / link_channel_error_per_hop /
+    link_memory_decay_per_cycle:
+        Stochastic-interconnect configuration, grouped by :meth:`link` into
+        a :class:`LinkSpec` (see its docstring).  Kept flat here so sweep
+        axes can address them (``machine.link_base_fidelity``); the
+        defaults are the deterministic interconnect, which replays the
+        original scheduled-delivery model bit for bit.
     """
 
     rows: int = 8
@@ -293,6 +410,13 @@ class MachineSpec:
     max_deferral_windows: int = 4
     num_ancilla_factories: int = 4
     ancilla_jitter_cycles: int = 0
+    link_attempt_success_probability: float = 1.0
+    link_base_fidelity: float = 1.0
+    link_target_fidelity: float = 1.0
+    link_purification_protocol: str = "bennett"
+    link_repeater_segments: int = 1
+    link_channel_error_per_hop: float = 0.0
+    link_memory_decay_per_cycle: float = 0.0
 
     def __post_init__(self) -> None:
         _require(self.rows >= 1 and self.columns >= 1, "the tile array needs positive dimensions")
@@ -312,6 +436,7 @@ class MachineSpec:
         _require(self.max_deferral_windows >= 0, "max_deferral_windows cannot be negative")
         _require(self.num_ancilla_factories >= 1, "the machine needs at least one ancilla factory")
         _require(self.ancilla_jitter_cycles >= 0, "ancilla_jitter_cycles cannot be negative")
+        self.link()  # LinkSpec validates the interconnect configuration
         tiles = self.rows * self.columns
         needed = self.workload_qubits
         _require(
@@ -329,6 +454,18 @@ class MachineSpec:
             # room for the disjoint operand triples of one layer.
             return max(3 * self.toffolis_per_layer, 1)
         return self.workload_bits  # ghz
+
+    def link(self) -> LinkSpec:
+        """The stochastic-interconnect configuration this spec describes."""
+        return LinkSpec(
+            attempt_success_probability=self.link_attempt_success_probability,
+            base_fidelity=self.link_base_fidelity,
+            target_fidelity=self.link_target_fidelity,
+            purification_protocol=self.link_purification_protocol,
+            repeater_segments=self.link_repeater_segments,
+            channel_error_per_hop=self.link_channel_error_per_hop,
+            memory_decay_per_cycle=self.link_memory_decay_per_cycle,
+        )
 
     @property
     def cycle_time_seconds(self) -> float:
@@ -436,7 +573,15 @@ class ExperimentSpec:
             "execution": spec_dict(self.execution),
         }
         if self.machine is not None:
-            out["machine"] = spec_dict(self.machine)
+            machine = spec_dict(self.machine)
+            # The link_* fields appeared with the stochastic interconnect;
+            # at their defaults (the deterministic interconnect) they are
+            # omitted, so earlier specs keep their exact canonical JSON --
+            # cache keys, fault keys and starter files do not shift.
+            for f in fields(self.machine):
+                if f.name.startswith("link_") and machine[f.name] == f.default:
+                    del machine[f.name]
+            out["machine"] = machine
         return out
 
     def to_json(self, indent: int | None = None) -> str:

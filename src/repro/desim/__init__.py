@@ -16,6 +16,8 @@ Layers:
 * :mod:`repro.desim.resources` -- FIFO capacity-limited resource pools,
 * :mod:`repro.desim.trace`     -- canonical trace records + SHA-256 digest,
 * :mod:`repro.desim.machine`   -- the analytic layers quantized onto cycles,
+* :mod:`repro.desim.links`     -- stochastic interconnect: heralded EPR
+  generation, purification, repeater segments (deterministic by default),
 * :mod:`repro.desim.workload`  -- compiled IR -> windows, durations, demands,
 * :mod:`repro.desim.simulate`  -- the replay loop and its report,
 * :mod:`repro.desim.metrics`   -- summary metrics + analytic cross-checks.
@@ -35,6 +37,14 @@ Or declaratively, through the experiment API
 """
 
 from repro.desim.engine import DiscreteEventSimulator, Event
+from repro.desim.links import (
+    PURIFICATION_PROTOCOLS,
+    ConnectionSimReport,
+    LinkActivity,
+    LinkModel,
+    LinkParameters,
+    simulate_connection,
+)
 from repro.desim.machine import (
     DEFAULT_CYCLE_TIME_SECONDS,
     MachineTimings,
@@ -65,6 +75,12 @@ __all__ = [
     "DEFAULT_CYCLE_TIME_SECONDS",
     "MachineTimings",
     "QLAMachineModel",
+    "PURIFICATION_PROTOCOLS",
+    "LinkParameters",
+    "LinkActivity",
+    "LinkModel",
+    "ConnectionSimReport",
+    "simulate_connection",
     "LogicalOp",
     "MachineWorkload",
     "WORKLOAD_KINDS",

@@ -82,10 +82,23 @@ class DiscreteEventSimulator:
         self._now = 0
         self._seq = 0
         self._processed = 0
-        if seed is None:
-            self.rng = np.random.default_rng()
-        else:
-            self.rng = np.random.default_rng(as_seed_sequence(seed).spawn(1)[0])
+        # The root SeedSequence is retained so subsystems (the stochastic
+        # link layer) can spawn their own independent generators on demand.
+        # The engine's generator is child 0 -- exactly the stream the seeded
+        # engine has always used, so existing trace digests are unchanged.
+        self._root = np.random.SeedSequence() if seed is None else as_seed_sequence(seed)
+        self.rng = np.random.default_rng(self._root.spawn(1)[0])
+
+    def spawn_rng(self) -> np.random.Generator:
+        """An independent generator derived from the simulation's root seed.
+
+        Each call yields the next child of the root ``SeedSequence`` (the
+        engine's own :attr:`rng` is child 0), so subsystems that consume
+        randomness -- the stochastic link layer -- get streams that are
+        reproducible for a fixed seed yet independent of the engine's, and
+        of each other's, draw order.
+        """
+        return np.random.default_rng(self._root.spawn(1)[0])
 
     # ------------------------------------------------------------------
     # Clock

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.circuits.toffoli import FaultTolerantToffoliCost, fault_tolerant_toffoli_cost
+from repro.desim.links import LinkParameters
 from repro.exceptions import DesimError
 from repro.iontrap.parameters import IonTrapParameters
 from repro.layout.tile import LogicalQubitTile, level2_tile_geometry
@@ -148,6 +149,11 @@ class QLAMachineModel:
         modelling verification retries in the factory; 0 keeps production
         fully deterministic.  The draw comes from the simulation's seeded
         generator, so a fixed seed still yields a bit-identical trace.
+    link:
+        Physical configuration of the EPR interconnect
+        (:class:`~repro.desim.links.LinkParameters`).  The default is the
+        deterministic configuration, which replays the original
+        scheduled-delivery model bit for bit.
     """
 
     topology: InterconnectTopology
@@ -156,6 +162,7 @@ class QLAMachineModel:
     transfers_per_lane_per_window: int = 3
     max_deferral_windows: int = 4
     ancilla_jitter_cycles: int = 0
+    link: LinkParameters = field(default_factory=LinkParameters)
 
     def __post_init__(self) -> None:
         if self.num_ancilla_factories < 1:
@@ -178,6 +185,7 @@ class QLAMachineModel:
         transfers_per_lane_per_window: int = 3,
         max_deferral_windows: int = 4,
         ancilla_jitter_cycles: int = 0,
+        link: LinkParameters | None = None,
     ) -> "QLAMachineModel":
         """Compose a machine from the array shape and the technology table."""
         if latency is None:
@@ -203,6 +211,7 @@ class QLAMachineModel:
             transfers_per_lane_per_window=transfers_per_lane_per_window,
             max_deferral_windows=max_deferral_windows,
             ancilla_jitter_cycles=ancilla_jitter_cycles,
+            link=link if link is not None else LinkParameters(),
         )
 
     @property

@@ -57,6 +57,19 @@ class MachineSimMetrics:
         Highest per-channel per-window utilization observed.
     ancilla_factory_occupancy:
         Mean fraction of the factory pool busy over the makespan.
+    link_generation_attempts / link_purification_rounds:
+        Stochastic-interconnect accounting (all zero under the
+        deterministic link configuration): heralded EPR generation
+        attempts summed over transfers, and successful entanglement
+        pumping rounds summed over transfers and channel segments.
+    link_mean_delivered_fidelity:
+        Mean end-to-end Werner fidelity of delivered pairs (1.0 when the
+        interconnect is deterministic or nothing was transferred).
+    link_generation_stall_cycles / link_purification_stall_cycles:
+        Cycles by which link pipelines overran their scheduled windows,
+        split by cause: pair generation versus purification-plus-swapping
+        work (tail-first attribution, see
+        :class:`~repro.desim.links.LinkActivity`).
     """
 
     makespan_cycles: int
@@ -73,6 +86,11 @@ class MachineSimMetrics:
     aggregate_edge_utilization: float
     peak_edge_utilization: float
     ancilla_factory_occupancy: float
+    link_generation_attempts: int = 0
+    link_purification_rounds: int = 0
+    link_mean_delivered_fidelity: float = 1.0
+    link_generation_stall_cycles: int = 0
+    link_purification_stall_cycles: int = 0
 
     def to_dict(self) -> dict:
         """The metrics as a JSON-ready dictionary."""
@@ -91,6 +109,11 @@ class MachineSimMetrics:
             "aggregate_edge_utilization": self.aggregate_edge_utilization,
             "peak_edge_utilization": self.peak_edge_utilization,
             "ancilla_factory_occupancy": self.ancilla_factory_occupancy,
+            "link_generation_attempts": self.link_generation_attempts,
+            "link_purification_rounds": self.link_purification_rounds,
+            "link_mean_delivered_fidelity": self.link_mean_delivered_fidelity,
+            "link_generation_stall_cycles": self.link_generation_stall_cycles,
+            "link_purification_stall_cycles": self.link_purification_stall_cycles,
         }
 
 

@@ -18,6 +18,18 @@ thus never delays its gate -- "fully overlapped" schedules produce zero stall
 cycles -- while each deferral window shows up as one window of stall
 exposure.  Unserved demands become available only after the scheduling
 horizon and are counted separately.
+
+With a stochastic link configuration (:class:`~repro.desim.links.LinkParameters`
+on the machine model), each scheduled transfer is additionally realized as a
+heralded-generation / purification / swapping pipeline.  Realization is
+*demand-driven*: EPR pairs decay in memory, so they cannot be stockpiled
+arbitrarily early -- the pipeline for an operation's transfers is timed
+when the operation's data dependencies resolve, starting one window ahead
+of the later of the scheduler's nominal delivery cycle and that
+dependency-ready time, and may overrun it; the overrun feeds straight into
+the same stall accounting, split into generation and purification stalls.
+The deterministic configuration takes the original code path untouched --
+same trace records, same digest, no randomness.
 """
 
 from __future__ import annotations
@@ -29,6 +41,7 @@ import numpy as np
 from repro.circuits.circuit import Circuit
 from repro.circuits.compiled import CompiledCircuit, Opcode, compile_circuit
 from repro.desim.engine import DiscreteEventSimulator
+from repro.desim.links import LinkActivity, LinkModel
 from repro.desim.machine import QLAMachineModel
 from repro.desim.metrics import MachineSimMetrics, critical_path_cycles
 from repro.desim.resources import CycleResource
@@ -101,6 +114,23 @@ def simulate_workload(
     schedule = machine.scheduler().schedule(list(workload.demands))
     served_window = {t.demand.demand_id: t.window for t in schedule.transfers}
     horizon = max(schedule.num_windows, workload.num_windows)
+    activities: list[LinkActivity] = []
+    transfer_of: dict[int, object] = {}
+    link_model: LinkModel | None = None
+    if not machine.link.is_deterministic:
+        # The link layer's generator is spawned from the simulation's root
+        # seed *after* the engine's own stream (child 1).  Transfers are
+        # realized inside the event loop, in event order and by sorted
+        # demand id within each operation -- a total order -- so a fixed
+        # seed yields a bit-identical noisy trace while the engine's draws
+        # (the ancilla jitter stream) stay exactly what they were.
+        link_model = LinkModel(
+            machine.link,
+            sim.spawn_rng(),
+            window_cycles=window_cycles,
+            transfer_cycles=machine.timings.transfer_cycles,
+            gate_cycles=machine.timings.two_qubit_gate_cycles,
+        )
     for transfer in sorted(
         schedule.transfers, key=lambda t: (t.window, t.demand.demand_id)
     ):
@@ -114,6 +144,8 @@ def simulate_workload(
             source=list(transfer.demand.source),
             destination=list(transfer.demand.destination),
         )
+        if link_model is not None:
+            transfer_of[transfer.demand.demand_id] = transfer
     for demand in sorted(schedule.unserved, key=lambda d: d.demand_id):
         trace.emit(
             horizon * window_cycles,
@@ -123,10 +155,11 @@ def simulate_workload(
         )
 
     epr_ready = [0] * num_ops
-    for op in ops:
-        if op.demand_ids:
-            latest = max(served_window.get(d, horizon) for d in op.demand_ids)
-            epr_ready[op.index] = latest * window_cycles
+    if link_model is None:
+        for op in ops:
+            if op.demand_ids:
+                latest = max(served_window.get(d, horizon) for d in op.demand_ids)
+                epr_ready[op.index] = latest * window_cycles
 
     # ------------------------------------------------------------------
     # Dependency DAG: per-qubit chains over the flat program.
@@ -150,8 +183,56 @@ def simulate_workload(
     ancilla_wait = [0] * num_ops
     factory = CycleResource(sim, "ancilla_factory", machine.num_ancilla_factories)
 
+    def _realize_links(i: int) -> None:
+        # Demand-driven link realization: pairs decay in memory, so the
+        # pipeline for this op's transfers is timed against consumption --
+        # anchored at the op's dependency-ready time, never earlier than
+        # one window ahead of the later of that anchor and the scheduler's
+        # nominal delivery.  Each demand belongs to exactly one op, so
+        # every transfer is realized exactly once.
+        ready = 0
+        for demand_id in sorted(ops[i].demand_ids):
+            transfer = transfer_of.get(demand_id)
+            if transfer is None:
+                ready = max(ready, horizon * window_cycles, sim.now)
+                continue
+            activity = link_model.realize(transfer, anchor_cycle=sim.now)
+            activities.append(activity)
+            ready = max(ready, activity.ready_cycle)
+            subject = f"demand{activity.demand_id}"
+            trace.emit(
+                activity.start_cycle,
+                "link_generation",
+                subject,
+                attempts=activity.generation_attempts,
+                occupancy_cycles=activity.generation_cycles,
+                segments=activity.segments,
+            )
+            trace.emit(
+                activity.start_cycle,
+                "link_purification",
+                subject,
+                rounds=activity.purification_rounds,
+                failures=activity.purification_failures,
+                occupancy_cycles=activity.purification_cycles,
+            )
+            if activity.faulted:
+                trace.emit(activity.start_cycle, "link_fault", subject)
+            trace.emit(
+                activity.ready_cycle,
+                "link_delivery",
+                subject,
+                fidelity=activity.delivered_fidelity,
+                generation_stall=activity.generation_stall,
+                purification_stall=activity.purification_stall,
+                swap_levels=activity.swap_levels,
+            )
+        epr_ready[i] = ready
+
     def _deps_done(i: int) -> None:
         dep_ready[i] = sim.now
+        if link_model is not None and ops[i].demand_ids:
+            _realize_links(i)
         if ops[i].needs_ancilla:
             factory.request(lambda: _factory_granted(i))
         else:
@@ -175,8 +256,15 @@ def simulate_workload(
         # Scheduler lateness: how far the op's EPR deliveries slipped past its
         # requested window (the paper's communication stall).  A transfer
         # served on time contributes zero even when the op waits for the
-        # window to open.
-        epr_stall[i] = max(0, epr_ready[i] - op.window * window_cycles)
+        # window to open.  Under a stochastic link the deliveries are
+        # anchored at dependency readiness, so lateness is measured against
+        # the later of the nominal window and that anchor.
+        if link_model is None:
+            epr_stall[i] = max(0, epr_ready[i] - op.window * window_cycles)
+        else:
+            epr_stall[i] = max(
+                0, epr_ready[i] - max(op.window * window_cycles, dep_ready[i])
+            )
         # Exposed stall: lateness that actually delayed the start beyond every
         # other readiness condition (often hidden behind ancilla production).
         exposed_stall[i] = max(
@@ -241,6 +329,15 @@ def simulate_workload(
         aggregate_edge_utilization=float(sum(loaded) / len(loaded)) if loaded else 0.0,
         peak_edge_utilization=float(max(peaks.values())) if peaks else 0.0,
         ancilla_factory_occupancy=factory.occupancy(makespan),
+        link_generation_attempts=int(sum(a.generation_attempts for a in activities)),
+        link_purification_rounds=int(sum(a.purification_rounds for a in activities)),
+        link_mean_delivered_fidelity=(
+            float(sum(a.delivered_fidelity for a in activities) / len(activities))
+            if activities
+            else 1.0
+        ),
+        link_generation_stall_cycles=int(sum(a.generation_stall for a in activities)),
+        link_purification_stall_cycles=int(sum(a.purification_stall for a in activities)),
     )
     return MachineSimReport(
         machine=machine,

@@ -29,7 +29,9 @@ class TraceRecord:
         Cycle the recorded event happened at.
     kind:
         Event kind (``"op_start"``, ``"op_complete"``, ``"epr_transfer"``,
-        ``"epr_unserved"``, ``"ancilla_start"``, ``"ancilla_ready"``, ...).
+        ``"epr_unserved"``, ``"ancilla_start"``, ``"ancilla_ready"``, plus
+        -- under a stochastic link configuration -- ``"link_generation"``,
+        ``"link_purification"``, ``"link_delivery"``, ``"link_fault"``).
     subject:
         What the record is about (an operation index, a demand id, a factory).
     data:

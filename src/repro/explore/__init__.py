@@ -20,7 +20,7 @@ Shor-kernel runtime.  This package turns the single-point experiment API
   and dead-pool recovery (see ``docs/robustness.md``),
 * :mod:`repro.explore.analysis` -- tidy row extraction, Pareto-front
   selection and the paper drivers :func:`reproduce_table2` /
-  :func:`reproduce_fig9`.
+  :func:`reproduce_fig9` / :func:`reproduce_fig9_noisy`.
 
 Quick start::
 
@@ -54,6 +54,7 @@ from repro.explore.analysis import (
     design_space_starter,
     pareto_front,
     reproduce_fig9,
+    reproduce_fig9_noisy,
     reproduce_table2,
     tidy_rows,
 )
@@ -109,6 +110,7 @@ __all__ = [
     "pareto_front",
     "reproduce_table2",
     "reproduce_fig9",
+    "reproduce_fig9_noisy",
     "FIG9_MACHINE",
     "design_space_starter",
 ]

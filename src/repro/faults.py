@@ -32,6 +32,11 @@ Fault **sites** are the places the library consults the harness:
 :data:`SERVICE_STORE`   fail the job store's terminal result write
                         (exercises the worker's retry of a computed but
                         uncommitted job).
+:data:`DESIM_LINK`      degrade selected stochastic-interconnect
+                        transfers with forced extra failed EPR
+                        generation attempts (exercises the link layer's
+                        stall accounting; never raises, and inert for
+                        deterministic link configurations).
 ================== ====================================================
 
 A :class:`FaultProfile` holds one rate per site plus the shared knobs.  A
@@ -83,6 +88,7 @@ __all__ = [
     "KERNEL_NATIVE",
     "SERVICE_WORKER",
     "SERVICE_STORE",
+    "DESIM_LINK",
     "SITES",
     "PROFILES",
     "InjectedFault",
@@ -106,6 +112,7 @@ CACHE_CORRUPT = "cache.corrupt"
 KERNEL_NATIVE = "kernel.native"
 SERVICE_WORKER = "service.worker"
 SERVICE_STORE = "service.store"
+DESIM_LINK = "desim.link"
 
 #: Fault site -> the :class:`FaultProfile` rate field that controls it.
 SITES: dict[str, str] = {
@@ -116,6 +123,7 @@ SITES: dict[str, str] = {
     KERNEL_NATIVE: "kernel",
     SERVICE_WORKER: "service",
     SERVICE_STORE: "store",
+    DESIM_LINK: "link",
 }
 
 
@@ -138,12 +146,14 @@ class FaultProfile:
     seed:
         Root of every injection decision; two runs with the same profile
         make identical decisions at every site.
-    crash / hang / transient / corrupt / kernel / service / store:
+    crash / hang / transient / corrupt / kernel / service / store / link:
         Per-site selection rates in ``[0, 1]``: the fraction of keys each
         site fires for.  Selection is by key hash, so the *same* keys are
         selected on every run.  ``service`` and ``store`` drive the
         experiment service's sites (worker death mid-job, job-store
-        result-write failure -- see :mod:`repro.service`).
+        result-write failure -- see :mod:`repro.service`); ``link``
+        drives the stochastic interconnect's degradation site
+        (:mod:`repro.desim.links`).
     fail_attempts:
         How many leading attempts of a selected key fire: ``1`` (default)
         fails only the first attempt, so one retry recovers; ``-1`` fails
@@ -161,13 +171,14 @@ class FaultProfile:
     kernel: float = 0.0
     service: float = 0.0
     store: float = 0.0
+    link: float = 0.0
     fail_attempts: int = 1
     hang_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         if not isinstance(self.seed, int) or isinstance(self.seed, bool) or self.seed < 0:
             raise ParameterError(f"fault profile seed must be a non-negative int, got {self.seed!r}")
-        for name in ("crash", "hang", "transient", "corrupt", "kernel", "service", "store"):
+        for name in ("crash", "hang", "transient", "corrupt", "kernel", "service", "store", "link"):
             rate = getattr(self, name)
             if not isinstance(rate, (int, float)) or isinstance(rate, bool) or not 0.0 <= rate <= 1.0:
                 raise ParameterError(f"fault rate {name!r} must be in [0, 1], got {rate!r}")
@@ -240,10 +251,12 @@ PROFILES: dict[str, FaultProfile] = {
     # writes are torn (the corruption-tolerant reader recomputes them),
     # a quarter of service jobs lose their worker mid-job and a quarter
     # lose their first terminal job-store write (the durable queue must
-    # requeue and converge in both cases).
+    # requeue and converge in both cases), and a quarter of stochastic
+    # interconnect transfers absorb forced extra failed generation
+    # attempts (the link layer degrades deterministically, never crashes).
     "chaos": FaultProfile(
         seed=20050, transient=0.25, corrupt=0.25, service=0.25, store=0.25,
-        fail_attempts=1,
+        link=0.25, fail_attempts=1,
     ),
     # Every point's first worker attempt is SIGKILLed: the supervised pool
     # must respawn and retry everything exactly once.

@@ -26,6 +26,11 @@ from repro.exceptions import ParameterError
 from repro.iontrap.parameters import IonTrapParameters, EXPECTED_PARAMETERS
 from repro.qecc.latency import EccLatencyModel
 
+__all__ = [
+    "BallisticTransportEstimate",
+    "BallisticBaselineModel",
+]
+
 
 @dataclass(frozen=True)
 class BallisticTransportEstimate:

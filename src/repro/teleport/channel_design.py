@@ -21,6 +21,12 @@ from typing import Sequence
 from repro.exceptions import ParameterError
 from repro.teleport.repeater import ConnectionEstimate, ConnectionTimeModel
 
+__all__ = [
+    "IslandSeparationStudy",
+    "connection_time_curves",
+    "optimal_island_separation",
+]
+
 #: Island separations evaluated in Figure 9 (cells).
 PAPER_SEPARATIONS_CELLS: tuple[int, ...] = (35, 70, 100, 350, 500, 750, 1000)
 

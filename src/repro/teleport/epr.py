@@ -12,6 +12,11 @@ from dataclasses import dataclass, replace
 
 from repro.exceptions import ParameterError
 
+__all__ = [
+    "EPRPair",
+    "werner_fidelity_after_depolarizing",
+]
+
 
 def werner_fidelity_after_depolarizing(fidelity: float, error_probability: float) -> float:
     """Fidelity of a Werner pair after one half passes a depolarizing channel.

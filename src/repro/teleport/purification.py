@@ -12,6 +12,13 @@ from __future__ import annotations
 
 from repro.exceptions import ParameterError
 
+__all__ = [
+    "bennett_purification_map",
+    "deutsch_purification_map",
+    "pumping_fixpoint_fidelity",
+    "purification_rounds_needed",
+]
+
 #: Safety cap on purification iterations; the protocols converge long before
 #: this in any physically sensible regime.
 _MAX_ROUNDS: int = 1000

@@ -35,6 +35,12 @@ from repro.exceptions import ParameterError
 from repro.teleport.epr import EPRPair
 from repro.teleport.purification import bennett_purification_map, purification_rounds_needed
 
+__all__ = [
+    "ConnectionEstimate",
+    "RepeaterChain",
+    "ConnectionTimeModel",
+]
+
 
 @dataclass(frozen=True)
 class ConnectionEstimate:

@@ -15,6 +15,11 @@ from dataclasses import dataclass
 from repro.exceptions import ParameterError
 from repro.iontrap.parameters import IonTrapParameters, EXPECTED_PARAMETERS
 
+__all__ = [
+    "TeleportationCost",
+    "teleportation_cost",
+]
+
 
 @dataclass(frozen=True)
 class TeleportationCost:
