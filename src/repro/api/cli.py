@@ -7,6 +7,9 @@ Usage::
     repro-run sweep.json --resume       # re-run an interrupted sweep (cache
                                         # restores every finished point)
     repro-run sweep.json --point-timeout 60 --max-retries 3
+    repro-run sweep.json --distributed 4    # 4 local workers, one shared cache
+    repro-run sweep.json --coordinate       # join a multi-host claim party
+    repro-run sweep.json --stream           # NDJSON per point as it lands
     repro-run --example threshold_sweep # print a starter spec and exit
     repro-run --example design_space    # starter design-space sweep
 
@@ -25,6 +28,16 @@ recomputes only the unfinished tail and produces a result bit-for-bit
 identical to an uninterrupted run.  ``--point-timeout`` bounds each point's
 wall clock (pooled sweeps only), ``--max-retries`` bounds the retry budget,
 and ``--on-error raise`` upgrades any terminal point failure to a hard error.
+
+Sweeps also *distribute* (see ``docs/sweeps.md``): ``--distributed N`` forks
+N worker processes that split the grid through atomic claim files in the
+shared result cache, and ``--coordinate`` joins the calling process itself
+to such a claim party -- run the same command on N hosts sharing
+``REPRO_CACHE_DIR`` and the fleet executes every point exactly once, each
+invocation printing the complete, bit-for-bit identical result.
+``--lease-seconds`` tunes how quickly a crashed worker's claims are reaped.
+``--stream`` prints one NDJSON progress line per point to stdout the moment
+it resolves (the final result JSON then goes only to ``--output``).
 
 Exit codes: 0 success; 1 the run raised a
 :class:`~repro.exceptions.QLAError` (including ``--on-error raise``
@@ -251,6 +264,46 @@ def main(argv: list[str] | None = None) -> int:
             "failure into a hard error (exit 1)"
         ),
     )
+    parser.add_argument(
+        "--distributed",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "for sweeps: fork N worker processes that split the grid through "
+            "claim files in the shared result cache, then merge (bit-for-bit "
+            "identical to a serial run)"
+        ),
+    )
+    parser.add_argument(
+        "--coordinate",
+        action="store_true",
+        help=(
+            "for sweeps: coordinate with other repro-run processes (or hosts) "
+            "sharing this result cache via claim files -- together they "
+            "execute every point exactly once"
+        ),
+    )
+    parser.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "for --distributed/--coordinate sweeps: claim lease length; a "
+            "worker silent this long is presumed dead and its points are "
+            "reaped (default: 30)"
+        ),
+    )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "for sweeps: print one NDJSON progress line per point the moment "
+            "it resolves; the final result JSON is then written only to "
+            "--output"
+        ),
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress the result on stdout")
     args = parser.parse_args(argv)
 
@@ -261,6 +314,30 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("a spec file is required (or --example to print a starter spec)")
     if args.resume and args.no_cache:
         print("repro-run: --resume needs the cache; drop --no-cache", file=sys.stderr)
+        return 2
+    if args.no_cache and (args.distributed is not None or args.coordinate):
+        print(
+            "repro-run: --distributed/--coordinate coordinate through claim "
+            "files next to the cache entries; drop --no-cache",
+            file=sys.stderr,
+        )
+        return 2
+    if args.distributed is not None and args.coordinate:
+        print(
+            "repro-run: pick one of --distributed (fork local workers) or "
+            "--coordinate (join an existing party)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.distributed is not None and args.distributed < 1:
+        print("repro-run: --distributed needs at least one worker", file=sys.stderr)
+        return 2
+    if args.distributed is not None and args.point_timeout is not None:
+        print(
+            "repro-run: --point-timeout does not apply to --distributed sweeps "
+            "(workers execute their claimed points in-process)",
+            file=sys.stderr,
+        )
         return 2
 
     path = Path(args.spec)
@@ -280,13 +357,42 @@ def main(argv: list[str] | None = None) -> int:
                         file=sys.stderr,
                     )
                     return 4
-            result = run_sweep(
-                spec,
-                use_cache=not args.no_cache,
-                point_timeout=args.point_timeout,
-                max_retries=args.max_retries,
-                on_error=args.on_error,
-            )
+            progress = None
+            if args.stream:
+
+                def progress(event: dict) -> None:
+                    _emit(json.dumps(event, sort_keys=True))
+
+            if args.distributed is not None:
+                from repro.explore.distributed import run_sweep_distributed
+
+                dist = run_sweep_distributed(
+                    spec,
+                    num_workers=args.distributed,
+                    lease_seconds=args.lease_seconds,
+                    max_retries=args.max_retries,
+                    on_error=args.on_error,
+                    progress=progress,
+                )
+                result = dist.result
+                print(
+                    f"repro-run: {dist.surviving_workers} of "
+                    f"{len(dist.workers)} workers finished; they executed "
+                    f"{dist.executed_by_workers} points, merge replayed "
+                    f"{result.cache_hits} from the cache",
+                    file=sys.stderr,
+                )
+            else:
+                result = run_sweep(
+                    spec,
+                    use_cache=not args.no_cache,
+                    point_timeout=args.point_timeout,
+                    max_retries=args.max_retries,
+                    on_error=args.on_error,
+                    progress=progress,
+                    coordinate=args.coordinate,
+                    claim_lease_seconds=args.lease_seconds,
+                )
             if args.resume:
                 print(
                     f"repro-run: resumed {result.cache_hits} of {len(result)} "
@@ -301,6 +407,10 @@ def main(argv: list[str] | None = None) -> int:
                     ("--point-timeout", args.point_timeout is not None),
                     ("--max-retries", args.max_retries != 2),
                     ("--on-error", args.on_error != "partial"),
+                    ("--distributed", args.distributed is not None),
+                    ("--coordinate", args.coordinate),
+                    ("--lease-seconds", args.lease_seconds != 30.0),
+                    ("--stream", args.stream),
                 )
                 if used
             ]
@@ -320,7 +430,9 @@ def main(argv: list[str] | None = None) -> int:
     # broken pipe or was closed under --quiet.
     if args.output:
         Path(args.output).write_text(text + "\n")
-    if not args.quiet:
+    if not args.quiet and not (isinstance(spec, SweepSpec) and args.stream):
+        # --stream already narrated the sweep point by point; the full
+        # result document goes only to --output then.
         _emit(text)
     if isinstance(spec, SweepSpec) and result.failed:
         # The partial result above is complete and cached; the summary and

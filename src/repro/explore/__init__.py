@@ -18,9 +18,20 @@ Shor-kernel runtime.  This package turns the single-point experiment API
 * :mod:`repro.explore.supervisor` -- the fault-tolerant execution layer
   under :func:`run_sweep`: per-point timeouts, bounded retry with backoff,
   and dead-pool recovery (see ``docs/robustness.md``),
+* :mod:`repro.explore.distributed` -- N worker processes (or hosts on a
+  shared filesystem) coordinating one sweep purely through atomic claim
+  files next to the cache entries: heartbeat leases, stale-claim reaping,
+  and a merged result bit-for-bit equal to a serial run (see
+  ``docs/sweeps.md``),
+* :mod:`repro.explore.refine` -- adaptive refinement: recursive grid zoom
+  around a metric/target crossing plus variance-guided shot allocation,
+  reusing every cached coarse point via coordinate-derived seeds,
 * :mod:`repro.explore.analysis` -- tidy row extraction, Pareto-front
   selection and the paper drivers :func:`reproduce_table2` /
   :func:`reproduce_fig9` / :func:`reproduce_fig9_noisy`.
+
+Sweeps also *stream*: :func:`repro.explore.stream_sweep` yields each point
+(and the running Pareto front) the moment it lands.
 
 Quick start::
 
@@ -53,6 +64,7 @@ from repro.explore.analysis import (
     FIG9_MACHINE,
     design_space_starter,
     pareto_front,
+    point_row,
     reproduce_fig9,
     reproduce_fig9_noisy,
     reproduce_table2,
@@ -64,19 +76,37 @@ from repro.explore.cache import (
     cache_key,
     default_cache_dir,
 )
+from repro.explore.distributed import (
+    ClaimRecord,
+    ClaimStore,
+    DistributedRun,
+    DistributedSweepError,
+    WorkerReport,
+    run_sweep_distributed,
+)
+from repro.explore.refine import (
+    RefinementResult,
+    RefinementRound,
+    binomial_stderr,
+    refine,
+)
 from repro.explore.runner import (
+    SweepEvent,
     SweepExecutionError,
     SweepPointError,
     SweepPointResult,
     SweepResult,
+    SweepStream,
     resolved_engine,
     run_sweep,
+    stream_sweep,
 )
 from repro.explore.supervisor import (
     PointTimeoutError,
     RetryPolicy,
     WorkerCrashError,
     execute_supervised,
+    execute_with_retry,
 )
 from repro.explore.sweep import (
     SWEEP_SECTIONS,
@@ -101,12 +131,27 @@ __all__ = [
     "SweepPointError",
     "SweepPointResult",
     "SweepResult",
+    "SweepEvent",
+    "SweepStream",
     "run_sweep",
+    "stream_sweep",
+    "ClaimRecord",
+    "ClaimStore",
+    "DistributedRun",
+    "DistributedSweepError",
+    "WorkerReport",
+    "run_sweep_distributed",
+    "RefinementResult",
+    "RefinementRound",
+    "binomial_stderr",
+    "refine",
     "RetryPolicy",
     "PointTimeoutError",
     "WorkerCrashError",
     "execute_supervised",
+    "execute_with_retry",
     "tidy_rows",
+    "point_row",
     "pareto_front",
     "reproduce_table2",
     "reproduce_fig9",

@@ -22,6 +22,7 @@ from typing import Sequence
 from repro.exceptions import ParameterError
 
 __all__ = [
+    "point_row",
     "tidy_rows",
     "pareto_front",
     "reproduce_table2",
@@ -112,39 +113,46 @@ def tidy_rows(sweep_result) -> list[dict]:
     no backend/engine/metric columns, because nothing executed to
     completion.
     """
-    rows = []
-    for point in sweep_result.points:
-        row = dict(point.coordinates)
-        if not point.ok:
-            row.update(
-                {
-                    "experiment": point.spec.experiment,
-                    "cached": point.cached,
-                    "failed": True,
-                    "error_type": point.error.exception_type,
-                    "error_message": point.error.message,
-                    "attempts": point.attempts,
-                    "point_wall_seconds": point.wall_time_seconds,
-                }
-            )
-            rows.append(row)
-            continue
-        experiment = point.result.spec.experiment
+    return [point_row(point) for point in sweep_result.points]
+
+
+def point_row(point) -> dict:
+    """The tidy row for one :class:`~repro.explore.runner.SweepPointResult`.
+
+    This is :func:`tidy_rows` for a single point -- the streaming layer
+    (:class:`~repro.explore.runner.SweepStream`) builds rows one at a time
+    as points land, from exactly the same definition, so the incremental
+    rows and the end-of-sweep rows can never disagree.
+    """
+    row = dict(point.coordinates)
+    if not point.ok:
         row.update(
             {
-                "experiment": experiment,
-                "backend": point.result.backend,
-                "engine": point.result.engine,
+                "experiment": point.spec.experiment,
                 "cached": point.cached,
-                "failed": False,
+                "failed": True,
+                "error_type": point.error.exception_type,
+                "error_message": point.error.message,
                 "attempts": point.attempts,
-                "wall_time_seconds": point.result.wall_time_seconds,
                 "point_wall_seconds": point.wall_time_seconds,
             }
         )
-        row.update(_METRIC_EXTRACTORS[experiment](point.result.value))
-        rows.append(row)
-    return rows
+        return row
+    experiment = point.result.spec.experiment
+    row.update(
+        {
+            "experiment": experiment,
+            "backend": point.result.backend,
+            "engine": point.result.engine,
+            "cached": point.cached,
+            "failed": False,
+            "attempts": point.attempts,
+            "wall_time_seconds": point.result.wall_time_seconds,
+            "point_wall_seconds": point.wall_time_seconds,
+        }
+    )
+    row.update(_METRIC_EXTRACTORS[experiment](point.result.value))
+    return row
 
 
 def pareto_front(

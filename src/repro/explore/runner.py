@@ -34,9 +34,12 @@ cache stores.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import queue
+import threading
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.api.registry import BackendRegistry
 from repro.api.results import RunResult
@@ -55,8 +58,11 @@ __all__ = [
     "SweepExecutionError",
     "SweepPointResult",
     "SweepResult",
+    "SweepEvent",
+    "SweepStream",
     "resolved_engine",
     "run_sweep",
+    "stream_sweep",
 ]
 
 
@@ -258,6 +264,51 @@ class SweepResult:
         """Serialize the full sweep outcome (what ``repro-run`` prints)."""
         return json.dumps(self.to_dict(), indent=indent)
 
+    def value_digest(self) -> str:
+        """SHA-256 over the sweep's *value content* -- the bit-for-bit contract.
+
+        Two runs of the same sweep are equivalent exactly when their value
+        digests match: the digest covers every point's coordinates, cache
+        key (itself a hash of the bound spec, library version and resolved
+        engine), the full result payload, and any error's type and message
+        -- everything that is a pure function of the sweep description.
+        It deliberately excludes the fields that legitimately differ
+        between two correct runs of identical work: wall-clock times,
+        retry/attempt counts, and cache hit/miss accounting (whether a
+        point was computed here or replayed from the cache does not change
+        its value).
+
+        This is the equality a distributed run is held to:
+        ``run_sweep_distributed(...).result.value_digest() ==
+        run_sweep(...).value_digest()`` regardless of worker count, claim
+        interleaving, or crashed-and-reaped workers.
+        """
+        payload = []
+        for point in self.points:
+            result_dict = None
+            if point.result is not None:
+                result_dict = point.result.to_dict()
+                result_dict.pop("wall_time_seconds", None)
+            error_dict = None
+            if point.error is not None:
+                error_dict = {
+                    "exception_type": point.error.exception_type,
+                    "message": point.error.message,
+                }
+            payload.append(
+                {
+                    "coordinates": {
+                        path: list(value) if isinstance(value, tuple) else value
+                        for path, value in point.coordinates.items()
+                    },
+                    "cache_key": point.cache_key,
+                    "result": result_dict,
+                    "error": error_dict,
+                }
+            )
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
     @classmethod
     def from_dict(cls, data: object) -> "SweepResult":
         """Strictly rebuild a sweep result from a dictionary.
@@ -342,6 +393,10 @@ def run_sweep(
     backoff_base: float = 0.05,
     on_error: str = "partial",
     progress=None,
+    stream=None,
+    coordinate: bool = False,
+    claim_lease_seconds: float = 30.0,
+    claim_poll_interval: float = 0.05,
 ) -> SweepResult:
     """Execute a design-space sweep, answering from the cache where possible.
 
@@ -391,6 +446,30 @@ def run_sweep(
         resolved has been cached, so an aborted sweep resumes from the
         cache like a crashed one (this is the service's cancellation
         hook).
+    stream:
+        Optional callback invoked with one :class:`SweepEvent` per grid
+        point the moment it resolves -- the in-process streaming hook
+        (``progress`` carries JSON-ready dictionaries for the service's
+        NDJSON feed; ``stream`` carries live objects).  Most callers want
+        :func:`stream_sweep`, which turns this hook into a consumer
+        iterator with running Pareto fronts.  Exceptions propagate like
+        ``progress`` exceptions.
+    coordinate:
+        Join this sweep's *claim party*: before executing a cache miss,
+        atomically claim it through a claim file next to the cache entry
+        (see :mod:`repro.explore.distributed`), skip points claimed by
+        other live workers (their results are awaited from the cache),
+        and reap claims whose lease lapsed.  N processes -- or N hosts
+        sharing the cache directory -- each calling ``run_sweep`` with
+        ``coordinate=True`` collectively execute every point exactly
+        once and each return the complete, identical result.  Requires
+        ``use_cache=True``.
+    claim_lease_seconds:
+        Claim lease length under ``coordinate=True``: a claimant silent
+        for this long is presumed dead and its point is reaped.
+    claim_poll_interval:
+        How long a coordinating worker sleeps when every unresolved
+        point is claimed by live peers.
 
     Returns
     -------
@@ -403,6 +482,11 @@ def run_sweep(
         raise ParameterError(f"run_sweep() takes a SweepSpec, got {type(sweep).__name__}")
     if on_error not in ("partial", "raise"):
         raise ParameterError(f"on_error must be 'partial' or 'raise', got {on_error!r}")
+    if coordinate and not use_cache:
+        raise ParameterError(
+            "coordinate=True requires use_cache=True: claim files live next to "
+            "the cache entries the workers coordinate over"
+        )
     policy = RetryPolicy(
         point_timeout=point_timeout, max_retries=max_retries, backoff_base=backoff_base
     )
@@ -425,27 +509,29 @@ def run_sweep(
     outcomes: dict[int, SweepPointResult] = {}
 
     def notify(index: int) -> None:
-        # One JSON-ready progress record per resolved point; a raising
-        # callback aborts the sweep (already-resolved points stay cached).
-        if progress is None:
-            return
+        # One JSON-ready progress record (and one live SweepEvent) per
+        # resolved point; a raising callback aborts the sweep
+        # (already-resolved points stay cached).
         point = outcomes[index]
-        progress(
-            {
-                "index": index,
-                "total": len(points),
-                "coordinates": {
-                    path: list(value) if isinstance(value, tuple) else value
-                    for path, value in point.coordinates.items()
-                },
-                "cache_key": point.cache_key,
-                "cached": point.cached,
-                "ok": point.ok,
-                "attempts": point.attempts,
-                "wall_time_seconds": point.wall_time_seconds,
-                "error": None if point.error is None else point.error.to_dict(),
-            }
-        )
+        if progress is not None:
+            progress(
+                {
+                    "index": index,
+                    "total": len(points),
+                    "coordinates": {
+                        path: list(value) if isinstance(value, tuple) else value
+                        for path, value in point.coordinates.items()
+                    },
+                    "cache_key": point.cache_key,
+                    "cached": point.cached,
+                    "ok": point.ok,
+                    "attempts": point.attempts,
+                    "wall_time_seconds": point.wall_time_seconds,
+                    "error": None if point.error is None else point.error.to_dict(),
+                }
+            )
+        if stream is not None:
+            stream(SweepEvent(index=index, total=len(points), point=point))
 
     to_run: list[int] = []
     for index, (pt, key) in enumerate(zip(points, keys)):
@@ -465,11 +551,13 @@ def run_sweep(
     if to_run:
         store_failures: list[OSError] = []
 
-        def on_outcome(position: int, outcome) -> None:
+        def record_executed(index: int, outcome) -> None:
             # Streamed back as points finish: persist each completed point
             # immediately, so a crash of this process loses nothing but the
             # in-flight tail (crash => resume from the cache for free).
-            index = to_run[position]
+            # Under coordinate=True this also runs *before* the point's
+            # claim is released, so a waiter can never acquire a released
+            # claim and find its cache entry missing.
             if outcome.ok:
                 if the_cache is not None and not store_failures:
                     try:
@@ -507,13 +595,48 @@ def run_sweep(
                 )
                 notify(index)
 
-        execute_supervised(
-            [points[index].spec for index in to_run],
-            policy=policy,
-            point_workers=sweep.point_workers if pooled else 0,
-            registry=registry,
-            on_outcome=on_outcome,
-        )
+        def record_cached_late(index: int, result: RunResult) -> None:
+            # Another coordinating worker executed the point while we
+            # waited; its cache entry is this point's result -- a cache
+            # hit, exactly like one found in the initial scan.
+            outcomes[index] = SweepPointResult(
+                coordinates=points[index].coordinates,
+                spec=result.spec,
+                result=result,
+                cache_key=keys[index],
+                cached=True,
+            )
+            notify(index)
+
+        if coordinate:
+            from repro.explore.distributed import execute_coordinated
+
+            execute_coordinated(
+                [points[index].spec for index in to_run],
+                [keys[index] for index in to_run],
+                cache=the_cache,
+                policy=policy,
+                point_workers=sweep.point_workers if pooled else 0,
+                registry=registry,
+                lease_seconds=claim_lease_seconds,
+                poll_interval=claim_poll_interval,
+                on_executed=lambda position, outcome: record_executed(
+                    to_run[position], outcome
+                ),
+                on_cached=lambda position, result: record_cached_late(
+                    to_run[position], result
+                ),
+            )
+        else:
+            execute_supervised(
+                [points[index].spec for index in to_run],
+                policy=policy,
+                point_workers=sweep.point_workers if pooled else 0,
+                registry=registry,
+                on_outcome=lambda position, outcome: record_executed(
+                    to_run[position], outcome
+                ),
+            )
         if store_failures:
             warnings.warn(
                 f"result cache at {the_cache.directory} is not writable "
@@ -541,3 +664,194 @@ def run_sweep(
             result,
         )
     return result
+
+
+@dataclass(frozen=True)
+class SweepEvent:
+    """One resolved grid point, streamed the moment it lands.
+
+    Attributes
+    ----------
+    index / total:
+        The point's grid position and the grid size -- points stream in
+        *resolution* order (cache hits first, then executions as they
+        finish), not grid order.
+    point:
+        The full :class:`SweepPointResult`.
+    row:
+        The point's tidy analysis row (:func:`~repro.explore.analysis.point_row`)
+        -- filled by :class:`SweepStream`, ``None`` on raw ``stream=``
+        callbacks.
+    pareto:
+        The running Pareto front over every *successful* point streamed so
+        far, as tidy rows -- filled by :class:`SweepStream` when it was
+        given objectives, ``()`` otherwise.  The final event's front is
+        the sweep's front.
+    """
+
+    index: int
+    total: int
+    point: SweepPointResult
+    row: dict | None = None
+    pareto: tuple[dict, ...] = ()
+
+
+class SweepStream:
+    """Consumer iterator over a sweep's points as they land.
+
+    Produced by :func:`stream_sweep`: the sweep executes on a background
+    thread while the consuming thread iterates :class:`SweepEvent` values,
+    each enriched with the point's tidy row and -- when objectives were
+    given -- the running Pareto front.  After exhaustion (or early
+    ``close()``), :meth:`result` returns the complete
+    :class:`SweepResult`; an execution error propagates out of the
+    iteration *and* out of :meth:`result`.
+
+    The stream is also a context manager: leaving the ``with`` block closes
+    it, which cancels the underlying sweep at the next point boundary
+    (already-resolved points are cached, so a cancelled sweep resumes from
+    the cache like a crashed one).
+    """
+
+    _DONE = object()
+
+    def __init__(self, minimize=(), maximize=()) -> None:
+        self._minimize = tuple(minimize)
+        self._maximize = tuple(maximize)
+        self._queue: queue.Queue = queue.Queue()
+        self._rows: list[dict] = []
+        self._result: SweepResult | None = None
+        self._error: BaseException | None = None
+        self._closed = False
+        self._finished = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- producer side (background thread) ------------------------------------
+
+    def _emit(self, event: SweepEvent) -> None:
+        if self._closed:
+            raise _StreamClosed()
+        self._queue.put(event)
+
+    def _run(self, sweep, kwargs) -> None:
+        try:
+            self._result = run_sweep(sweep, stream=self._emit, **kwargs)
+        except _StreamClosed:
+            pass
+        except BaseException as error:  # noqa: BLE001 - handed to the consumer
+            self._error = error
+        finally:
+            self._finished.set()
+            self._queue.put(self._DONE)
+
+    # -- consumer side ---------------------------------------------------------
+
+    def __iter__(self):
+        return self
+
+    def __next__(self) -> SweepEvent:
+        while True:
+            item = self._queue.get()
+            if item is self._DONE:
+                if self._error is not None:
+                    raise self._error
+                raise StopIteration
+            event: SweepEvent = item
+            row = point_row_for(event.point)
+            front: tuple[dict, ...] = ()
+            if event.point.ok:
+                self._rows.append(row)
+            if self._minimize or self._maximize:
+                from repro.explore.analysis import pareto_front
+
+                ok_rows = [r for r in self._rows if not r.get("failed")]
+                front = tuple(
+                    pareto_front(ok_rows, minimize=self._minimize, maximize=self._maximize)
+                )
+            return replace(event, row=row, pareto=front)
+
+    def __enter__(self) -> "SweepStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop consuming; cancels the sweep at the next point boundary."""
+        self._closed = True
+        if self._thread is not None:
+            self._thread.join()
+        # Drain so producer-side puts never block a closed stream.
+        while True:
+            try:
+                self._queue.get_nowait()
+            except queue.Empty:
+                break
+
+    def result(self) -> SweepResult:
+        """The complete :class:`SweepResult` (blocks until the sweep ends)."""
+        self._finished.wait()
+        if self._thread is not None:
+            self._thread.join()
+        if self._error is not None:
+            raise self._error
+        if self._result is None:
+            raise SweepExecutionError(
+                "sweep stream was closed before the sweep completed; "
+                "resolved points are cached -- re-run to resume",
+                result=None,  # type: ignore[arg-type]
+            )
+        return self._result
+
+
+class _StreamClosed(BaseException):
+    """Raised inside the producer thread when the consumer closed the stream.
+
+    Derives from BaseException so application-level ``except Exception``
+    retry machinery can never swallow the cancellation.
+    """
+
+
+def point_row_for(point: SweepPointResult) -> dict:
+    """The tidy row for one point (thin alias kept next to the stream)."""
+    from repro.explore.analysis import point_row
+
+    return point_row(point)
+
+
+def stream_sweep(
+    sweep: SweepSpec,
+    *,
+    minimize=(),
+    maximize=(),
+    **kwargs,
+) -> SweepStream:
+    """Execute a sweep in the background and iterate its points as they land.
+
+    The streaming counterpart of :func:`run_sweep` -- same keyword
+    arguments (``cache``, ``coordinate``, ``max_retries``, ...), but
+    instead of blocking until the grid is done it immediately returns a
+    :class:`SweepStream` yielding one :class:`SweepEvent` per resolved
+    point, each carrying the point's tidy row and, when ``minimize`` /
+    ``maximize`` objectives are given, the running Pareto front over the
+    points so far (the design-space picture *while it fills in*).
+
+    >>> with stream_sweep(sweep, minimize=("makespan_seconds",)) as events:
+    ...     for event in events:
+    ...         redraw(event.pareto)          # doctest: +SKIP
+    ...     result = events.result()
+
+    Works composed with distribution: a worker fleet fills the shared
+    cache while a ``coordinate=True`` stream yields every point exactly
+    once, whether executed locally or landed by a peer.
+    """
+    stream = SweepStream(minimize=minimize, maximize=maximize)
+    thread = threading.Thread(
+        target=stream._run,
+        args=(sweep, kwargs),
+        name="repro-sweep-stream",
+        daemon=True,
+    )
+    stream._thread = thread
+    thread.start()
+    return stream

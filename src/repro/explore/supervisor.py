@@ -68,6 +68,7 @@ __all__ = [
     "RetryPolicy",
     "PointOutcome",
     "execute_supervised",
+    "execute_with_retry",
 ]
 
 
@@ -252,30 +253,53 @@ def execute_supervised(
     return outcomes  # type: ignore[return-value]
 
 
+def _run_task_serial(task: _Task, policy: RetryPolicy, registry) -> PointOutcome:
+    """The in-process attempt loop for one task: retry with backoff to a terminal outcome."""
+    while True:
+        start = time.monotonic()
+        try:
+            faults.maybe_inject(
+                faults.POINT_TRANSIENT, faults.fault_key(task.spec_json), task.attempts
+            )
+            result = run(task.spec, registry=registry)
+        except Exception as error:  # noqa: BLE001 - any failure becomes a record
+            task.attempts += 1
+            task.elapsed += time.monotonic() - start
+            if task.attempts <= policy.max_retries:
+                delay = policy.backoff(task.attempts)
+                if delay:
+                    time.sleep(delay)
+                continue
+            return PointOutcome(
+                result=None, error=error, attempts=task.attempts, elapsed_seconds=task.elapsed
+            )
+        else:
+            task.attempts += 1
+            task.elapsed += time.monotonic() - start
+            return PointOutcome(
+                result=result, error=None, attempts=task.attempts, elapsed_seconds=task.elapsed
+            )
+
+
+def execute_with_retry(
+    spec: ExperimentSpec, *, policy: RetryPolicy, registry: BackendRegistry | None = None
+) -> PointOutcome:
+    """Run one fully-bound spec in-process under the retry policy.
+
+    The single-point core of :func:`execute_supervised`'s serial path,
+    exposed so claim-coordinated sweeps (:mod:`repro.explore.distributed`)
+    can re-execute a reaped point with exactly the same retry/backoff
+    semantics as every other point.  Timeouts are not enforceable
+    in-process, so :attr:`RetryPolicy.point_timeout` is ignored here.
+    """
+    return _run_task_serial(_Task(0, spec), policy, registry)
+
+
 def _execute_serial(tasks, policy, registry, resolve) -> None:
     """In-process execution with retry/backoff (no timeouts, no crash isolation)."""
     for task in tasks:
-        while True:
-            start = time.monotonic()
-            try:
-                faults.maybe_inject(
-                    faults.POINT_TRANSIENT, faults.fault_key(task.spec_json), task.attempts
-                )
-                result = run(task.spec, registry=registry)
-            except Exception as error:  # noqa: BLE001 - any failure becomes a record
-                task.attempts += 1
-                task.elapsed += time.monotonic() - start
-                if task.attempts <= policy.max_retries:
-                    delay = policy.backoff(task.attempts)
-                    if delay:
-                        time.sleep(delay)
-                    continue
-                resolve(task, None, error)
-            else:
-                task.attempts += 1
-                task.elapsed += time.monotonic() - start
-                resolve(task, result, None)
-            break
+        outcome = _run_task_serial(task, policy, registry)
+        resolve(task, outcome.result, outcome.error)
 
 
 def _execute_pooled(tasks, policy, workers, resolve) -> None:

@@ -320,6 +320,37 @@ class SweepSpec:
         spec = spec.with_seed(point_seed(self.seed, coordinates))
         return SweepPoint(coordinates=dict(coordinates), spec=spec)
 
+    def with_axis_values(self, path: str, values) -> "SweepSpec":
+        """A copy of this sweep with the named axis's values replaced.
+
+        This is the grid-refinement primitive: per-point seeds and cache
+        keys depend on *coordinates*, never on grid position, so a refined
+        sweep that keeps any of the old values re-resolves those points as
+        pure cache hits -- only genuinely new coordinates cost engine time
+        (the seed-reuse contract :mod:`repro.explore.refine` is built on).
+        Values are deduplicated (first occurrence wins) and kept in the
+        given order.
+        """
+        paths = [axis.path for axis in self.axes]
+        if path not in paths:
+            raise ParameterError(
+                f"sweep has no axis {path!r}; its axes are {sorted(paths)}"
+            )
+        deduped: list = []
+        for value in values:
+            frozen = _hashable(value)
+            if frozen not in deduped:
+                deduped.append(frozen)
+        new_axes = tuple(
+            SweepAxis(path=axis.path, values=tuple(deduped))
+            if axis.path == path
+            else axis
+            for axis in self.axes
+        )
+        return SweepSpec(
+            base=self.base, axes=new_axes, seed=self.seed, point_workers=self.point_workers
+        )
+
     def points(self) -> tuple[SweepPoint, ...]:
         """Expand the full grid, in cartesian order (last axis fastest).
 

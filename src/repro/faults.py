@@ -37,6 +37,12 @@ Fault **sites** are the places the library consults the harness:
                         generation attempts (exercises the link layer's
                         stall accounting; never raises, and inert for
                         deterministic link configurations).
+:data:`EXPLORE_CLAIM`   SIGKILL a distributed sweep worker right after
+                        it writes a claim file (exercises stale-lease
+                        reaping and crash-resume of the shared-cache
+                        claim protocol -- see
+                        :mod:`repro.explore.distributed`; only consulted
+                        inside distributed worker processes).
 ================== ====================================================
 
 A :class:`FaultProfile` holds one rate per site plus the shared knobs.  A
@@ -89,6 +95,7 @@ __all__ = [
     "SERVICE_WORKER",
     "SERVICE_STORE",
     "DESIM_LINK",
+    "EXPLORE_CLAIM",
     "SITES",
     "PROFILES",
     "InjectedFault",
@@ -113,6 +120,7 @@ KERNEL_NATIVE = "kernel.native"
 SERVICE_WORKER = "service.worker"
 SERVICE_STORE = "service.store"
 DESIM_LINK = "desim.link"
+EXPLORE_CLAIM = "explore.claim"
 
 #: Fault site -> the :class:`FaultProfile` rate field that controls it.
 SITES: dict[str, str] = {
@@ -124,6 +132,7 @@ SITES: dict[str, str] = {
     SERVICE_WORKER: "service",
     SERVICE_STORE: "store",
     DESIM_LINK: "link",
+    EXPLORE_CLAIM: "claim",
 }
 
 
@@ -146,14 +155,19 @@ class FaultProfile:
     seed:
         Root of every injection decision; two runs with the same profile
         make identical decisions at every site.
-    crash / hang / transient / corrupt / kernel / service / store / link:
+    crash / hang / transient / corrupt / kernel / service / store / link / claim:
         Per-site selection rates in ``[0, 1]``: the fraction of keys each
         site fires for.  Selection is by key hash, so the *same* keys are
         selected on every run.  ``service`` and ``store`` drive the
         experiment service's sites (worker death mid-job, job-store
         result-write failure -- see :mod:`repro.service`); ``link``
         drives the stochastic interconnect's degradation site
-        (:mod:`repro.desim.links`).
+        (:mod:`repro.desim.links`); ``claim`` kills distributed sweep
+        workers right after they claim a grid point
+        (:mod:`repro.explore.distributed` -- the ``attempt`` passed to
+        the site is the claim's reap *generation*, so under the default
+        ``fail_attempts=1`` only the first claimant of a selected point
+        dies and the reaping worker survives).
     fail_attempts:
         How many leading attempts of a selected key fire: ``1`` (default)
         fails only the first attempt, so one retry recovers; ``-1`` fails
@@ -172,13 +186,14 @@ class FaultProfile:
     service: float = 0.0
     store: float = 0.0
     link: float = 0.0
+    claim: float = 0.0
     fail_attempts: int = 1
     hang_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         if not isinstance(self.seed, int) or isinstance(self.seed, bool) or self.seed < 0:
             raise ParameterError(f"fault profile seed must be a non-negative int, got {self.seed!r}")
-        for name in ("crash", "hang", "transient", "corrupt", "kernel", "service", "store", "link"):
+        for name in ("crash", "hang", "transient", "corrupt", "kernel", "service", "store", "link", "claim"):
             rate = getattr(self, name)
             if not isinstance(rate, (int, float)) or isinstance(rate, bool) or not 0.0 <= rate <= 1.0:
                 raise ParameterError(f"fault rate {name!r} must be in [0, 1], got {rate!r}")
@@ -253,10 +268,12 @@ PROFILES: dict[str, FaultProfile] = {
     # lose their first terminal job-store write (the durable queue must
     # requeue and converge in both cases), and a quarter of stochastic
     # interconnect transfers absorb forced extra failed generation
-    # attempts (the link layer degrades deterministically, never crashes).
+    # attempts (the link layer degrades deterministically, never crashes),
+    # and a quarter of distributed sweep workers die right after claiming
+    # a point (stale-lease reaping must recover the claim exactly once).
     "chaos": FaultProfile(
         seed=20050, transient=0.25, corrupt=0.25, service=0.25, store=0.25,
-        link=0.25, fail_attempts=1,
+        link=0.25, claim=0.25, fail_attempts=1,
     ),
     # Every point's first worker attempt is SIGKILLed: the supervised pool
     # must respawn and retry everything exactly once.
@@ -375,9 +392,10 @@ def should_fire(
 def maybe_inject(site: str, key: str, attempt: int = 0) -> None:
     """Perform the ``site`` fault for ``key`` if the active profile selects it.
 
-    * :data:`WORKER_CRASH` -- SIGKILL the calling process (only reachable
-      from pool worker processes; the in-process execution path never
-      consults this site).
+    * :data:`WORKER_CRASH` / :data:`EXPLORE_CLAIM` -- SIGKILL the calling
+      process (only reachable from pool worker processes and distributed
+      sweep workers respectively; the in-process execution path never
+      consults either site).
     * :data:`WORKER_HANG` -- sleep :attr:`FaultProfile.hang_seconds`, then
       return (the point proceeds; a per-point timeout is what kills it).
     * every other site -- raise :class:`InjectedFault`.
@@ -387,7 +405,7 @@ def maybe_inject(site: str, key: str, attempt: int = 0) -> None:
     profile = active_profile()
     if profile is None or not should_fire(site, key, attempt, profile=profile):
         return
-    if site == WORKER_CRASH:
+    if site in (WORKER_CRASH, EXPLORE_CLAIM):
         os.kill(os.getpid(), signal.SIGKILL)
     if site == WORKER_HANG:
         time.sleep(profile.hang_seconds)

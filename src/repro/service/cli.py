@@ -93,6 +93,21 @@ def main(argv: list[str] | None = None) -> int:
         help="per-point wall-clock budget for pooled sweeps (default: none)",
     )
     parser.add_argument(
+        "--coordinate", action="store_true",
+        help=(
+            "run sweep jobs through the distributed claim protocol: "
+            "overlapping sweeps (here or on other service instances sharing "
+            "the cache directory) execute each grid point exactly once"
+        ),
+    )
+    parser.add_argument(
+        "--lease-seconds", type=float, default=30.0, metavar="SECONDS",
+        help=(
+            "claim lease for --coordinate; a worker silent this long is "
+            "presumed dead and its points are reaped (default: 30)"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress the startup line on stdout"
     )
     args = parser.parse_args(argv)
@@ -111,6 +126,8 @@ def main(argv: list[str] | None = None) -> int:
             workers=args.workers,
             policy=policy,
             default_max_attempts=args.max_attempts,
+            coordinate=args.coordinate,
+            claim_lease_seconds=args.lease_seconds,
         )
     except (QLAError, OSError) as error:
         print(f"repro-serve: {error}", file=sys.stderr)

@@ -87,6 +87,14 @@ class ExperimentService:
         Attempt budget for jobs whose submission doesn't specify one.
     registry:
         Optional custom backend registry, passed through to execution.
+    coordinate:
+        Run sweep jobs through the distributed claim protocol
+        (:mod:`repro.explore.distributed`): overlapping sweeps -- across
+        this service's worker threads, or across service instances
+        sharing one cache directory -- execute each grid point exactly
+        once between them.
+    claim_lease_seconds:
+        Claim lease length under ``coordinate=True``.
     """
 
     def __init__(
@@ -101,6 +109,8 @@ class ExperimentService:
         policy: RetryPolicy | None = None,
         default_max_attempts: int = 3,
         registry=None,
+        coordinate: bool = False,
+        claim_lease_seconds: float = 30.0,
     ) -> None:
         if cache is not None and cache_dir is not None:
             raise ParameterError("pass either a cache instance or a cache_dir, not both")
@@ -137,6 +147,8 @@ class ExperimentService:
                 policy=self.policy,
                 registry=registry,
                 name=f"repro-service-worker-{index}",
+                coordinate=coordinate,
+                claim_lease_seconds=claim_lease_seconds,
             )
             for index in range(workers)
         ]

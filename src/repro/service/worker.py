@@ -79,6 +79,15 @@ class JobWorker(threading.Thread):
         execution, exactly as in :func:`~repro.explore.runner.run_sweep`).
     poll_interval:
         Idle sleep between queue polls when no job is queued.
+    coordinate:
+        Execute sweep jobs with ``run_sweep(coordinate=True)``: points are
+        claimed through atomic claim files next to the shared cache
+        entries (see :mod:`repro.explore.distributed`), so overlapping
+        sweep jobs -- in this service's worker pool, or across service
+        instances sharing one cache directory -- execute each grid point
+        exactly once between them.
+    claim_lease_seconds:
+        Claim lease length under ``coordinate=True``.
     """
 
     def __init__(
@@ -91,6 +100,8 @@ class JobWorker(threading.Thread):
         registry=None,
         poll_interval: float = 0.05,
         name: str | None = None,
+        coordinate: bool = False,
+        claim_lease_seconds: float = 30.0,
     ) -> None:
         super().__init__(name=name or "repro-service-worker", daemon=True)
         self.store = store
@@ -99,6 +110,8 @@ class JobWorker(threading.Thread):
         self.policy = policy if policy is not None else RetryPolicy()
         self.registry = registry
         self.poll_interval = poll_interval
+        self.coordinate = coordinate
+        self.claim_lease_seconds = claim_lease_seconds
         self._stop_event = threading.Event()
 
     def stop(self) -> None:
@@ -207,6 +220,8 @@ class JobWorker(threading.Thread):
             backoff_base=self.policy.backoff_base,
             on_error="partial",
             progress=progress,
+            coordinate=self.coordinate,
+            claim_lease_seconds=self.claim_lease_seconds,
         )
         self.store.mark_done(
             job,
